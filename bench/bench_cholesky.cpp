@@ -1,0 +1,65 @@
+// Sparse Cholesky scaling and the supernode ablation (Sections 3 and 7).
+//
+// The paper notes that per-column tasks are "actually a simplification" and
+// that the real code aggregates columns into supernodes to increase the
+// grain size.  This harness sweeps machine counts for per-column tasks and
+// several block (supernode) sizes: with fine grain the per-task runtime
+// overhead dominates; blocking recovers the speedup — the grain-size story
+// of Section 8.
+#include <iostream>
+
+#include "jade/apps/cholesky.hpp"
+#include "jade/mach/presets.hpp"
+#include "jade/support/stats.hpp"
+
+namespace {
+
+double run_factor(const jade::apps::SparseMatrix& a,
+                  const jade::apps::SparseMatrix& expect, int machines,
+                  int block) {
+  using namespace jade;
+  using namespace jade::apps;
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  cfg.cluster = presets::ipsc860(machines);
+  Runtime rt(std::move(cfg));
+  if (block <= 1) {
+    auto jm = upload_matrix(rt, a);
+    rt.run([&](TaskContext& ctx) { factor_jade(ctx, jm); });
+    if (download_matrix(rt, jm).cols != expect.cols) std::exit(1);
+  } else {
+    auto jm = upload_blocked(rt, a, block);
+    rt.run([&](TaskContext& ctx) { factor_jade_blocked(ctx, jm); });
+    if (download_blocked(rt, jm).cols != expect.cols) std::exit(1);
+  }
+  return rt.sim_duration();
+}
+
+}  // namespace
+
+int main() {
+  using namespace jade::apps;
+  const int n = 256;
+  const auto a = make_spd(n, 5.0 / n, 7);
+  auto expect = a;
+  factor_serial(expect);
+  std::cout << "=== Sparse Cholesky on the simulated iPSC/860: n=" << n
+            << ", nnz=" << a.nnz() << ", flops=" << factor_flops(a)
+            << " ===\n";
+  std::cout << "virtual seconds per (machines x supernode block):\n";
+  jade::TextTable table(
+      {"machines", "per-column", "block=4", "block=16", "block=32"});
+  for (int p : {1, 2, 4, 8, 16}) {
+    std::vector<double> row{static_cast<double>(p)};
+    for (int block : {1, 4, 16, 32})
+      row.push_back(run_factor(a, expect, p, block));
+    table.add_row(row, 3);
+  }
+  table.print(std::cout);
+  std::cout << "(expected shape: per-column tasks drown in per-task "
+               "overhead — the Section 8 grain-size limit; supernode blocks "
+               "trade concurrency for grain, with a sweet spot in between; "
+               "every cell is verified bit-identical to the serial "
+               "factorization)\n";
+  return 0;
+}

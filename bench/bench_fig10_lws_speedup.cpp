@@ -1,0 +1,43 @@
+// Figure 10 — "Speedups for Liquid Water Simulation".
+//
+// Same runs as Figure 9, reported as speedup over each platform's own
+// uniprocessor time.  Expected shape (paper): near-linear speedup on DASH,
+// slightly below it on the iPSC/860, and early saturation on Mica — "There
+// is ample coarse-grain parallelism in the LWS application; the figures
+// confirm that Jade can give good performance for such an application over
+// a range of architectures."
+#include <iostream>
+#include <map>
+
+#include "jade/support/stats.hpp"
+#include "lws_harness.hpp"
+
+int main() {
+  using namespace jade_bench;
+  const auto wc = lws_config();
+  const auto initial = jade::apps::make_water(wc);
+  auto expect = initial;
+  jade::apps::water_run_serial(wc, expect);
+
+  const auto platforms = lws_platforms();
+  std::map<std::string, double> t1;
+  for (const auto& platform : platforms)
+    t1[platform.name] = run_lws(wc, initial, expect, platform, 1);
+
+  std::cout << "=== Figure 10: LWS speedups (vs each platform's 1-processor "
+               "time), "
+            << wc.molecules << " molecules ===\n";
+  jade::TextTable table({"processors", "ipsc860", "mica", "dash"});
+  for (int p : lws_machine_counts()) {
+    std::vector<double> row{static_cast<double>(p)};
+    for (const auto& platform : platforms) {
+      const double tp =
+          p == 1 ? t1[platform.name]
+                 : run_lws(wc, initial, expect, platform, p);
+      row.push_back(t1[platform.name] / tp);
+    }
+    table.add_row(row, 2);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Heterogeneous data-format conversion microbenchmarks (Sections 5, 6.1):
+// byte-order conversion throughput by scalar type and layout, and the
+// control-message wire format.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "jade/types/type_desc.hpp"
+#include "jade/types/wire.hpp"
+
+namespace {
+
+using namespace jade;
+
+void BM_ConvertF64Array(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  auto desc = TypeDescriptor::array_of<double>(count);
+  std::vector<std::byte> data(desc.byte_size(), std::byte{42});
+  for (auto _ : state) {
+    convert_representation(data, desc, Endian::kLittle, Endian::kBig);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(desc.byte_size()));
+}
+BENCHMARK(BM_ConvertF64Array)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_ConvertI16Array(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  auto desc = TypeDescriptor::array(ScalarKind::kInt16, count);
+  std::vector<std::byte> data(desc.byte_size(), std::byte{1});
+  for (auto _ : state) {
+    convert_representation(data, desc, Endian::kLittle, Endian::kBig);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(desc.byte_size()));
+}
+BENCHMARK(BM_ConvertI16Array)->Arg(1024)->Arg(65536);
+
+void BM_ConvertMixedRecord(benchmark::State& state) {
+  // A struct-like layout: header ints, a flag byte run, then doubles.
+  const std::size_t repeat = static_cast<std::size_t>(state.range(0));
+  std::vector<FieldDesc> fields;
+  for (std::size_t i = 0; i < repeat; ++i) {
+    fields.push_back({ScalarKind::kInt32, 4});
+    fields.push_back({ScalarKind::kUInt8, 8});
+    fields.push_back({ScalarKind::kFloat64, 6});
+  }
+  TypeDescriptor desc(std::move(fields));
+  std::vector<std::byte> data(desc.byte_size(), std::byte{7});
+  for (auto _ : state) {
+    convert_representation(data, desc, Endian::kBig, Endian::kLittle);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(desc.byte_size()));
+}
+BENCHMARK(BM_ConvertMixedRecord)->Arg(16)->Arg(256);
+
+void BM_OrderInvariantFastPath(benchmark::State& state) {
+  auto desc = TypeDescriptor::bytes(1 << 20);
+  std::vector<std::byte> data(desc.byte_size(), std::byte{9});
+  for (auto _ : state) {
+    const std::size_t n =
+        convert_representation(data, desc, Endian::kLittle, Endian::kBig);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_OrderInvariantFastPath);
+
+void BM_WireWriteControlMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    WireWriter w;
+    w.put_u32(7);                  // message kind
+    w.put_u64(0x123456789abcull);  // object id
+    w.put_u32(2);                  // source machine
+    w.put_u32(5);                  // destination machine
+    w.put_u64(4096);               // payload size
+    w.put_string("col97");
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireWriteControlMessage);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  WireWriter w;
+  for (int i = 0; i < 64; ++i) {
+    w.put_u64(static_cast<std::uint64_t>(i) * 977);
+    w.put_f64(i * 0.125);
+  }
+  const auto bytes = w.bytes();
+  for (auto _ : state) {
+    WireReader r(bytes);
+    double acc = 0;
+    while (!r.done()) {
+      acc += static_cast<double>(r.get_u64());
+      acc += r.get_f64();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_WireRoundTrip);
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Runtime-overhead microbenchmarks (Section 8: "The run-time overhead
+// associated with detecting and managing dynamic concurrency limits the
+// grain size that Jade programs can efficiently use").
+//
+// Wall-clock costs of the core mechanisms — task creation/dispatch, the
+// dynamic access check, with-cont updates, raw serializer operations — plus
+// a virtual-time grain-size sweep quantifying the efficiency knee.
+#include <benchmark/benchmark.h>
+
+#include "jade/core/runtime.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace {
+
+using namespace jade;
+
+/// Creation + inline execution of empty tasks under the serial engine: the
+/// pure withonly machinery (spec evaluation, queue insertion, access-check
+/// setup, completion).
+void BM_WithonlyEmptyTask_Serial(benchmark::State& state) {
+  const int tasks = 1024;
+  for (auto _ : state) {
+    Runtime rt;  // serial engine
+    auto v = rt.alloc<double>(8, "v");
+    rt.run([&](TaskContext& ctx) {
+      for (int i = 0; i < tasks; ++i)
+        ctx.withonly([&](AccessDecl& d) { d.rd_wr(v); },
+                     [](TaskContext&) {});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_WithonlyEmptyTask_Serial)->Unit(benchmark::kMillisecond);
+
+/// Same through the worker pool: adds ready-queue and wakeup costs.
+void BM_WithonlyEmptyTask_Thread(benchmark::State& state) {
+  const int tasks = 1024;
+  for (auto _ : state) {
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kThread;
+    cfg.threads = static_cast<int>(state.range(0));
+    Runtime rt(std::move(cfg));
+    // Independent objects so the pool can actually run them concurrently.
+    std::vector<SharedRef<double>> objs;
+    for (int i = 0; i < 16; ++i) objs.push_back(rt.alloc<double>(8));
+    rt.run([&](TaskContext& ctx) {
+      for (int i = 0; i < tasks; ++i) {
+        auto o = objs[static_cast<std::size_t>(i) % objs.size()];
+        ctx.withonly([&](AccessDecl& d) { d.rd_wr(o); },
+                     [](TaskContext&) {});
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_WithonlyEmptyTask_Thread)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// The dynamic access check + global->local translation, amortized over one
+/// accessor acquisition (the paper's "amortize the cost of one
+/// translation/check over many accesses").
+void BM_CheckedAccessorAcquire(benchmark::State& state) {
+  Runtime rt;
+  auto v = rt.alloc<double>(1024, "v");
+  const int acquires = 4096;
+  for (auto _ : state) {
+    rt.engine();  // keep rt alive across iterations; one task per iter
+    Runtime fresh;
+    auto o = fresh.alloc<double>(1024);
+    fresh.run([&](TaskContext& ctx) {
+      ctx.withonly([&](AccessDecl& d) { d.rd_wr(o); },
+                   [o](TaskContext& t) {
+                     for (int i = 0; i < acquires; ++i) {
+                       auto span = t.read_write(o);
+                       benchmark::DoNotOptimize(span.data());
+                     }
+                   });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * acquires);
+}
+BENCHMARK(BM_CheckedAccessorAcquire);
+
+/// with-cont specification updates: downgrade to deferred, reconvert.
+void BM_WithContConvertCycle(benchmark::State& state) {
+  const int cycles = 2048;
+  for (auto _ : state) {
+    Runtime rt;
+    auto o = rt.alloc<double>(64);
+    rt.run([&](TaskContext& ctx) {
+      ctx.withonly([&](AccessDecl& d) { d.rd(o); },
+                   [o](TaskContext& t) {
+                     for (int i = 0; i < cycles; ++i) {
+                       t.with_cont([&](AccessDecl& d) { d.df_rd(o); });
+                       t.with_cont([&](AccessDecl& d) { d.rd(o); });
+                     }
+                   });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * cycles * 2);
+}
+BENCHMARK(BM_WithContConvertCycle);
+
+/// Grain-size efficiency on a simulated 8-machine cluster: 64 independent
+/// tasks of `grain` work units each.  Reported counter `efficiency` is
+/// ideal-time / virtual-time; the knee locates the paper's minimum
+/// practical grain.
+void BM_GrainSizeEfficiency(benchmark::State& state) {
+  const double grain = static_cast<double>(state.range(0));
+  const int tasks = 64;
+  const int machines = 8;
+  double efficiency = 0;
+  for (auto _ : state) {
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = presets::ipsc860(machines);
+    Runtime rt(std::move(cfg));
+    std::vector<SharedRef<double>> objs;
+    for (int i = 0; i < tasks; ++i) objs.push_back(rt.alloc<double>(16));
+    rt.run([&](TaskContext& ctx) {
+      for (int i = 0; i < tasks; ++i) {
+        auto o = objs[static_cast<std::size_t>(i)];
+        ctx.withonly([&](AccessDecl& d) { d.rd_wr(o); },
+                     [o, grain](TaskContext& t) {
+                       t.charge(grain);
+                       t.read_write(o)[0] += 1.0;
+                     });
+      }
+    });
+    const double ops = presets::ipsc860(1).machines[0].ops_per_second;
+    const double ideal = grain * tasks / ops / machines;
+    efficiency = ideal / rt.sim_duration();
+  }
+  state.counters["efficiency"] = efficiency;
+  state.counters["grain_units"] = grain;
+}
+BENCHMARK(BM_GrainSizeEfficiency)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Arg(10000000);
+
+}  // namespace

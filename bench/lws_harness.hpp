@@ -1,0 +1,60 @@
+// Shared harness for the Figure 9/10 LWS experiments: runs the same Jade
+// water-simulation program on a platform preset with a given machine count
+// and returns the virtual running time, verifying the result against the
+// serial reference.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "jade/apps/water.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade_bench {
+
+struct LwsPlatform {
+  std::string name;
+  jade::ClusterConfig (*make)(int);
+};
+
+inline std::vector<LwsPlatform> lws_platforms() {
+  return {{"ipsc860", jade::presets::ipsc860},
+          {"mica", jade::presets::mica},
+          {"dash", jade::presets::dash}};
+}
+
+/// The paper's LWS configuration: 2197 molecules; group count fixed across
+/// machine counts so the task structure is identical for every point.
+inline jade::apps::WaterConfig lws_config(int molecules = 2197) {
+  jade::apps::WaterConfig c;
+  c.molecules = molecules;
+  c.groups = 52;
+  c.timesteps = 2;
+  return c;
+}
+
+/// Runs LWS and returns virtual seconds; verifies against `expect`.
+inline double run_lws(const jade::apps::WaterConfig& wc,
+                      const jade::apps::WaterState& initial,
+                      const jade::apps::WaterState& expect,
+                      const LwsPlatform& platform, int machines) {
+  jade::RuntimeConfig cfg;
+  cfg.engine = jade::EngineKind::kSim;
+  cfg.cluster = platform.make(machines);
+  jade::Runtime rt(std::move(cfg));
+  auto w = jade::apps::upload_water(rt, wc, initial);
+  rt.run([&](jade::TaskContext& ctx) { jade::apps::water_run_jade(ctx, w); });
+  const auto got = jade::apps::download_water(rt, w);
+  if (got.pos != expect.pos) {
+    std::fprintf(stderr, "LWS result mismatch on %s/%d\n",
+                 platform.name.c_str(), machines);
+    std::exit(1);
+  }
+  return rt.sim_duration();
+}
+
+inline std::vector<int> lws_machine_counts() { return {1, 2, 4, 8, 16, 32}; }
+
+}  // namespace jade_bench

@@ -1,0 +1,70 @@
+// Sparse Cholesky factorization + pipelined triangular solve — the paper's
+// Section 3/4 running example, end to end.
+//
+//   ./sparse_cholesky [n] [density] [machines]
+//
+// Factors a random sparse SPD matrix on a simulated iPSC/860, overlapping
+// the forward substitution with the factorization via deferred access
+// declarations (with-cont), then verifies the solution against a known
+// vector and prints runtime statistics.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "jade/apps/backsubst.hpp"
+#include "jade/apps/cholesky.hpp"
+#include "jade/mach/presets.hpp"
+#include "jade/support/rng.hpp"
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 256;
+  const double density = argc > 2 ? std::atof(argv[2]) : 0.04;
+  const int machines = argc > 3 ? std::atoi(argv[3]) : 8;
+
+  using namespace jade;
+  using namespace jade::apps;
+
+  const SparseMatrix a = make_spd(n, density, /*seed=*/2024);
+  std::printf("matrix: n=%d, nnz=%zu (density target %.3f)\n", a.n, a.nnz(),
+              density);
+
+  // Build the right-hand side from a known solution.
+  Rng rng(7);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (double& v : x_true) v = rng.next_double(-1, 1);
+  const std::vector<double> b = spd_multiply(a, x_true);
+
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  cfg.cluster = presets::ipsc860(machines);
+  Runtime rt(std::move(cfg));
+
+  auto jm = upload_matrix(rt, a);
+  auto x = rt.alloc_init<double>(b, "x");
+  rt.run([&](TaskContext& ctx) {
+    factor_jade(ctx, jm);
+    // Created while factor tasks are still pending: df_rd lets the solve
+    // start immediately and synchronize column by column.
+    forward_solve_jade(ctx, jm, x, /*pipelined=*/true);
+    backward_solve_jade(ctx, jm, x);
+  });
+
+  const auto got = rt.get(x);
+  double max_err = 0;
+  for (int i = 0; i < n; ++i)
+    max_err = std::max(max_err, std::abs(got[i] - x_true[i]));
+
+  const auto& s = rt.stats();
+  std::printf("max |x - x_true|     : %.3e\n", max_err);
+  std::printf("tasks created        : %llu\n",
+              static_cast<unsigned long long>(s.tasks_created));
+  std::printf("object moves/copies  : %llu / %llu\n",
+              static_cast<unsigned long long>(s.object_moves),
+              static_cast<unsigned long long>(s.object_copies));
+  std::printf("messages (bytes)     : %llu (%llu)\n",
+              static_cast<unsigned long long>(s.messages),
+              static_cast<unsigned long long>(s.bytes_sent));
+  std::printf("virtual time on %d-node iPSC/860: %.4f s\n", machines,
+              rt.sim_duration());
+  return max_err < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "jade/apps/backsubst.hpp"
+
+namespace jade::apps {
+
+double solve_column_flops(const std::vector<int>& col_ptr, int j) {
+  return 2.0 + 2.0 * static_cast<double>(col_ptr[j + 1] - col_ptr[j]);
+}
+
+void forward_solve_jade(TaskContext& ctx, const JadeSparse& m,
+                        SharedRef<double> x, bool pipelined, int rhs_count) {
+  const auto cp = m.col_ptr_obj;
+  const auto ri = m.row_idx_obj;
+  const auto cols = m.cols;  // copied into the body
+  const auto col_ptr = m.col_ptr;
+  ctx.withonly(
+      [&](AccessDecl& d) {
+        d.rd(cp);
+        d.rd(ri);
+        d.rd_wr(x);
+        for (const auto& c : m.cols) {
+          if (pipelined)
+            d.df_rd(c);
+          else
+            d.rd(c);
+        }
+      },
+      [cols, col_ptr, ri, x, pipelined, rhs_count](TaskContext& t) {
+        auto rows = t.read(ri);
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          if (pipelined) {
+            // Convert the deferred declaration just before the access: this
+            // synchronizes with the last factor task writing column j and
+            // no earlier (Section 4.2).
+            t.with_cont([&](AccessDecl& d) { d.rd(cols[j]); });
+          }
+          t.charge(rhs_count *
+                   solve_column_flops(col_ptr, static_cast<int>(j)));
+          auto c = t.read(cols[j]);
+          auto xs = t.read_write(x);
+          xs[j] /= c[0];
+          for (int k = col_ptr[j]; k < col_ptr[j + 1]; ++k)
+            xs[rows[k]] -= c[1 + (k - col_ptr[j])] * xs[j];
+          if (pipelined) {
+            // Done with this column: release it for any later consumer.
+            t.with_cont([&](AccessDecl& d) { d.no_rd(cols[j]); });
+          }
+        }
+      },
+      pipelined ? "ForwardSolve(pipelined)" : "ForwardSolve");
+}
+
+void backward_solve_jade(TaskContext& ctx, const JadeSparse& m,
+                         SharedRef<double> x) {
+  const auto cp = m.col_ptr_obj;
+  const auto ri = m.row_idx_obj;
+  const auto cols = m.cols;
+  const auto col_ptr = m.col_ptr;
+  ctx.withonly(
+      [&](AccessDecl& d) {
+        d.rd(cp);
+        d.rd(ri);
+        d.rd_wr(x);
+        for (const auto& c : m.cols) d.rd(c);
+      },
+      [cols, col_ptr, ri, x](TaskContext& t) {
+        auto rows = t.read(ri);
+        auto xs = t.read_write(x);
+        for (int j = static_cast<int>(cols.size()) - 1; j >= 0; --j) {
+          t.charge(solve_column_flops(col_ptr, j));
+          auto c = t.read(cols[j]);
+          double acc = xs[j];
+          for (int k = col_ptr[j]; k < col_ptr[j + 1]; ++k)
+            acc -= c[1 + (k - col_ptr[j])] * xs[rows[k]];
+          xs[j] = acc / c[0];
+        }
+      },
+      "BackwardSolve");
+}
+
+}  // namespace jade::apps

@@ -1,0 +1,37 @@
+// Back substitution over a Jade-factored matrix — the paper's Section 4
+// example.  Two variants:
+//
+//   * the Section 4.1 form: one task declaring rd on every column, which
+//     cannot start until the whole factorization is done (no overlap);
+//   * the Section 4.2 form: df_rd on every column, converting each to rd
+//     just before use and retiring it with no_rd right after — pipelining
+//     the substitution with the factorization.
+//
+// The forward solve (L y = b) consumes columns in exactly the order the
+// factorization produces them, so the pipelined variant overlaps nearly the
+// whole substitution; bench_pipeline_backsubst measures the gain.
+#pragma once
+
+#include "jade/apps/cholesky.hpp"
+
+namespace jade::apps {
+
+/// Creates one task solving L * y = b in place of `x` (which must hold b).
+/// With `pipelined` false this is the Section 4.1 task; with true, the
+/// Section 4.2 deferred/convert/retire pipeline.  `rhs_count` models
+/// solving that many right-hand sides per column visit (the arithmetic is
+/// performed once; the remaining cost is charged), which is how the bench
+/// gives the substitution weight comparable to the factorization.
+void forward_solve_jade(TaskContext& ctx, const JadeSparse& m,
+                        SharedRef<double> x, bool pipelined,
+                        int rhs_count = 1);
+
+/// Creates one task solving L^T * x = y in place (consumes columns right to
+/// left, so it cannot pipeline with a left-to-right factorization).
+void backward_solve_jade(TaskContext& ctx, const JadeSparse& m,
+                         SharedRef<double> x);
+
+/// Flop estimate per column application, mirrored by the tasks' charges.
+double solve_column_flops(const std::vector<int>& col_ptr, int j);
+
+}  // namespace jade::apps

@@ -1,0 +1,315 @@
+#include "jade/apps/barnes_hut.hpp"
+
+#include <cmath>
+
+#include "jade/support/error.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade::apps {
+
+namespace {
+
+// Flattened quadtree: tree[0] = node count; node k occupies 10 doubles at
+// 1 + 10k: [geo_x, geo_y, half, mass, com_x, com_y, child0..child3]
+// (children are node indices as doubles, -1 = none).
+constexpr int kNodeSize = 10;
+constexpr int kMaxDepth = 32;
+
+std::size_t max_nodes(int bodies) {
+  // Uniformly distributed bodies build ~1.3 nodes per body; 3x + slack
+  // covers clustered inputs (alloc_node checks the bound).  Keeping the
+  // object tight matters: on message-passing platforms every remote force
+  // task replicates the whole tree object.
+  return 3 * static_cast<std::size_t>(bodies) + 64;
+}
+
+std::size_t tree_capacity(int bodies) {
+  return 1 + kNodeSize * max_nodes(bodies);
+}
+
+double* node_at(double* tree, int k) { return tree + 1 + kNodeSize * k; }
+const double* node_at(const double* tree, int k) {
+  return tree + 1 + kNodeSize * k;
+}
+
+int alloc_node(double* tree, int cap, double gx, double gy, double half) {
+  const int k = static_cast<int>(tree[0]);
+  JADE_ASSERT_MSG(k < cap, "quadtree node budget exceeded");
+  tree[0] = k + 1;
+
+  double* n = node_at(tree, k);
+  n[0] = gx;
+  n[1] = gy;
+  n[2] = half;
+  n[3] = 0;  // mass
+  n[4] = n[5] = 0;
+  n[6] = n[7] = n[8] = n[9] = -1;
+  return k;
+}
+
+bool is_leaf(const double* n) {
+  return n[6] < 0 && n[7] < 0 && n[8] < 0 && n[9] < 0;
+}
+
+int quadrant_of(const double* n, double x, double y) {
+  return (x >= n[0] ? 1 : 0) | (y >= n[1] ? 2 : 0);
+}
+
+void insert_body(double* tree, int cap, int node, double x, double y,
+                 double m, int depth) {
+  double* n = node_at(tree, node);
+  if (n[3] == 0) {  // empty: becomes a leaf holding this body
+    n[3] = m;
+    n[4] = x;
+    n[5] = y;
+    return;
+  }
+  if (is_leaf(n) && depth < kMaxDepth) {
+    // Split: push the resident body into a child, then fall through.
+    const double ox = n[4], oy = n[5], om = n[3];
+    const int q = quadrant_of(n, ox, oy);
+    const double h = n[2] / 2;
+    const int child = alloc_node(tree, cap, n[0] + (q & 1 ? h : -h),
+                                 n[1] + (q & 2 ? h : -h), h);
+    n = node_at(tree, node);  // alloc_node may relocate in principle; the
+                              // backing array is preallocated, so only the
+                              // pointer arithmetic must be redone
+    n[6 + q] = child;
+    insert_body(tree, cap, child, ox, oy, om, depth + 1);
+    n = node_at(tree, node);
+  }
+  if (is_leaf(n)) {
+    // Depth limit: merge into the aggregate.
+    n[4] = (n[4] * n[3] + x * m) / (n[3] + m);
+    n[5] = (n[5] * n[3] + y * m) / (n[3] + m);
+    n[3] += m;
+    return;
+  }
+  // Internal node: update aggregate, recurse.
+  n[4] = (n[4] * n[3] + x * m) / (n[3] + m);
+  n[5] = (n[5] * n[3] + y * m) / (n[3] + m);
+  n[3] += m;
+  const int q = quadrant_of(n, x, y);
+  int child = static_cast<int>(n[6 + q]);
+  if (child < 0) {
+    const double h = n[2] / 2;
+    child = alloc_node(tree, cap, n[0] + (q & 1 ? h : -h),
+                       n[1] + (q & 2 ? h : -h), h);
+    node_at(tree, node)[6 + q] = child;
+  }
+  insert_body(tree, cap, child, x, y, m, depth + 1);
+}
+
+void build_tree(const double* pos, const double* mass, int n, double box,
+                double* tree) {
+  tree[0] = 0;
+  JADE_ASSERT(n >= 1);
+  const int cap = static_cast<int>(max_nodes(n));
+  const int root = alloc_node(tree, cap, box / 2, box / 2, box / 2);
+  for (int i = 0; i < n; ++i)
+    insert_body(tree, cap, root, pos[2 * i], pos[2 * i + 1], mass[i], 0);
+}
+
+/// Accumulates the BH force on body (x, y); returns nodes visited.
+int force_walk(const double* tree, int node, double x, double y,
+               double theta, double* fx, double* fy) {
+  const double* n = node_at(tree, node);
+  int visits = 1;
+  const double dx = n[4] - x;
+  const double dy = n[5] - y;
+  const double d2 = dx * dx + dy * dy + 1e-6;
+  const double d = std::sqrt(d2);
+  if (is_leaf(n) || (2 * n[2]) / d < theta) {
+    const double s = n[3] / (d2 * d);
+    *fx += s * dx;
+    *fy += s * dy;
+    return visits;
+  }
+  for (int q = 0; q < 4; ++q) {
+    const int child = static_cast<int>(n[6 + q]);
+    if (child >= 0)
+      visits += force_walk(tree, child, x, y, theta, fx, fy);
+  }
+  return visits;
+}
+
+/// Forces for `count` bodies whose positions start at `pos`.
+int forces_range(const double* tree, const double* pos, int count,
+                 double theta, double* force) {
+  int visits = 0;
+  for (int i = 0; i < count; ++i) {
+    double fx = 0, fy = 0;
+    visits +=
+        force_walk(tree, 0, pos[2 * i], pos[2 * i + 1], theta, &fx, &fy);
+    force[2 * i] = fx;
+    force[2 * i + 1] = fy;
+  }
+  return visits;
+}
+
+void integrate_range(const BhConfig& config, int count, const double* force,
+                     const double* mass, double* pos, double* vel) {
+  for (int i = 0; i < count; ++i) {
+    vel[2 * i] += force[2 * i] / mass[i] * config.dt;
+    vel[2 * i + 1] += force[2 * i + 1] / mass[i] * config.dt;
+    pos[2 * i] += vel[2 * i] * config.dt;
+    pos[2 * i + 1] += vel[2 * i + 1] * config.dt;
+  }
+}
+
+std::vector<int> make_group_starts(int n, int groups) {
+  JADE_ASSERT(groups >= 1 && groups <= n);
+  std::vector<int> start(groups + 1, 0);
+  for (int g = 0; g <= groups; ++g)
+    start[g] = static_cast<int>((static_cast<long long>(n) * g) / groups);
+  return start;
+}
+
+}  // namespace
+
+BhState make_bodies(const BhConfig& config) {
+  BhState s;
+  s.n = config.bodies;
+  s.pos.resize(2 * static_cast<std::size_t>(s.n));
+  s.vel.assign(2 * static_cast<std::size_t>(s.n), 0.0);
+  s.mass.resize(static_cast<std::size_t>(s.n));
+  Rng rng(config.seed);
+  for (double& p : s.pos) p = rng.next_double(0.0, config.box);
+  for (double& m : s.mass) m = rng.next_double(0.5, 2.0);
+  return s;
+}
+
+void bh_run_serial(const BhConfig& config, BhState& state) {
+  std::vector<double> tree(tree_capacity(state.n));
+  std::vector<double> force(2 * static_cast<std::size_t>(state.n));
+  for (int t = 0; t < config.timesteps; ++t) {
+    build_tree(state.pos.data(), state.mass.data(), state.n, config.box,
+               tree.data());
+    forces_range(tree.data(), state.pos.data(), state.n, config.theta,
+                 force.data());
+    integrate_range(config, state.n, force.data(), state.mass.data(),
+                    state.pos.data(), state.vel.data());
+  }
+}
+
+double bh_checksum(const BhState& state) {
+  double acc = 0;
+  for (std::size_t i = 0; i < state.pos.size(); ++i)
+    acc += state.pos[i] + 0.25 * state.vel[i];
+  return acc;
+}
+
+JadeBh upload_bh(Runtime& rt, const BhConfig& config, const BhState& state) {
+  JadeBh w;
+  w.config = config;
+  w.group_start = make_group_starts(config.bodies, config.groups);
+  for (int g = 0; g < config.groups; ++g) {
+    const int lo = w.group_start[g];
+    const int hi = w.group_start[g + 1];
+    w.pos_groups.push_back(rt.alloc_init<double>(
+        std::span<const double>(state.pos.data() + 2 * lo,
+                                2 * static_cast<std::size_t>(hi - lo)),
+        "bhpos" + std::to_string(g)));
+    w.force_groups.push_back(rt.alloc<double>(
+        2 * static_cast<std::size_t>(hi - lo), "bhforce" + std::to_string(g)));
+  }
+  w.mass = rt.alloc_init<double>(state.mass, "mass");
+  w.vel = rt.alloc_init<double>(state.vel, "bhvel");
+  w.tree = rt.alloc<double>(tree_capacity(config.bodies), "bhtree");
+  return w;
+}
+
+void bh_run_jade(TaskContext& ctx, const JadeBh& w) {
+  const BhConfig config = w.config;
+  const auto group_start = w.group_start;
+  const auto pos_groups = w.pos_groups;
+  const auto force_groups = w.force_groups;
+  const auto mass = w.mass;
+  const auto vel = w.vel;
+  const auto tree = w.tree;
+  const int n = config.bodies;
+
+  for (int step = 0; step < config.timesteps; ++step) {
+    // Serial tree build (O(n log n), small next to the force phase).
+    ctx.withonly(
+        [&](AccessDecl& d) {
+          for (const auto& p : pos_groups) d.rd(p);
+          d.rd(mass);
+          d.rd_wr(tree);
+        },
+        [pos_groups, group_start, mass, tree, config, n](TaskContext& t) {
+          t.charge(40.0 * n);
+          std::vector<double> pos(2 * static_cast<std::size_t>(n));
+          for (std::size_t g = 0; g < pos_groups.size(); ++g) {
+            auto span = t.read(pos_groups[g]);
+            std::copy(span.begin(), span.end(),
+                      pos.begin() + 2 * group_start[g]);
+          }
+          build_tree(pos.data(), t.read(mass).data(), n, config.box,
+                     t.read_write(tree).data());
+        },
+        "BuildTree(s" + std::to_string(step) + ")");
+
+    // Parallel force phase: each group walks the shared tree.
+    for (int g = 0; g < config.groups; ++g) {
+      const int lo = group_start[g];
+      const int hi = group_start[g + 1];
+      const auto pg = pos_groups[g];
+      const auto fg = force_groups[g];
+      ctx.withonly(
+          [&](AccessDecl& d) {
+            d.rd(tree);
+            d.rd(pg);
+            d.wr(fg);
+          },
+          [tree, pg, fg, lo, hi, config](TaskContext& t) {
+            auto pos = t.read(pg);
+            const int visits =
+                forces_range(t.read(tree).data(), pos.data(), hi - lo,
+                             config.theta, t.write(fg).data());
+            t.charge(config.flops_per_visit * visits);
+          },
+          "BhForces(g" + std::to_string(g) + ",s" + std::to_string(step) +
+              ")");
+    }
+
+    // Serial integration.
+    ctx.withonly(
+        [&](AccessDecl& d) {
+          for (const auto& f : force_groups) d.rd(f);
+          for (const auto& p : pos_groups) d.rd_wr(p);
+          d.rd(mass);
+          d.rd_wr(vel);
+        },
+        [pos_groups, force_groups, group_start, mass, vel, config,
+         n](TaskContext& t) {
+          t.charge(12.0 * n);
+          auto vels = t.read_write(vel);
+          auto masses = t.read(mass);
+          for (std::size_t g = 0; g < pos_groups.size(); ++g) {
+            const int lo = group_start[g];
+            const int count = group_start[g + 1] - lo;
+            integrate_range(config, count, t.read(force_groups[g]).data(),
+                            masses.data() + lo,
+                            t.read_write(pos_groups[g]).data(),
+                            vels.data() + 2 * lo);
+          }
+        },
+        "BhIntegrate(s" + std::to_string(step) + ")");
+  }
+}
+
+BhState download_bh(Runtime& rt, const JadeBh& w) {
+  BhState s;
+  s.n = w.config.bodies;
+  s.pos.resize(2 * static_cast<std::size_t>(s.n));
+  for (std::size_t g = 0; g < w.pos_groups.size(); ++g) {
+    const auto pos = rt.get(w.pos_groups[g]);
+    std::copy(pos.begin(), pos.end(), s.pos.begin() + 2 * w.group_start[g]);
+  }
+  s.vel = rt.get(w.vel);
+  s.mass = rt.get(w.mass);
+  return s;
+}
+
+}  // namespace jade::apps

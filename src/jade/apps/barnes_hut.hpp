@@ -1,0 +1,55 @@
+// Barnes-Hut N-body (paper Section 7: "we have implemented several
+// computational kernels, including ... the Barnes-Hut algorithm for solving
+// the N-body problem").
+//
+// 2-D version: per timestep a serial task builds the quadtree (reading all
+// position groups, writing the flattened tree object), parallel tasks
+// compute per-group forces by walking the tree (rd tree, wr force group),
+// and a serial task integrates.  The same grouped-object structure as LWS,
+// but with a shared read-mostly tree exercising wide replication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jade/core/runtime.hpp"
+
+namespace jade::apps {
+
+struct BhConfig {
+  int bodies = 512;
+  int groups = 8;
+  int timesteps = 2;
+  double box = 100.0;
+  double theta = 0.5;  ///< opening angle
+  double dt = 1e-2;
+  std::uint64_t seed = 31;
+  double flops_per_visit = 20.0;
+};
+
+struct BhState {
+  int n = 0;
+  std::vector<double> pos;   ///< 2n (x, y)
+  std::vector<double> vel;   ///< 2n
+  std::vector<double> mass;  ///< n
+};
+
+BhState make_bodies(const BhConfig& config);
+void bh_run_serial(const BhConfig& config, BhState& state);
+double bh_checksum(const BhState& state);
+
+struct JadeBh {
+  BhConfig config;
+  std::vector<SharedRef<double>> pos_groups;   ///< 2*(group size)
+  std::vector<SharedRef<double>> force_groups;
+  SharedRef<double> mass;
+  SharedRef<double> vel;
+  SharedRef<double> tree;  ///< flattened quadtree nodes
+  std::vector<int> group_start;
+};
+
+JadeBh upload_bh(Runtime& rt, const BhConfig& config, const BhState& state);
+void bh_run_jade(TaskContext& ctx, const JadeBh& w);
+BhState download_bh(Runtime& rt, const JadeBh& w);
+
+}  // namespace jade::apps

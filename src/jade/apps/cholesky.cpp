@@ -1,0 +1,277 @@
+#include "jade/apps/cholesky.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "jade/support/error.hpp"
+
+namespace jade::apps {
+
+namespace {
+
+/// InternalUpdate on a column's value span (diagonal first).
+void internal_kernel(std::span<double> vals) {
+  JADE_ASSERT_MSG(vals[0] > 0, "matrix is not positive definite");
+  const double d = std::sqrt(vals[0]);
+  vals[0] = d;
+  for (std::size_t k = 1; k < vals.size(); ++k) vals[k] /= d;
+}
+
+/// ExternalUpdate: applies factored column (src_rows, src_vals) to column j
+/// (dst_rows, dst_vals).  Both row lists are sorted; j must appear in
+/// src_rows and the trailing structure of src must embed into dst.
+void external_kernel(std::span<const int> src_rows,
+                     std::span<const double> src_vals, int j,
+                     std::span<const int> dst_rows,
+                     std::span<double> dst_vals) {
+  std::size_t p = 0;
+  while (p < src_rows.size() && src_rows[p] != j) ++p;
+  JADE_ASSERT_MSG(p < src_rows.size(),
+                  "external update target not in column structure");
+  const double lji = src_vals[1 + p];
+  dst_vals[0] -= lji * lji;
+  std::size_t q = 0;
+  for (std::size_t k = p + 1; k < src_rows.size(); ++k) {
+    const int row = src_rows[k];
+    while (q < dst_rows.size() && dst_rows[q] < row) ++q;
+    JADE_ASSERT_MSG(q < dst_rows.size() && dst_rows[q] == row,
+                    "fill-in encountered; pattern not closed");
+    dst_vals[1 + q] -= lji * src_vals[1 + k];
+  }
+}
+
+double inl_flops(const std::vector<int>& col_ptr, int i) {
+  return 10.0 + static_cast<double>(col_ptr[i + 1] - col_ptr[i]);
+}
+
+double ext_flops(const std::vector<int>& col_ptr, int i) {
+  return 4.0 + 2.0 * static_cast<double>(col_ptr[i + 1] - col_ptr[i]);
+}
+
+}  // namespace
+
+JadeSparse upload_matrix(Runtime& rt, const SparseMatrix& m) {
+  JadeSparse jm;
+  jm.n = m.n;
+  jm.col_ptr = m.col_ptr;
+  jm.row_idx = m.row_idx;
+  jm.col_ptr_obj = rt.alloc_init<int>(m.col_ptr, "col_ptr");
+  // row_idx can be empty (diagonal matrix); shared objects need a body.
+  jm.row_idx_obj = m.row_idx.empty()
+                       ? rt.alloc<int>(1, "row_idx")
+                       : rt.alloc_init<int>(m.row_idx, "row_idx");
+  jm.cols.reserve(static_cast<std::size_t>(m.n));
+  for (int i = 0; i < m.n; ++i)
+    jm.cols.push_back(
+        rt.alloc_init<double>(m.cols[i], "col" + std::to_string(i)));
+  return jm;
+}
+
+SparseMatrix download_matrix(Runtime& rt, const JadeSparse& jm) {
+  SparseMatrix m;
+  m.n = jm.n;
+  m.col_ptr = jm.col_ptr;
+  m.row_idx = jm.row_idx;
+  m.cols.reserve(static_cast<std::size_t>(jm.n));
+  for (int i = 0; i < jm.n; ++i) m.cols.push_back(rt.get(jm.cols[i]));
+  return m;
+}
+
+void factor_jade(TaskContext& ctx, const JadeSparse& m) {
+  const auto cp = m.col_ptr_obj;
+  const auto ri = m.row_idx_obj;
+  for (int i = 0; i < m.n; ++i) {
+    const auto ci = m.cols[i];
+    const int begin = m.col_ptr[i];
+    const int count = m.col_ptr[i + 1] - begin;
+    const double fi = inl_flops(m.col_ptr, i);
+    ctx.withonly(
+        [&](AccessDecl& d) {
+          d.rd_wr(ci);
+          d.rd(cp);
+          d.rd(ri);
+        },
+        [ci, fi](TaskContext& t) {
+          t.charge(fi);
+          internal_kernel(t.read_write(ci));
+        },
+        "Internal(" + std::to_string(i) + ")");
+
+    const double fe = ext_flops(m.col_ptr, i);
+    for (int k = begin; k < m.col_ptr[i + 1]; ++k) {
+      // The dynamically resolved target r[j] of Figure 6 — the data access
+      // pattern no static compiler can analyze.
+      const int j = m.row_idx[k];
+      const auto cj = m.cols[j];
+      const int jb = m.col_ptr[j];
+      const int jc = m.col_ptr[j + 1] - jb;
+      ctx.withonly(
+          [&](AccessDecl& d) {
+            d.rd_wr(cj);
+            d.rd(ci);
+            d.rd(cp);
+            d.rd(ri);
+          },
+          [ci, cj, ri, j, begin, count, jb, jc, fe](TaskContext& t) {
+            t.charge(fe);
+            auto rows = t.read(ri);
+            external_kernel(rows.subspan(begin, count), t.read(ci), j,
+                            rows.subspan(jb, jc), t.read_write(cj));
+          },
+          "External(" + std::to_string(i) + "->" + std::to_string(j) + ")");
+    }
+  }
+}
+
+JadeBlockedSparse upload_blocked(Runtime& rt, const SparseMatrix& m,
+                                 int block) {
+  JADE_ASSERT(block >= 1);
+  JadeBlockedSparse jm;
+  jm.n = m.n;
+  jm.block = block;
+  jm.col_ptr = m.col_ptr;
+  jm.row_idx = m.row_idx;
+  jm.col_offset.resize(static_cast<std::size_t>(m.n));
+  jm.col_ptr_obj = rt.alloc_init<int>(m.col_ptr, "col_ptr");
+  jm.row_idx_obj = m.row_idx.empty()
+                       ? rt.alloc<int>(1, "row_idx")
+                       : rt.alloc_init<int>(m.row_idx, "row_idx");
+  for (int b = 0; b < jm.block_count(); ++b) {
+    std::vector<double> packed;
+    for (int i = jm.first_col(b); i < jm.last_col(b); ++i) {
+      jm.col_offset[i] = static_cast<int>(packed.size());
+      packed.insert(packed.end(), m.cols[i].begin(), m.cols[i].end());
+    }
+    jm.blocks.push_back(
+        rt.alloc_init<double>(packed, "block" + std::to_string(b)));
+  }
+  return jm;
+}
+
+SparseMatrix download_blocked(Runtime& rt, const JadeBlockedSparse& jm) {
+  SparseMatrix m;
+  m.n = jm.n;
+  m.col_ptr = jm.col_ptr;
+  m.row_idx = jm.row_idx;
+  m.cols.resize(static_cast<std::size_t>(jm.n));
+  for (int b = 0; b < jm.block_count(); ++b) {
+    const auto packed = rt.get(jm.blocks[b]);
+    for (int i = jm.first_col(b); i < jm.last_col(b); ++i) {
+      const int len = 1 + jm.col_ptr[i + 1] - jm.col_ptr[i];
+      m.cols[i].assign(packed.begin() + jm.col_offset[i],
+                       packed.begin() + jm.col_offset[i] + len);
+    }
+  }
+  return m;
+}
+
+void factor_jade_blocked(TaskContext& ctx, const JadeBlockedSparse& m) {
+  const auto cp = m.col_ptr_obj;
+  const auto ri = m.row_idx_obj;
+  // Host-side copies the bodies capture by value.
+  const auto col_ptr = m.col_ptr;
+  const auto row_idx = m.row_idx;
+  const auto col_offset = m.col_offset;
+  const int block = m.block;
+  const int n = m.n;
+
+  // Captured by value into task bodies along with col_ptr; must not hold
+  // references into this (stack) frame, which tasks outlive.
+  auto col_len = [](const std::vector<int>& cpv, int i) {
+    return 1 + cpv[i + 1] - cpv[i];
+  };
+
+  for (int b = 0; b < m.block_count(); ++b) {
+    const auto blk = m.blocks[b];
+    const int lo = m.first_col(b);
+    const int hi = m.last_col(b);
+
+    // Internal block task: factor the block's columns, applying intra-block
+    // external updates inline — the supernode grain-size aggregation.
+    double flops = 0;
+    for (int i = lo; i < hi; ++i) {
+      flops += inl_flops(col_ptr, i);
+      for (int k = col_ptr[i]; k < col_ptr[i + 1]; ++k)
+        if (row_idx[k] < hi) flops += ext_flops(col_ptr, i);
+    }
+    ctx.withonly(
+        [&](AccessDecl& d) {
+          d.rd_wr(blk);
+          d.rd(cp);
+          d.rd(ri);
+        },
+        [blk, ri, col_ptr, row_idx, col_offset, lo, hi, flops,
+         col_len](TaskContext& t) {
+          t.charge(flops);
+          auto rows = t.read(ri);
+          auto vals = t.read_write(blk);
+          for (int i = lo; i < hi; ++i) {
+            internal_kernel(
+                vals.subspan(col_offset[i], col_len(col_ptr, i)));
+            for (int k = col_ptr[i]; k < col_ptr[i + 1]; ++k) {
+              const int j = row_idx[k];
+              if (j >= hi) continue;
+              external_kernel(
+                  rows.subspan(col_ptr[i], col_ptr[i + 1] - col_ptr[i]),
+                  vals.subspan(col_offset[i], col_len(col_ptr, i)), j,
+                  rows.subspan(col_ptr[j], col_ptr[j + 1] - col_ptr[j]),
+                  vals.subspan(col_offset[j], col_len(col_ptr, j)));
+            }
+          }
+        },
+        "BlockInternal(" + std::to_string(b) + ")");
+
+    // External block tasks, in ascending destination-block order so the
+    // applied update sequence matches the unblocked serial factorization.
+    const int nblocks = (n + block - 1) / block;
+    for (int d = b + 1; d < nblocks; ++d) {
+      double eflops = 0;
+      for (int i = lo; i < hi; ++i)
+        for (int k = col_ptr[i]; k < col_ptr[i + 1]; ++k) {
+          const int j = row_idx[k];
+          if (j / block == d) eflops += ext_flops(col_ptr, i);
+        }
+      if (eflops == 0) continue;  // data-dependent: no coupling b -> d
+      const auto dst = m.blocks[d];
+      ctx.withonly(
+          [&](AccessDecl& a) {
+            a.rd_wr(dst);
+            a.rd(blk);
+            a.rd(cp);
+            a.rd(ri);
+          },
+          [blk, dst, ri, col_ptr, row_idx, col_offset, lo, hi, d, block,
+           eflops, col_len](TaskContext& t) {
+            t.charge(eflops);
+            auto rows = t.read(ri);
+            auto src = t.read(blk);
+            auto dvals = t.read_write(dst);
+            for (int i = lo; i < hi; ++i) {
+              for (int k = col_ptr[i]; k < col_ptr[i + 1]; ++k) {
+                const int j = row_idx[k];
+                if (j / block != d) continue;
+                external_kernel(
+                    rows.subspan(col_ptr[i], col_ptr[i + 1] - col_ptr[i]),
+                    src.subspan(col_offset[i], col_len(col_ptr, i)), j,
+                    rows.subspan(col_ptr[j], col_ptr[j + 1] - col_ptr[j]),
+                    dvals.subspan(col_offset[j], col_len(col_ptr, j)));
+              }
+            }
+          },
+          "BlockExternal(" + std::to_string(b) + "->" + std::to_string(d) +
+              ")");
+    }
+  }
+}
+
+double factor_flops(const SparseMatrix& m) {
+  double total = 0;
+  for (int i = 0; i < m.n; ++i) {
+    total += internal_update_flops(m, i);
+    for (int k = m.col_ptr[i]; k < m.col_ptr[i + 1]; ++k)
+      total += external_update_flops(m, i, m.row_idx[k]);
+  }
+  return total;
+}
+
+}  // namespace jade::apps

@@ -1,0 +1,233 @@
+#include "jade/apps/jmake.hpp"
+
+#include <algorithm>
+
+#include "jade/support/error.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade::apps {
+
+namespace {
+
+std::uint64_t mix_hash(std::uint64_t acc, std::uint64_t v) {
+  acc ^= v + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+  return acc;
+}
+
+bool is_source(const Makefile& mf, int file) {
+  return std::none_of(mf.rules.begin(), mf.rules.end(),
+                      [file](const MakeRule& r) { return r.target == file; });
+}
+
+/// Decides which rules run, exactly as make does from the initial stats:
+/// a target rebuilds when it does not exist, a dependency is newer, or a
+/// dependency itself rebuilds.
+std::vector<bool> plan(const Makefile& mf) {
+  std::vector<bool> rebuild(mf.files, false);
+  for (const MakeRule& r : mf.rules) {
+    bool need = mf.initial_mtime[r.target] == 0;
+    for (int dep : r.deps) {
+      if (rebuild[dep] || mf.initial_mtime[dep] > mf.initial_mtime[r.target])
+        need = true;
+    }
+    rebuild[r.target] = need;
+  }
+  return rebuild;
+}
+
+/// The recompilation command's effect on the file system model.
+void run_command(const MakeRule& r, std::vector<std::int64_t>& mtime,
+                 std::vector<std::uint64_t>& hash) {
+  std::int64_t newest = 0;
+  std::uint64_t h = 0x1234u + static_cast<std::uint64_t>(r.target);
+  for (int dep : r.deps) {
+    newest = std::max(newest, mtime[dep]);
+    h = mix_hash(h, hash[dep]);
+  }
+  mtime[r.target] = newest + 1;
+  hash[r.target] = h;
+}
+
+}  // namespace
+
+Makefile chain_makefile(int length) {
+  JADE_ASSERT(length >= 2);
+  Makefile mf;
+  mf.files = length;
+  for (int i = 0; i < length; ++i) mf.names.push_back("f" + std::to_string(i));
+  mf.initial_mtime.assign(length, 0);
+  mf.initial_mtime[0] = 100;  // the one source
+  for (int i = 1; i < length; ++i)
+    mf.rules.push_back(MakeRule{i, {i - 1}, 1e5, 2e4});
+  return mf;
+}
+
+Makefile wide_makefile(int n) {
+  JADE_ASSERT(n >= 1);
+  Makefile mf;
+  mf.files = 2 * n;
+  mf.initial_mtime.assign(2 * n, 0);
+  for (int i = 0; i < n; ++i) {
+    mf.names.push_back("src" + std::to_string(i));
+    mf.initial_mtime[i] = 100 + i;
+  }
+  for (int i = 0; i < n; ++i) {
+    mf.names.push_back("obj" + std::to_string(i));
+    mf.rules.push_back(MakeRule{n + i, {i}, 1e5, 2e4});
+  }
+  return mf;
+}
+
+Makefile project_makefile(int sources, int binaries) {
+  JADE_ASSERT(sources >= 1 && binaries >= 1);
+  Makefile mf;
+  // Layout: [0,s) sources, [s,2s) objects, 2s library, 2s+1.. binaries.
+  const int s = sources;
+  mf.files = 2 * s + 1 + binaries;
+  mf.initial_mtime.assign(mf.files, 0);
+  for (int i = 0; i < s; ++i) {
+    mf.names.push_back("src" + std::to_string(i));
+    mf.initial_mtime[i] = 100 + i;
+  }
+  for (int i = 0; i < s; ++i) {
+    mf.names.push_back("obj" + std::to_string(i));
+    mf.rules.push_back(MakeRule{s + i, {i}, 1.5e5, 2e4});
+  }
+  mf.names.push_back("libproject");
+  MakeRule lib;
+  lib.target = 2 * s;
+  for (int i = 0; i < s; ++i) lib.deps.push_back(s + i);
+  lib.compute_work = 0.5e5;
+  lib.io_work = 8e4;  // archiving is I/O heavy
+  mf.rules.push_back(lib);
+  for (int b = 0; b < binaries; ++b) {
+    mf.names.push_back("bin" + std::to_string(b));
+    mf.rules.push_back(MakeRule{2 * s + 1 + b, {2 * s}, 1e5, 4e4});
+  }
+  return mf;
+}
+
+Makefile random_makefile(int files, double density, std::uint64_t seed) {
+  JADE_ASSERT(files >= 2);
+  Rng rng(seed);
+  Makefile mf;
+  mf.files = files;
+  mf.initial_mtime.assign(files, 0);
+  const int sources = std::max(1, files / 4);
+  for (int i = 0; i < files; ++i) {
+    mf.names.push_back("f" + std::to_string(i));
+    if (i < sources) mf.initial_mtime[i] = 100 + i;
+  }
+  for (int i = sources; i < files; ++i) {
+    MakeRule r;
+    r.target = i;
+    for (int d = 0; d < i; ++d)
+      if (rng.next_bool(density)) r.deps.push_back(d);
+    if (r.deps.empty())
+      r.deps.push_back(static_cast<int>(rng.next_below(i)));
+    r.compute_work = 0.5e5 + rng.next_double() * 2e5;
+    r.io_work = 1e4 + rng.next_double() * 4e4;
+    mf.rules.push_back(std::move(r));
+  }
+  return mf;
+}
+
+void touch_sources(Makefile& mf, double fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::int64_t now = 10000;
+  for (int f = 0; f < mf.files; ++f)
+    if (is_source(mf, f) && rng.next_bool(fraction))
+      mf.initial_mtime[f] = now++;
+}
+
+BuildResult make_serial(const Makefile& mf) {
+  BuildResult out;
+  out.mtime = mf.initial_mtime;
+  out.hash.assign(mf.files, 0);
+  for (int f = 0; f < mf.files; ++f)
+    if (is_source(mf, f))
+      out.hash[f] = 0x51ceull + static_cast<std::uint64_t>(f);
+  const auto todo = plan(mf);
+  for (const MakeRule& r : mf.rules) {
+    if (!todo[r.target]) continue;
+    run_command(r, out.mtime, out.hash);
+    ++out.commands_run;
+  }
+  return out;
+}
+
+JadeMake upload_make(Runtime& rt, const Makefile& mf) {
+  JadeMake jm;
+  jm.mf = mf;
+  for (int f = 0; f < mf.files; ++f) {
+    auto ref = rt.alloc<std::int64_t>(2, mf.names[f]);
+    const std::int64_t init[2] = {
+        mf.initial_mtime[f],
+        is_source(mf, f)
+            ? static_cast<std::int64_t>(0x51ceull +
+                                        static_cast<std::uint64_t>(f))
+            : 0};
+    rt.put<std::int64_t>(ref, init);
+    jm.files.push_back(ref);
+  }
+  jm.disk = rt.alloc<std::int64_t>(1, "disk");
+  return jm;
+}
+
+void make_jade(TaskContext& ctx, const JadeMake& jm, int* commands_run) {
+  const auto todo = plan(jm.mf);
+  int count = 0;
+  for (const MakeRule& r : jm.mf.rules) {
+    // The dynamic, data-dependent decision the paper highlights: whether a
+    // command runs depends on the makefile and the files' modification
+    // dates, which no static analysis can see.
+    if (!todo[r.target]) continue;
+    ++count;
+    const auto target = jm.files[r.target];
+    std::vector<SharedRef<std::int64_t>> deps;
+    for (int dep : r.deps) deps.push_back(jm.files[dep]);
+    const auto disk = jm.disk;
+    const MakeRule rule = r;
+    ctx.withonly(
+        [&](AccessDecl& d) {
+          d.rd_wr(target);
+          for (const auto& dep : deps) d.rd(dep);
+          d.cm(disk);
+        },
+        [target, deps, disk, rule](TaskContext& t) {
+          // Compile phase: CPU-bound, fully overlappable.
+          t.charge(rule.compute_work);
+          std::int64_t newest = 0;
+          std::uint64_t h = 0x1234u + static_cast<std::uint64_t>(rule.target);
+          for (const auto& dep : deps) {
+            auto dh = t.read(dep);
+            newest = std::max(newest, dh[0]);
+            h = mix_hash(h, static_cast<std::uint64_t>(dh[1]));
+          }
+          // I/O phase: takes the disk exclusively, then releases it early
+          // so compilation of other commands overlaps only with compute.
+          (void)t.commute(disk);
+          t.charge(rule.io_work);
+          auto th = t.read_write(target);
+          th[0] = newest + 1;
+          th[1] = static_cast<std::int64_t>(h);
+          t.with_cont([&](AccessDecl& d) { d.no_cm(disk); });
+        },
+        "make(" + jm.mf.names[rule.target] + ")");
+  }
+  if (commands_run != nullptr) *commands_run = count;
+}
+
+BuildResult download_make(Runtime& rt, const JadeMake& jm) {
+  BuildResult out;
+  out.mtime.resize(jm.mf.files);
+  out.hash.resize(jm.mf.files);
+  for (int f = 0; f < jm.mf.files; ++f) {
+    const auto v = rt.get(jm.files[f]);
+    out.mtime[f] = v[0];
+    out.hash[f] = static_cast<std::uint64_t>(v[1]);
+  }
+  return out;
+}
+
+}  // namespace jade::apps

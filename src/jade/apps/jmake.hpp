@@ -1,0 +1,76 @@
+// jmake — the paper's parallel make (Section 7.1).
+//
+// "In the Jade version of this program, the body of this loop is enclosed
+// in a withonly-do construct that declares which files each recompilation
+// command will access. ... The dynamic parallelism available in the
+// recompilation process defeats static analysis: it depends on the makefile
+// and on the modification dates of the files it accesses."
+//
+// Files are shared objects holding (timestamp, content hash).  Each
+// out-of-date rule becomes one task that reads its dependency files and
+// rewrites its target.  Disk bandwidth — the paper's stated limiter — is a
+// shared "disk" object accessed with the commuting-update extension: each
+// command acquires the disk exclusively for its I/O portion and releases it
+// early with no_cm, so I/O serializes while compilation overlaps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jade/core/runtime.hpp"
+
+namespace jade::apps {
+
+struct MakeRule {
+  int target = -1;            ///< file index this rule builds
+  std::vector<int> deps;      ///< file indices it reads
+  double compute_work = 1e5;  ///< compile cost (charge units)
+  double io_work = 2e4;       ///< disk cost (charged while holding the disk)
+};
+
+struct Makefile {
+  int files = 0;
+  std::vector<std::string> names;
+  std::vector<MakeRule> rules;  ///< topologically ordered, like a real make
+  /// Initial timestamps per file; sources have times, derived files may be
+  /// stale (0) or fresh.
+  std::vector<std::int64_t> initial_mtime;
+};
+
+/// A chain a -> b -> c -> ... (no parallelism; the pathological case).
+Makefile chain_makefile(int length);
+/// n independent sources each compiled to an object (maximal parallelism).
+Makefile wide_makefile(int n);
+/// The classic project shape: n sources -> n objects -> 1 library -> k
+/// binaries.
+Makefile project_makefile(int sources, int binaries);
+/// Random DAG with the given edge density; deterministic in seed.
+Makefile random_makefile(int files, double density, std::uint64_t seed);
+
+/// Marks a subset of sources "touched" (fresh mtimes) so only part of the
+/// build is out of date — the incremental-rebuild scenario.
+void touch_sources(Makefile& mf, double fraction, std::uint64_t seed);
+
+/// Host-side serial make: returns final (mtime, hash) per file.
+struct BuildResult {
+  std::vector<std::int64_t> mtime;
+  std::vector<std::uint64_t> hash;
+  int commands_run = 0;
+};
+BuildResult make_serial(const Makefile& mf);
+
+/// Jade version: uploads file objects, runs the build loop creating one
+/// task per out-of-date command, downloads the result.
+struct JadeMake {
+  Makefile mf;
+  std::vector<SharedRef<std::int64_t>> files;  ///< [mtime, hash-as-int64]
+  SharedRef<std::int64_t> disk;                ///< bandwidth token object
+};
+JadeMake upload_make(Runtime& rt, const Makefile& mf);
+/// Creates the build tasks (call inside rt.run()); `commands_run` receives
+/// the number of commands executed (decided dynamically from mtimes).
+void make_jade(TaskContext& ctx, const JadeMake& jm, int* commands_run);
+BuildResult download_make(Runtime& rt, const JadeMake& jm);
+
+}  // namespace jade::apps

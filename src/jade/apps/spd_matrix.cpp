@@ -1,0 +1,177 @@
+#include "jade/apps/spd_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "jade/support/error.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade::apps {
+
+namespace {
+
+/// Closes a lower-triangular pattern under elimination: when column i is
+/// eliminated, its remaining structure merges into its elimination-tree
+/// parent (the smallest row in struct(i)).
+std::vector<std::set<int>> symbolic_fill(std::vector<std::set<int>> pattern) {
+  const int n = static_cast<int>(pattern.size());
+  for (int i = 0; i < n; ++i) {
+    if (pattern[i].empty()) continue;
+    const int parent = *pattern[i].begin();
+    for (int row : pattern[i])
+      if (row != parent) pattern[parent].insert(row);
+  }
+  return pattern;
+}
+
+SparseMatrix from_pattern(const std::vector<std::set<int>>& pattern,
+                          std::uint64_t seed) {
+  const int n = static_cast<int>(pattern.size());
+  SparseMatrix m;
+  m.n = n;
+  m.col_ptr.assign(n + 1, 0);
+  for (int i = 0; i < n; ++i)
+    m.col_ptr[i + 1] = m.col_ptr[i] + static_cast<int>(pattern[i].size());
+  m.row_idx.reserve(m.col_ptr[n]);
+  for (int i = 0; i < n; ++i)
+    m.row_idx.insert(m.row_idx.end(), pattern[i].begin(), pattern[i].end());
+
+  Rng rng(seed ^ 0x5eedf111ULL);
+  m.cols.resize(n);
+  std::vector<double> row_abs_sum(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    m.cols[i].resize(1 + pattern[i].size());
+    for (std::size_t k = 0; k < pattern[i].size(); ++k) {
+      const double v = rng.next_double(-1.0, 1.0);
+      m.cols[i][1 + k] = v;
+      const int row = m.row_idx[m.col_ptr[i] + static_cast<int>(k)];
+      row_abs_sum[row] += std::abs(v);
+      row_abs_sum[i] += std::abs(v);
+    }
+  }
+  // Strict diagonal dominance with positive diagonal => SPD.
+  for (int i = 0; i < n; ++i) m.cols[i][0] = row_abs_sum[i] + 1.0;
+  return m;
+}
+
+}  // namespace
+
+SparseMatrix make_spd(int n, double density, std::uint64_t seed) {
+  JADE_ASSERT(n > 0);
+  Rng rng(seed);
+  std::vector<std::set<int>> pattern(n);
+  for (int col = 0; col < n; ++col)
+    for (int row = col + 1; row < n; ++row)
+      if (rng.next_bool(density)) pattern[col].insert(row);
+  // Note: no artificial connectivity edges — a forced col->col+1 link would
+  // turn the elimination tree into a chain and destroy the task-level
+  // parallelism the example exists to demonstrate.  Columns with an empty
+  // structure simply take an InternalUpdate only.
+  return from_pattern(symbolic_fill(std::move(pattern)), seed);
+}
+
+SparseMatrix paper_example_matrix() {
+  // Figure 4's task graph: column 0 updates columns 3 and 4; column 1
+  // updates column 2; column 2 updates 3; column 3 updates 4.
+  std::vector<std::set<int>> pattern(5);
+  pattern[0] = {3, 4};
+  pattern[1] = {2};
+  pattern[2] = {3};
+  pattern[3] = {4};
+  pattern[4] = {};
+  return from_pattern(symbolic_fill(std::move(pattern)), 7);
+}
+
+std::vector<double> spd_multiply(const SparseMatrix& a,
+                                 const std::vector<double>& x) {
+  JADE_ASSERT(static_cast<int>(x.size()) == a.n);
+  std::vector<double> y(a.n, 0.0);
+  for (int j = 0; j < a.n; ++j) {
+    y[j] += a.cols[j][0] * x[j];
+    for (int k = 0; k < a.nnz_below(j); ++k) {
+      const int row = a.row_idx[a.col_ptr[j] + k];
+      const double v = a.cols[j][1 + k];
+      y[row] += v * x[j];
+      y[j] += v * x[row];
+    }
+  }
+  return y;
+}
+
+void internal_update(SparseMatrix& m, int i) {
+  auto& c = m.cols[i];
+  JADE_ASSERT_MSG(c[0] > 0, "matrix is not positive definite");
+  const double d = std::sqrt(c[0]);
+  c[0] = d;
+  for (std::size_t k = 1; k < c.size(); ++k) c[k] /= d;
+}
+
+void external_update(SparseMatrix& m, int i, int j) {
+  // Find l_ji within column i's structure.
+  const int begin = m.col_ptr[i];
+  const int end = m.col_ptr[i + 1];
+  int p = begin;
+  while (p < end && m.row_idx[p] != j) ++p;
+  JADE_ASSERT_MSG(p < end, "external update target not in column structure");
+  const double lji = m.cols[i][1 + (p - begin)];
+
+  auto& cj = m.cols[j];
+  cj[0] -= lji * lji;
+  // Remaining rows of column i (all > j) must appear in column j's
+  // structure (guaranteed by symbolic fill); merge the two sorted lists.
+  int q = m.col_ptr[j];
+  const int qend = m.col_ptr[j + 1];
+  for (int k = p + 1; k < end; ++k) {
+    const int row = m.row_idx[k];
+    while (q < qend && m.row_idx[q] < row) ++q;
+    JADE_ASSERT_MSG(q < qend && m.row_idx[q] == row,
+                    "fill-in encountered; pattern not closed");
+    cj[1 + (q - m.col_ptr[j])] -= lji * m.cols[i][1 + (k - begin)];
+  }
+}
+
+void factor_serial(SparseMatrix& m) {
+  for (int i = 0; i < m.n; ++i) {
+    internal_update(m, i);
+    for (int k = m.col_ptr[i]; k < m.col_ptr[i + 1]; ++k)
+      external_update(m, i, m.row_idx[k]);
+  }
+}
+
+std::vector<double> forward_solve(const SparseMatrix& l,
+                                  std::vector<double> b) {
+  for (int j = 0; j < l.n; ++j) {
+    b[j] /= l.cols[j][0];
+    for (int k = 0; k < l.nnz_below(j); ++k)
+      b[l.row_idx[l.col_ptr[j] + k]] -= l.cols[j][1 + k] * b[j];
+  }
+  return b;
+}
+
+std::vector<double> backward_solve(const SparseMatrix& l,
+                                   std::vector<double> y) {
+  for (int j = l.n - 1; j >= 0; --j) {
+    double acc = y[j];
+    for (int k = 0; k < l.nnz_below(j); ++k)
+      acc -= l.cols[j][1 + k] * y[l.row_idx[l.col_ptr[j] + k]];
+    y[j] = acc / l.cols[j][0];
+  }
+  return y;
+}
+
+std::vector<double> solve_factored(const SparseMatrix& l,
+                                   const std::vector<double>& b) {
+  return backward_solve(l, forward_solve(l, b));
+}
+
+double internal_update_flops(const SparseMatrix& m, int i) {
+  return 10.0 + static_cast<double>(m.nnz_below(i));  // sqrt + divides
+}
+
+double external_update_flops(const SparseMatrix& m, int i, int j) {
+  (void)j;
+  return 4.0 + 2.0 * static_cast<double>(m.nnz_below(i));
+}
+
+}  // namespace jade::apps

@@ -1,0 +1,75 @@
+// Sparse symmetric positive-definite matrices in the paper's data layout.
+//
+// The paper's Figures 1/2/5 store the lower triangle column-by-column: a
+// global row-index array `r` with per-column ranges, and per-column value
+// vectors (diagonal first, then the subdiagonal nonzeros in row order).
+// Each column's value vector becomes one shared object in the Jade version;
+// the index structures are read-only shared objects.
+//
+// The generator performs symbolic elimination up front so the pattern is
+// closed under factorization (no fill-in appears at numeric time), exactly
+// the setting of the paper's example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jade::apps {
+
+/// Host-side sparse SPD matrix (lower triangle + diagonal).
+struct SparseMatrix {
+  int n = 0;
+  /// col_ptr[i]..col_ptr[i+1] indexes row_idx: the subdiagonal rows of
+  /// column i, strictly increasing, all > i.
+  std::vector<int> col_ptr;
+  std::vector<int> row_idx;
+  /// cols[i][0] is the diagonal; cols[i][1+k] the value at row
+  /// row_idx[col_ptr[i]+k].
+  std::vector<std::vector<double>> cols;
+
+  int nnz_below(int i) const { return col_ptr[i + 1] - col_ptr[i]; }
+  /// Total stored entries (diagonal + subdiagonal).
+  std::size_t nnz() const { return row_idx.size() + n; }
+};
+
+/// Random sparse SPD matrix: a random lower pattern with the requested
+/// density, closed by symbolic elimination, with values made strictly
+/// diagonally dominant (hence SPD).  Deterministic in `seed`.
+SparseMatrix make_spd(int n, double density, std::uint64_t seed);
+
+/// The 5-column example matrix of the paper's Figure 1/4 walkthrough
+/// (columns 0..4; column 0 updates 3 and 4; column 1 updates 2; ...).
+SparseMatrix paper_example_matrix();
+
+/// y = A * x with A the full symmetric matrix this pattern represents.
+std::vector<double> spd_multiply(const SparseMatrix& a,
+                                 const std::vector<double>& x);
+
+/// In-place serial kernels of the paper's Section 3: the InternalUpdate
+/// scales column i by the square root of its diagonal; the ExternalUpdate
+/// applies column i to column j (j must be in column i's structure).
+void internal_update(SparseMatrix& m, int i);
+void external_update(SparseMatrix& m, int i, int j);
+
+/// Serial left-looking... (the paper's right-looking loop): the reference
+/// factorization every Jade execution must reproduce exactly.
+void factor_serial(SparseMatrix& m);
+
+/// Solves L * y = b given the factor L (forward substitution, consuming
+/// columns left to right — the pipelined direction of Section 4.2).
+std::vector<double> forward_solve(const SparseMatrix& l,
+                                  std::vector<double> b);
+
+/// Solves L^T * x = y (backward substitution).
+std::vector<double> backward_solve(const SparseMatrix& l,
+                                   std::vector<double> y);
+
+/// Solves A x = b via both substitutions on a factored matrix.
+std::vector<double> solve_factored(const SparseMatrix& l,
+                                   const std::vector<double>& b);
+
+/// Approximate flop counts, used as charge() units by the Jade version.
+double internal_update_flops(const SparseMatrix& m, int i);
+double external_update_flops(const SparseMatrix& m, int i, int j);
+
+}  // namespace jade::apps

@@ -1,0 +1,134 @@
+#include "jade/apps/video.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade::apps {
+
+namespace {
+
+/// Deterministic camera: synthesizes frame `f`'s pixel at (x, y).
+std::int32_t synth_pixel(std::uint64_t seed, int f, int x, int y) {
+  std::uint64_t v = seed * 0x9e3779b97f4a7c15ULL +
+                    static_cast<std::uint64_t>(f) * 0x100000001b3ULL +
+                    static_cast<std::uint64_t>(y * 131 + x);
+  v ^= v >> 29;
+  v *= 0xbf58476d1ce4e5b9ULL;
+  v ^= v >> 32;
+  return static_cast<std::int32_t>(v & 0xffff);
+}
+
+void capture_frame(const VideoConfig& config, int f,
+                   std::span<std::int32_t> pixels) {
+  for (int y = 0; y < config.height; ++y)
+    for (int x = 0; x < config.width; ++x)
+      pixels[static_cast<std::size_t>(y) * config.width + x] =
+          synth_pixel(config.seed, f, x, y);
+}
+
+/// The "simple digital transformation": invert plus 3-tap horizontal blur.
+void transform_frame(const VideoConfig& config,
+                     std::span<const std::int32_t> in,
+                     std::span<std::int32_t> out) {
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) {
+      const auto at = [&](int xx) {
+        xx = std::clamp(xx, 0, config.width - 1);
+        return in[static_cast<std::size_t>(y) * config.width + xx];
+      };
+      const std::int32_t blur = (at(x - 1) + 2 * at(x) + at(x + 1)) / 4;
+      out[static_cast<std::size_t>(y) * config.width + x] = 0xffff - blur;
+    }
+  }
+}
+
+std::uint64_t frame_checksum(std::span<const std::int32_t> pixels) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::int32_t p : pixels) {
+    h ^= static_cast<std::uint32_t>(p);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> video_serial(const VideoConfig& config) {
+  const std::size_t pixels =
+      static_cast<std::size_t>(config.width) * config.height;
+  std::vector<std::int32_t> raw(pixels), out(pixels);
+  std::vector<std::uint64_t> sums;
+  for (int f = 0; f < config.frames; ++f) {
+    capture_frame(config, f, raw);
+    transform_frame(config, raw, out);
+    sums.push_back(frame_checksum(out));
+  }
+  return sums;
+}
+
+JadeVideo upload_video(Runtime& rt, const VideoConfig& config) {
+  JadeVideo v;
+  v.config = config;
+  const std::size_t pixels =
+      static_cast<std::size_t>(config.width) * config.height;
+  // Frames live on the frame source initially; transforms move them.
+  v.camera = rt.alloc<std::int32_t>(1, "camera", /*home=*/0);
+  for (int f = 0; f < config.frames; ++f) {
+    v.raw.push_back(rt.alloc<std::int32_t>(
+        pixels, "raw" + std::to_string(f), /*home=*/0));
+    v.out.push_back(rt.alloc<std::int32_t>(
+        pixels, "out" + std::to_string(f), /*home=*/0));
+  }
+  return v;
+}
+
+void video_jade(TaskContext& ctx, const JadeVideo& v, int accelerators) {
+  JADE_ASSERT(accelerators >= 1);
+  const VideoConfig config = v.config;
+  for (int f = 0; f < config.frames; ++f) {
+    const auto camera = v.camera;
+    const auto raw = v.raw[f];
+    const auto out = v.out[f];
+    // Capture: pinned to the frame-source machine; rd_wr on the camera
+    // object serializes captures (there is one camera).
+    ctx.withonly_on(
+        0,
+        [&](AccessDecl& d) {
+          d.rd_wr(camera);
+          d.wr(raw);
+        },
+        [camera, raw, config, f](TaskContext& t) {
+          t.charge(config.capture_work);
+          auto cam = t.read_write(camera);
+          JADE_ASSERT_MSG(cam[0] == f, "camera produced frames out of order");
+          cam[0] = f + 1;
+          capture_frame(config, f, t.write(raw));
+        },
+        "capture(" + std::to_string(f) + ")");
+    // Transform: pinned to an accelerator, round-robin.  The frame moves
+    // from the (big-endian) SPARC to the (little-endian) i860, converting
+    // formats in flight.
+    const MachineId acc = 1 + (f % accelerators);
+    ctx.withonly_on(
+        acc,
+        [&](AccessDecl& d) {
+          d.rd(raw);
+          d.wr(out);
+        },
+        [raw, out, config](TaskContext& t) {
+          t.charge(config.transform_work);
+          transform_frame(config, t.read(raw), t.write(out));
+        },
+        "transform(" + std::to_string(f) + ")");
+  }
+}
+
+std::vector<std::uint64_t> download_video(Runtime& rt, const JadeVideo& v) {
+  std::vector<std::uint64_t> sums;
+  for (const auto& out : v.out) {
+    const auto pixels = rt.get(out);
+    sums.push_back(frame_checksum(pixels));
+  }
+  return sums;
+}
+
+}  // namespace jade::apps

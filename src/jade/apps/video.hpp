@@ -1,0 +1,54 @@
+// Digital image processing on the HRV workstation (paper Section 7.2).
+//
+// "A SPARC-based workstation uses a camera to capture and compress in
+// hardware a sequence of video frames.  It passes each frame to one of the
+// i860-based graphics accelerators, which decompresses the frames in
+// software, applies a simple digital transformation, and displays the frame
+// on the HDTV monitor.  The Jade version of this program consists of a loop
+// with two withonly-do constructs."
+//
+// The reproduction keeps exactly that structure: per frame, a capture task
+// pinned to the frame-source machine (serialized by rd_wr on the camera
+// object — one camera) and a transform task pinned to an accelerator.
+// Because the SPARC host is big-endian and the i860 accelerators are
+// little-endian in the HRV preset, every frame transfer exercises the
+// runtime's data-format conversion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jade/core/runtime.hpp"
+
+namespace jade::apps {
+
+struct VideoConfig {
+  int frames = 32;
+  int width = 64;
+  int height = 48;
+  double capture_work = 4e5;    ///< hardware capture+compress cost
+  double transform_work = 2e6;  ///< software decompress+transform cost
+  std::uint64_t seed = 7;
+};
+
+/// Serial reference: per-frame checksums after the transformation.
+std::vector<std::uint64_t> video_serial(const VideoConfig& config);
+
+struct JadeVideo {
+  VideoConfig config;
+  SharedRef<std::int32_t> camera;           ///< [next frame number]
+  std::vector<SharedRef<std::int32_t>> raw; ///< captured frames
+  std::vector<SharedRef<std::int32_t>> out; ///< transformed frames
+};
+
+JadeVideo upload_video(Runtime& rt, const VideoConfig& config);
+
+/// Creates the capture/transform pipeline.  `accelerators` is the number of
+/// accelerator machines; machine 0 is the frame source and accelerators are
+/// machines 1..accelerators (matching presets::hrv).
+void video_jade(TaskContext& ctx, const JadeVideo& v, int accelerators);
+
+/// Per-frame checksums of the transformed frames (compare to video_serial).
+std::vector<std::uint64_t> download_video(Runtime& rt, const JadeVideo& v);
+
+}  // namespace jade::apps

@@ -1,0 +1,196 @@
+#include "jade/apps/water.hpp"
+
+#include <cmath>
+
+#include "jade/support/error.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade::apps {
+
+namespace {
+
+/// Smoothed inverse-square pair interaction: the force on molecule a from
+/// molecule b.  Same shape as MDG's pairwise phase; deterministic FP.
+inline void pair_force(const double* pa, const double* pb, double* f_out) {
+  const double dx = pb[0] - pa[0];
+  const double dy = pb[1] - pa[1];
+  const double dz = pb[2] - pa[2];
+  const double r2 = dx * dx + dy * dy + dz * dz + 0.25;
+  const double inv = 1.0 / (r2 * std::sqrt(r2));
+  // Short-range repulsion minus long-range attraction.
+  const double s = inv * (1.0 - 2.0 / r2);
+  f_out[0] += s * dx;
+  f_out[1] += s * dy;
+  f_out[2] += s * dz;
+}
+
+std::vector<int> make_group_starts(int n, int groups) {
+  JADE_ASSERT(groups >= 1 && groups <= n);
+  std::vector<int> start(groups + 1, 0);
+  for (int g = 0; g <= groups; ++g)
+    start[g] = static_cast<int>((static_cast<long long>(n) * g) / groups);
+  return start;
+}
+
+/// Forces for molecules [lo, hi): each molecule interacts with all n
+/// molecules (both versions use this exact loop, so results are
+/// bit-identical across engines and groupings).
+void compute_forces_range(const double* pos, int n, int lo, int hi,
+                          double* force) {
+  for (int i = lo; i < hi; ++i) {
+    double f[3] = {0, 0, 0};
+    const double* pi = pos + 3 * i;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      pair_force(pi, pos + 3 * j, f);
+    }
+    force[3 * (i - lo) + 0] = f[0];
+    force[3 * (i - lo) + 1] = f[1];
+    force[3 * (i - lo) + 2] = f[2];
+  }
+}
+
+void integrate(const WaterConfig& config, int n, const double* force,
+               double* pos, double* vel) {
+  for (int i = 0; i < 3 * n; ++i) {
+    vel[i] += force[i] * config.dt;
+    pos[i] += vel[i] * config.dt;
+  }
+}
+
+}  // namespace
+
+WaterState make_water(const WaterConfig& config) {
+  WaterState s;
+  s.n = config.molecules;
+  s.pos.resize(3 * static_cast<std::size_t>(s.n));
+  s.vel.assign(3 * static_cast<std::size_t>(s.n), 0.0);
+  s.force.assign(3 * static_cast<std::size_t>(s.n), 0.0);
+  Rng rng(config.seed);
+  for (double& p : s.pos) p = rng.next_double(0.0, config.box);
+  return s;
+}
+
+void water_step_serial(const WaterConfig& config, WaterState& state) {
+  compute_forces_range(state.pos.data(), state.n, 0, state.n,
+                       state.force.data());
+  integrate(config, state.n, state.force.data(), state.pos.data(),
+            state.vel.data());
+}
+
+void water_run_serial(const WaterConfig& config, WaterState& state) {
+  for (int t = 0; t < config.timesteps; ++t)
+    water_step_serial(config, state);
+}
+
+double water_checksum(const WaterState& state) {
+  double acc = 0;
+  for (std::size_t i = 0; i < state.pos.size(); ++i)
+    acc += state.pos[i] * 0.5 + state.vel[i];
+  return acc;
+}
+
+double water_step_work(const WaterConfig& config) {
+  const double n = config.molecules;
+  return n * n * config.flops_per_interaction + 10.0 * n;
+}
+
+JadeWater upload_water(Runtime& rt, const WaterConfig& config,
+                       const WaterState& state) {
+  JADE_ASSERT(state.n == config.molecules);
+  JadeWater w;
+  w.config = config;
+  w.group_start = make_group_starts(config.molecules, config.groups);
+  for (int g = 0; g < config.groups; ++g) {
+    const int lo = w.group_start[g];
+    const int hi = w.group_start[g + 1];
+    w.pos_groups.push_back(rt.alloc_init<double>(
+        std::span<const double>(state.pos.data() + 3 * lo,
+                                3 * static_cast<std::size_t>(hi - lo)),
+        "pos" + std::to_string(g)));
+    w.force_groups.push_back(rt.alloc<double>(
+        3 * static_cast<std::size_t>(hi - lo), "force" + std::to_string(g)));
+  }
+  w.vel = rt.alloc_init<double>(state.vel, "vel");
+  return w;
+}
+
+void water_run_jade(TaskContext& ctx, const JadeWater& w) {
+  const WaterConfig config = w.config;
+  const auto group_start = w.group_start;
+  const auto pos_groups = w.pos_groups;
+  const auto force_groups = w.force_groups;
+  const auto vel = w.vel;
+  const int n = config.molecules;
+
+  for (int step = 0; step < config.timesteps; ++step) {
+    // O(n^2) phase in parallel: one task per group.
+    for (int g = 0; g < config.groups; ++g) {
+      const int lo = group_start[g];
+      const int hi = group_start[g + 1];
+      const auto fg = force_groups[g];
+      ctx.withonly(
+          [&](AccessDecl& d) {
+            for (const auto& p : pos_groups) d.rd(p);
+            d.wr(fg);
+          },
+          [pos_groups, fg, group_start, n, lo, hi,
+           flops = config.flops_per_interaction](TaskContext& t) {
+            t.charge(static_cast<double>(hi - lo) * n * flops);
+            // Assemble a contiguous position view (the per-group objects
+            // are read through checked accessors once each).
+            std::vector<double> pos(3 * static_cast<std::size_t>(n));
+            for (std::size_t g2 = 0; g2 < pos_groups.size(); ++g2) {
+              auto span = t.read(pos_groups[g2]);
+              std::copy(span.begin(), span.end(),
+                        pos.begin() + 3 * group_start[g2]);
+            }
+            auto force = t.write(fg);
+            compute_forces_range(pos.data(), n, lo, hi, force.data());
+          },
+          "Forces(g" + std::to_string(g) + ",s" + std::to_string(step) + ")");
+    }
+    // O(n) phase serial: one task integrating all molecules (the paper runs
+    // this phase serially; its single-machine execution plus the position
+    // re-broadcast every step is the scaling bottleneck).
+    ctx.withonly(
+        [&](AccessDecl& d) {
+          for (const auto& f : force_groups) d.rd(f);
+          for (const auto& p : pos_groups) d.rd_wr(p);
+          d.rd_wr(vel);
+        },
+        [pos_groups, force_groups, group_start, vel, config,
+         n](TaskContext& t) {
+          t.charge(10.0 * n);
+          auto vels = t.read_write(vel);
+          for (std::size_t g2 = 0; g2 < pos_groups.size(); ++g2) {
+            const int lo = group_start[g2];
+            const int count = group_start[g2 + 1] - lo;
+            auto force = t.read(force_groups[g2]);
+            auto pos = t.read_write(pos_groups[g2]);
+            integrate(config, count, force.data(), pos.data(),
+                      vels.data() + 3 * lo);
+          }
+        },
+        "Integrate(s" + std::to_string(step) + ")");
+  }
+}
+
+WaterState download_water(Runtime& rt, const JadeWater& w) {
+  WaterState s;
+  s.n = w.config.molecules;
+  s.pos.resize(3 * static_cast<std::size_t>(s.n));
+  s.force.resize(3 * static_cast<std::size_t>(s.n));
+  for (std::size_t g = 0; g < w.pos_groups.size(); ++g) {
+    const auto pos = rt.get(w.pos_groups[g]);
+    std::copy(pos.begin(), pos.end(),
+              s.pos.begin() + 3 * w.group_start[g]);
+    const auto force = rt.get(w.force_groups[g]);
+    std::copy(force.begin(), force.end(),
+              s.force.begin() + 3 * w.group_start[g]);
+  }
+  s.vel = rt.get(w.vel);
+  return s;
+}
+
+}  // namespace jade::apps

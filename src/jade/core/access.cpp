@@ -1,0 +1,46 @@
+#include "jade/core/access.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+namespace access {
+const char* bits_name(std::uint8_t bits) {
+  switch (bits & kAll) {
+    case 0: return "-";
+    case kRead: return "r";
+    case kWrite: return "w";
+    case kRead | kWrite: return "rw";
+    case kCommute: return "c";
+    case kRead | kCommute: return "rc";
+    case kWrite | kCommute: return "wc";
+    case kRead | kWrite | kCommute: return "rwc";
+  }
+  return "?";
+}
+}  // namespace access
+
+AccessRequest& AccessDecl::request_for(const ObjectRef& o) {
+  JADE_ASSERT_MSG(static_cast<bool>(o),
+                  "access declaration names a null shared reference");
+  for (AccessRequest& r : requests_)
+    if (r.obj == o.id()) return r;
+  requests_.push_back(AccessRequest{o.id(), 0, 0, 0});
+  return requests_.back();
+}
+
+void AccessDecl::add(const ObjectRef& o, std::uint8_t immediate,
+                     std::uint8_t deferred) {
+  AccessRequest& r = request_for(o);
+  r.add_immediate |= immediate;
+  // An immediate right supersedes a deferred request for the same bits.
+  r.add_deferred |= deferred;
+  r.add_deferred &= static_cast<std::uint8_t>(~r.add_immediate);
+}
+
+void AccessDecl::drop(const ObjectRef& o, std::uint8_t bits) {
+  AccessRequest& r = request_for(o);
+  r.remove |= bits;
+}
+
+}  // namespace jade

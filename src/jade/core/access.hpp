@@ -1,0 +1,93 @@
+// Access specifications.
+//
+// The access declaration section of a withonly-do construct is "an arbitrary
+// piece of code containing access specification statements" (Section 2) —
+// here, a user callback receiving an AccessDecl&.  Because the callback is
+// ordinary code, specifications may depend on run-time values, which is how
+// Jade expresses dynamic, data-dependent concurrency (e.g. `rd_wr(
+// c[r[j]].column)` in the sparse Cholesky example).
+//
+// Statements:
+//   rd / wr / rd_wr      — immediate read / write / read+write rights
+//   df_rd / df_wr / ...  — deferred rights (Section 4.2): reserve the serial
+//                          position now, synchronize only on conversion
+//   cm / df_cm           — commuting-update right (Section 4.3 extension):
+//                          commuting tasks may reorder among themselves
+//   no_rd / no_wr / no_cm — with-cont only: retire a right early
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jade/core/object.hpp"
+
+namespace jade {
+
+/// Right bits.  A record's behaviour toward *other* tasks depends on the
+/// union of its immediate and deferred bits; what the owner may actually do
+/// depends on the immediate bits only.
+namespace access {
+inline constexpr std::uint8_t kRead = 1;
+inline constexpr std::uint8_t kWrite = 2;
+inline constexpr std::uint8_t kCommute = 4;  ///< unordered read-modify-write
+inline constexpr std::uint8_t kAll = kRead | kWrite | kCommute;
+
+/// True when a later declaration with bits `later` must wait for an earlier
+/// declaration with bits `earlier` (the conflict matrix of Section 2:
+/// readers share; writers are exclusive; commuters share with commuters).
+constexpr bool conflicts(std::uint8_t earlier, std::uint8_t later) {
+  if (earlier == 0 || later == 0) return false;
+  const bool earlier_writes = earlier & (kWrite | kCommute);
+  const bool later_writes = later & (kWrite | kCommute);
+  if (!earlier_writes && !later_writes) return false;  // read-read
+  // Commute-commute pairs do not conflict unless one also reads/writes.
+  const bool both_commute_only = earlier == kCommute && later == kCommute;
+  if (both_commute_only) return false;
+  return true;
+}
+
+const char* bits_name(std::uint8_t bits);  ///< "r", "w", "rw", "c", ...
+}  // namespace access
+
+/// One object's worth of requested specification change.
+struct AccessRequest {
+  ObjectId obj = kInvalidObject;
+  std::uint8_t add_immediate = 0;  ///< rd/wr/rd_wr/cm bits
+  std::uint8_t add_deferred = 0;   ///< df_* bits
+  std::uint8_t remove = 0;         ///< no_* bits (with-cont only)
+};
+
+/// Builder handed to access-declaration callbacks.  Multiple statements for
+/// the same object merge into one request.
+class AccessDecl {
+ public:
+  void rd(const ObjectRef& o) { add(o, access::kRead, 0); }
+  void wr(const ObjectRef& o) { add(o, access::kWrite, 0); }
+  void rd_wr(const ObjectRef& o) {
+    add(o, access::kRead | access::kWrite, 0);
+  }
+  void cm(const ObjectRef& o) { add(o, access::kCommute, 0); }
+
+  void df_rd(const ObjectRef& o) { add(o, 0, access::kRead); }
+  void df_wr(const ObjectRef& o) { add(o, 0, access::kWrite); }
+  void df_rd_wr(const ObjectRef& o) {
+    add(o, 0, access::kRead | access::kWrite);
+  }
+  void df_cm(const ObjectRef& o) { add(o, 0, access::kCommute); }
+
+  void no_rd(const ObjectRef& o) { drop(o, access::kRead); }
+  void no_wr(const ObjectRef& o) { drop(o, access::kWrite); }
+  void no_cm(const ObjectRef& o) { drop(o, access::kCommute); }
+
+  const std::vector<AccessRequest>& requests() const { return requests_; }
+  bool empty() const { return requests_.empty(); }
+
+ private:
+  void add(const ObjectRef& o, std::uint8_t immediate, std::uint8_t deferred);
+  void drop(const ObjectRef& o, std::uint8_t bits);
+  AccessRequest& request_for(const ObjectRef& o);
+
+  std::vector<AccessRequest> requests_;
+};
+
+}  // namespace jade

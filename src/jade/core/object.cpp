@@ -1,0 +1,21 @@
+#include "jade/core/object.hpp"
+
+#include <vector>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+ObjectId ObjectTable::add(TypeDescriptor type, std::string name) {
+  const ObjectId id = next_id_++;
+  if (name.empty()) name = "obj#" + std::to_string(id);
+  infos_.push_back(ObjectInfo{id, std::move(type), std::move(name)});
+  return id;
+}
+
+const ObjectInfo& ObjectTable::info(ObjectId id) const {
+  JADE_ASSERT_MSG(valid(id), "unknown shared object id");
+  return infos_[id - 1];
+}
+
+}  // namespace jade

@@ -1,0 +1,378 @@
+#include "jade/core/queues.hpp"
+
+#include <sstream>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+DeclRecord* TaskNode::find_record(ObjectId obj) {
+  auto it = records_.find(obj);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+Serializer::Serializer(SerializerListener* listener, bool enforce_hierarchy)
+    : listener_(listener), enforce_hierarchy_(enforce_hierarchy) {
+  JADE_ASSERT(listener != nullptr);
+  auto root = std::make_unique<TaskNode>();
+  root->id_ = 0;
+  root->name_ = "root";
+  root->state_ = TaskState::kRunning;
+  root_ = root.get();
+  tasks_.push_back(std::move(root));
+}
+
+Serializer::~Serializer() = default;
+
+Serializer::ObjectQueue& Serializer::queue_for(ObjectId obj) {
+  return queues_[obj];
+}
+
+void Serializer::check_coverage(TaskNode* parent,
+                                const AccessRequest& req) const {
+  const std::uint8_t need =
+      static_cast<std::uint8_t>(req.add_immediate | req.add_deferred);
+  DeclRecord* rec = parent->find_record(req.obj);
+  const std::uint8_t have = rec ? rec->effective() : 0;
+  if (need & static_cast<std::uint8_t>(~have)) {
+    std::ostringstream os;
+    os << "task '" << parent->name() << "' (id " << parent->id()
+       << ") creates a child declaring '" << access::bits_name(need)
+       << "' on object " << req.obj << " but holds only '"
+       << access::bits_name(have)
+       << "' — a parent's specification must cover its children's accesses";
+    throw HierarchyViolationError(os.str());
+  }
+}
+
+TaskNode* Serializer::create_task(TaskNode* parent,
+                                  const std::vector<AccessRequest>& requests,
+                                  std::function<void(TaskContext&)> body,
+                                  std::string name) {
+  JADE_ASSERT(parent != nullptr);
+  JADE_ASSERT_MSG(parent->state_ == TaskState::kRunning,
+                  "tasks can only be created from a running task");
+
+  auto owned = std::make_unique<TaskNode>();
+  TaskNode* task = owned.get();
+  task->id_ = next_task_id_++;
+  task->name_ = name.empty() ? "task#" + std::to_string(task->id_)
+                             : std::move(name);
+  task->parent_ = parent;
+  task->body = std::move(body);
+  tasks_.push_back(std::move(owned));
+
+  for (const AccessRequest& req : requests) {
+    if (req.remove != 0) {
+      throw SpecUpdateError(
+          "no_rd/no_wr/no_cm are with-cont statements; they cannot appear in "
+          "a withonly declaration");
+    }
+    const std::uint8_t bits =
+        static_cast<std::uint8_t>(req.add_immediate | req.add_deferred);
+    if (bits == 0) continue;
+    if (enforce_hierarchy_ && !parent->is_root())
+      check_coverage(parent, req);
+
+    auto rec = std::make_unique<DeclRecord>();
+    rec->task = task;
+    rec->obj = req.obj;
+    rec->immediate = req.add_immediate;
+    rec->deferred = req.add_deferred;
+
+    ObjectQueue& q = queue_for(req.obj);
+    DeclRecord* parent_rec = parent->find_record(req.obj);
+    if (parent_rec != nullptr && parent_rec->linked()) {
+      link_before(q, parent_rec, rec.get());
+    } else {
+      link_back(q, rec.get());
+    }
+    task->ordered_records_.push_back(rec.get());
+    task->records_.emplace(req.obj, std::move(rec));
+  }
+
+  // Determine which immediate records are not yet enabled.
+  for (DeclRecord* rec : task->ordered_records_) {
+    if (rec->immediate == 0) continue;
+    ObjectQueue& q = queue_for(rec->obj);
+    if (!is_enabled(q, rec, rec->immediate)) {
+      set_counted(q, rec, true);
+      rec->wait_bits = rec->immediate;
+      ++task->start_pending_;
+    }
+  }
+
+  ++outstanding_;
+  ++unstarted_;
+  if (task->start_pending_ == 0) {
+    task->state_ = TaskState::kReady;
+    listener_->on_task_ready(task);
+  }
+  return task;
+}
+
+void Serializer::task_started(TaskNode* task) {
+  JADE_ASSERT_MSG(task->state_ == TaskState::kReady,
+                  "task_started on a task that is not ready");
+  task->state_ = TaskState::kRunning;
+  JADE_ASSERT(unstarted_ > 0);
+  --unstarted_;
+}
+
+bool Serializer::update_spec(TaskNode* task,
+                             const std::vector<AccessRequest>& requests) {
+  JADE_ASSERT_MSG(task->state_ == TaskState::kRunning,
+                  "with-cont outside a running task");
+  JADE_ASSERT(task->block_pending_ == 0);
+  in_update_ = task;
+
+  std::vector<ObjectId> touched_queues;
+  for (const AccessRequest& req : requests) {
+    DeclRecord* rec = task->find_record(req.obj);
+    if (rec == nullptr) {
+      std::ostringstream os;
+      os << "with-cont names object " << req.obj << " which task '"
+         << task->name()
+         << "' never declared; new rights cannot be added mid-task (their "
+            "queue position would violate the serial order)";
+      throw SpecUpdateError(os.str());
+    }
+
+    // Retirements first, so `no_rd(o); ...` frees successors even when the
+    // same update also converts other bits of the same object.
+    if (req.remove != 0) {
+      if (weaken_record(queue_for(req.obj), rec, req.remove))
+        touched_queues.push_back(req.obj);
+    }
+
+    const std::uint8_t held = rec->effective();
+    const std::uint8_t want_imm = req.add_immediate;
+    const std::uint8_t want_def = req.add_deferred;
+    if ((want_imm | want_def) & static_cast<std::uint8_t>(~held)) {
+      std::ostringstream os;
+      os << "with-cont on object " << req.obj << " requests '"
+         << access::bits_name(
+                static_cast<std::uint8_t>(want_imm | want_def))
+         << "' but task '" << task->name() << "' holds only '"
+         << access::bits_name(held)
+         << "' — with-cont may only convert previously deferred rights or "
+            "retire rights";
+      throw SpecUpdateError(os.str());
+    }
+
+    // Convert deferred -> immediate (rd/wr/cm on a df_* right); converting
+    // an already-immediate bit is a harmless no-op.
+    rec->deferred &= static_cast<std::uint8_t>(~want_imm);
+    rec->immediate |= want_imm;
+    // Downgrade immediate -> deferred (documented extension: release the
+    // right now, reconvert later; other tasks are unaffected since the
+    // effective bits do not change).
+    const std::uint8_t downgrade =
+        static_cast<std::uint8_t>(want_def & rec->immediate);
+    rec->immediate &= static_cast<std::uint8_t>(~downgrade);
+    rec->deferred |= downgrade;
+
+    if (want_imm != 0) {
+      ObjectQueue& q = queue_for(req.obj);
+      JADE_ASSERT(!rec->counted);
+      if (rec->linked() && !is_enabled(q, rec, rec->immediate)) {
+        set_counted(q, rec, true);
+        rec->wait_bits = rec->immediate;
+        ++task->block_pending_;
+      }
+    }
+  }
+
+  for (ObjectId obj : touched_queues) reevaluate(queue_for(obj));
+
+  in_update_ = nullptr;
+  return task->block_pending_ > 0;
+}
+
+bool Serializer::acquire(TaskNode* task, ObjectId obj, std::uint8_t mode) {
+  JADE_ASSERT_MSG(task->state_ == TaskState::kRunning,
+                  "accessor acquired outside a running task");
+  JADE_ASSERT(mode != 0);
+  if (task->is_root()) {
+    // The main task implicitly owns all data, but may only touch an object
+    // directly when that cannot race with the task graph: any access while
+    // no created task holds a declaration, or a read while only readers do
+    // (the object is immutable for as long as those records live — this is
+    // how Figure 6's driver loop reads r[j] while update tasks hold rd(r)).
+    auto it = queues_.find(obj);
+    if (it == queues_.end() || it->second.records.empty()) return false;
+    if (mode == access::kRead && it->second.cnt_wc == 0) return false;
+    throw UndeclaredAccessError(
+        "the main task may not perform a '" +
+        std::string(access::bits_name(mode)) + "' access to object " +
+        std::to_string(obj) +
+        " while created tasks hold conflicting declarations; access it "
+        "from a task with a declared right instead");
+  }
+  DeclRecord* rec = task->find_record(obj);
+  if (rec == nullptr || (mode & static_cast<std::uint8_t>(~rec->immediate))) {
+    std::ostringstream os;
+    os << "task '" << task->name() << "' performs an undeclared '"
+       << access::bits_name(mode) << "' access to object " << obj;
+    if (rec != nullptr && (rec->deferred & mode)) {
+      os << " (the right was declared deferred; convert it with a with-cont "
+            "before accessing)";
+    } else if (rec != nullptr) {
+      os << " (task holds only '" << access::bits_name(rec->immediate)
+         << "')";
+    }
+    throw UndeclaredAccessError(os.str());
+  }
+
+  ObjectQueue& q = queue_for(obj);
+  if (!rec->linked() || is_enabled(q, rec, mode)) return false;
+
+  // Records ahead of us can only belong to our own earlier-created children
+  // (everything else was ahead at our start and has been waited out); block
+  // until they retire.
+  JADE_ASSERT(!rec->counted);
+  set_counted(q, rec, true);
+  rec->wait_bits = mode;
+  ++task->block_pending_;
+  return true;
+}
+
+void Serializer::complete_task(TaskNode* task) {
+  JADE_ASSERT_MSG(task->state_ == TaskState::kRunning,
+                  "complete_task on a task that is not running");
+  JADE_ASSERT_MSG(task->block_pending_ == 0,
+                  "complete_task on a blocked task");
+  task->state_ = TaskState::kCompleted;
+
+  std::vector<ObjectId> touched;
+  for (DeclRecord* rec : task->ordered_records_) {
+    if (rec->linked()) {
+      unlink(queue_for(rec->obj), rec);
+      touched.push_back(rec->obj);
+    }
+  }
+  for (ObjectId obj : touched) reevaluate(queue_for(obj));
+  if (!task->is_root()) --outstanding_;
+}
+
+bool Serializer::is_enabled(ObjectQueue& q, DeclRecord* rec,
+                            std::uint8_t bits) const {
+  // O(1) fast paths via the queue counters (self-contributions excluded).
+  const std::uint8_t eff = rec->linked() ? rec->effective() : 0;
+  if (bits & access::kWrite) {
+    // A write conflicts with any predecessor: enabled iff first.
+    return q.records.front() == rec;
+  }
+  if (bits == access::kRead) {
+    const std::size_t self = (eff & (access::kWrite | access::kCommute)) ? 1 : 0;
+    if (q.cnt_wc == self) return true;  // no writer/commuter anywhere
+  } else if (bits == access::kCommute) {
+    const std::size_t self = (eff & (access::kRead | access::kWrite)) ? 1 : 0;
+    if (q.cnt_rw == self) return true;  // only pure commuters anywhere
+  }
+  for (DeclRecord* p = q.records.front(); p != nullptr && p != rec;
+       p = q.records.next_of(p)) {
+    if (access::conflicts(p->effective(), bits)) return false;
+  }
+  return true;
+}
+
+void Serializer::reevaluate(ObjectQueue& q) {
+  if (q.cnt_counted == 0) return;  // nobody is waiting on this queue
+  std::uint8_t prior = 0;
+  std::vector<TaskNode*> now_ready;
+  std::vector<TaskNode*> now_unblocked;
+  for (DeclRecord* p = q.records.front(); p != nullptr;
+       p = q.records.next_of(p)) {
+    if (p->counted && !access::conflicts(prior, p->wait_bits)) {
+      set_counted(q, p, false);
+      TaskNode* t = p->task;
+      if (t->state_ == TaskState::kPending) {
+        JADE_ASSERT(t->start_pending_ > 0);
+        if (--t->start_pending_ == 0) {
+          t->state_ = TaskState::kReady;
+          now_ready.push_back(t);
+        }
+      } else {
+        JADE_ASSERT(t->state_ == TaskState::kRunning);
+        JADE_ASSERT(t->block_pending_ > 0);
+        if (--t->block_pending_ == 0 && t != in_update_) {
+          now_unblocked.push_back(t);
+        }
+      }
+    }
+    prior |= p->effective();
+  }
+  // Notify after the scan so listener code observes a consistent queue.
+  for (TaskNode* t : now_ready) listener_->on_task_ready(t);
+  for (TaskNode* t : now_unblocked) listener_->on_task_unblocked(t);
+}
+
+bool Serializer::weaken_record(ObjectQueue& q, DeclRecord* rec,
+                               std::uint8_t bits) {
+  const std::uint8_t before = rec->effective();
+  rec->immediate &= static_cast<std::uint8_t>(~bits);
+  rec->deferred &= static_cast<std::uint8_t>(~bits);
+  const std::uint8_t after = rec->effective();
+  if (after == before) return false;
+  if (rec->linked()) {
+    count_effect(q, before, -1);
+    if (after == 0) {
+      JADE_ASSERT(!rec->counted);
+      IntrusiveList<DeclRecord>::unlink(rec);
+    } else {
+      count_effect(q, after, +1);
+    }
+  }
+  return true;
+}
+
+void Serializer::link_before(ObjectQueue& q, DeclRecord* pos,
+                             DeclRecord* rec) {
+  q.records.insert_before(pos, rec);
+  count_effect(q, rec->effective(), +1);
+}
+
+void Serializer::link_back(ObjectQueue& q, DeclRecord* rec) {
+  q.records.push_back(rec);
+  count_effect(q, rec->effective(), +1);
+}
+
+void Serializer::unlink(ObjectQueue& q, DeclRecord* rec) {
+  JADE_ASSERT(!rec->counted);
+  count_effect(q, rec->effective(), -1);
+  IntrusiveList<DeclRecord>::unlink(rec);
+}
+
+void Serializer::count_effect(ObjectQueue& q, std::uint8_t bits, int delta) {
+  if (bits & (access::kWrite | access::kCommute)) {
+    q.cnt_wc = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(q.cnt_wc) + delta);
+  }
+  if (bits & (access::kRead | access::kWrite)) {
+    q.cnt_rw = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(q.cnt_rw) + delta);
+  }
+}
+
+void Serializer::set_counted(ObjectQueue& q, DeclRecord* rec, bool counted) {
+  JADE_ASSERT(rec->counted != counted);
+  rec->counted = counted;
+  q.cnt_counted = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(q.cnt_counted) + (counted ? 1 : -1));
+}
+
+std::vector<std::pair<std::uint64_t, std::uint8_t>>
+Serializer::queue_snapshot(ObjectId obj) const {
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> out;
+  auto it = queues_.find(obj);
+  if (it == queues_.end()) return out;
+  // for_each is non-const; queues_ map values are stable, const_cast is safe
+  // for a read-only walk.
+  auto& q = const_cast<ObjectQueue&>(it->second);
+  for (DeclRecord* p = q.records.front(); p != nullptr;
+       p = q.records.next_of(p)) {
+    out.emplace_back(p->task->id(), p->effective());
+  }
+  return out;
+}
+
+}  // namespace jade

@@ -1,0 +1,244 @@
+// The serializer: per-object declaration queues in serial program order.
+//
+// This implements the paper's concurrency-detection mechanism (Sections 2,
+// 3.3, 4.2).  Every shared object has a queue of declaration records ordered
+// by the position of the declaring task in the *serial* execution of the
+// program:
+//
+//   * a task created by the root is appended at the tail;
+//   * a child task's record is inserted immediately before its parent's
+//     record — in the serial execution the child's body runs at its creation
+//     point, inside the parent, before anything the parent does afterwards
+//     and before any later sibling;
+//
+// A record is *enabled* when no earlier record in its queue conflicts with
+// it (readers share, writers are exclusive, commuting updates share with
+// each other).  A task starts when all its immediate records are enabled;
+// deferred records reserve the queue position without gating the start.
+// Retiring rights (no_rd/no_wr, or task completion) unlinks or weakens
+// records, which can enable successors — that is all the synchronization
+// Jade ever needs, and it is what makes every execution equivalent to the
+// serial one.
+//
+// The serializer is engine-agnostic and single-threaded by contract: callers
+// (the engines) serialize calls with their own lock or handoff discipline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jade/core/access.hpp"
+#include "jade/core/object.hpp"
+#include "jade/support/intrusive_list.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class TaskContext;
+class TaskNode;
+
+/// One task's declared access to one object, linked into that object's
+/// declaration queue.
+struct DeclRecord : IntrusiveNode {
+  TaskNode* task = nullptr;
+  ObjectId obj = kInvalidObject;
+  std::uint8_t immediate = 0;  ///< rights the task may exercise now
+  std::uint8_t deferred = 0;   ///< rights reserved for later conversion
+
+  /// How this record blocks *other* tasks: deferred rights block successors
+  /// exactly like immediate ones (the owner may convert them at any time).
+  std::uint8_t effective() const {
+    return static_cast<std::uint8_t>(immediate | deferred);
+  }
+
+  /// True while this record contributes to its task's start_pending /
+  /// block_pending counter (i.e. the task is waiting for it to enable).
+  bool counted = false;
+  /// Bits whose enablement the waiting task requires (start: immediate;
+  /// acquire/with-cont: the requested mode).
+  std::uint8_t wait_bits = 0;
+};
+
+enum class TaskState : std::uint8_t {
+  kPending,   ///< created; waiting for immediate records to enable
+  kReady,     ///< all immediate records enabled; not yet executing
+  kRunning,   ///< body executing (possibly blocked in with-cont/acquire)
+  kCompleted,
+};
+
+/// The semantic state of one task.  Engine-specific execution state hangs
+/// off the generic fields at the bottom.
+class TaskNode {
+ public:
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  TaskNode* parent() const { return parent_; }
+  bool is_root() const { return parent_ == nullptr; }
+  TaskState state() const { return state_; }
+
+  /// The record this task holds for `obj`, or nullptr.
+  DeclRecord* find_record(ObjectId obj);
+
+  /// Number of records (for tests/benches).
+  std::size_t record_count() const { return records_.size(); }
+
+  /// Records in declaration order — deterministic, unlike map order, which
+  /// matters wherever iteration order affects simulated timing.
+  const std::vector<DeclRecord*>& ordered_records() const {
+    return ordered_records_;
+  }
+
+  template <typename F>
+  void for_each_record(F&& f) const {
+    for (const DeclRecord* rec : ordered_records_) f(*rec);
+  }
+
+  // --- engine-owned fields -------------------------------------------------
+  std::function<void(TaskContext&)> body;
+  /// Explicit placement from withonly_on (Section 4.5), or -1.
+  MachineId placement = -1;
+  /// Machine the engine assigned the task to (SimEngine), or -1.
+  MachineId assigned_machine = -1;
+  /// Accumulated declared work (charge() units), for cost accounting.
+  double charged_work = 0;
+  /// Opaque per-engine execution state.
+  void* engine_data = nullptr;
+
+ private:
+  friend class Serializer;
+
+  std::uint64_t id_ = 0;
+  std::string name_;
+  TaskNode* parent_ = nullptr;
+  TaskState state_ = TaskState::kPending;
+  std::uint32_t start_pending_ = 0;  ///< immediate records not yet enabled
+  std::uint32_t block_pending_ = 0;  ///< records a running task waits on
+  std::unordered_map<ObjectId, std::unique_ptr<DeclRecord>> records_;
+  std::vector<DeclRecord*> ordered_records_;
+};
+
+/// Receives serializer notifications.  Called synchronously from within
+/// serializer operations; implementations must not re-enter the serializer.
+class SerializerListener {
+ public:
+  virtual ~SerializerListener() = default;
+  /// All immediate records enabled; the engine may schedule the task.
+  virtual void on_task_ready(TaskNode* task) = 0;
+  /// A running task that blocked (with-cont conversion or accessor
+  /// acquisition) may proceed.
+  virtual void on_task_unblocked(TaskNode* task) = 0;
+};
+
+class Serializer {
+ public:
+  Serializer(SerializerListener* listener, bool enforce_hierarchy = true);
+  ~Serializer();
+
+  Serializer(const Serializer&) = delete;
+  Serializer& operator=(const Serializer&) = delete;
+
+  /// The implicit main task (Section 3.3's "original task"); it owns every
+  /// object and its children append at queue tails.
+  TaskNode* root() { return root_; }
+
+  /// Creates a task with the given specification, as a child of `parent`
+  /// (which must be running, or be the root).  Enforces the hierarchy rule:
+  /// the child's rights per object must be covered by the parent's record.
+  /// Emits on_task_ready before returning if nothing blocks the task.
+  TaskNode* create_task(TaskNode* parent,
+                        const std::vector<AccessRequest>& requests,
+                        std::function<void(TaskContext&)> body,
+                        std::string name = "");
+
+  /// Marks a ready task as executing.
+  void task_started(TaskNode* task);
+
+  /// Applies a with-cont specification update to a running task: converts
+  /// deferred rights to immediate and/or retires rights.  Returns true when
+  /// the task must block until on_task_unblocked fires (some converted
+  /// record is not yet enabled).
+  bool update_spec(TaskNode* task, const std::vector<AccessRequest>& requests);
+
+  /// Validates an accessor acquisition for `mode` bits and determines
+  /// whether the task must wait (its own earlier-created children may hold
+  /// conflicting records ahead of it).  Returns true when the task must
+  /// block until on_task_unblocked fires.  Throws UndeclaredAccessError if
+  /// the task never declared (or has retired / not yet converted) the right.
+  bool acquire(TaskNode* task, ObjectId obj, std::uint8_t mode);
+
+  /// Retires all of the task's records and marks it completed.
+  void complete_task(TaskNode* task);
+
+  /// Tasks created and not yet completed (excluding the root).
+  std::uint64_t outstanding() const { return outstanding_; }
+
+  /// Tasks created but not yet started — the engine's throttling signal
+  /// (Section 3.3, Figure 7e: "the original task is creating tasks faster
+  /// than they are being consumed").  Deliberately excludes running tasks:
+  /// suspended creators must not count toward the backlog they wait on.
+  std::uint64_t backlog() const { return unstarted_; }
+
+  /// Total tasks ever created (excluding the root).
+  std::uint64_t tasks_created() const { return next_task_id_ - 1; }
+
+  /// Snapshot of an object's queue as (task id, effective bits) pairs, in
+  /// serial order — used by tests and the task-graph bench.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> queue_snapshot(
+      ObjectId obj) const;
+
+ private:
+  /// Per-object queue with counters enabling O(1) answers in the common
+  /// cases.  Without them, widely-read objects (e.g. the index structures
+  /// every Cholesky task declares rd on) make enabledness checks and
+  /// post-completion rescans linear in the number of outstanding tasks —
+  /// quadratic overall.
+  struct ObjectQueue {
+    IntrusiveList<DeclRecord> records;
+    /// Records whose effective bits include write or commute (block reads).
+    std::size_t cnt_wc = 0;
+    /// Records whose effective bits include read or write (block commutes).
+    std::size_t cnt_rw = 0;
+    /// Records some task is currently waiting on (counted == true).
+    std::size_t cnt_counted = 0;
+  };
+
+  ObjectQueue& queue_for(ObjectId obj);
+
+  void link_before(ObjectQueue& q, DeclRecord* pos, DeclRecord* rec);
+  void link_back(ObjectQueue& q, DeclRecord* rec);
+  void unlink(ObjectQueue& q, DeclRecord* rec);
+  void count_effect(ObjectQueue& q, std::uint8_t bits, int delta);
+  void set_counted(ObjectQueue& q, DeclRecord* rec, bool counted);
+
+  /// True when no record earlier in the queue conflicts with `bits`.
+  bool is_enabled(ObjectQueue& q, DeclRecord* rec, std::uint8_t bits) const;
+
+  /// Re-evaluates counted records in `q` after a record weakened or left;
+  /// fires ready/unblocked notifications for tasks whose counters reach 0.
+  void reevaluate(ObjectQueue& q);
+
+  /// Removes bits from a record; unlinks it when no bits remain.  Returns
+  /// true if the queue changed in a way that can enable successors.
+  bool weaken_record(ObjectQueue& q, DeclRecord* rec, std::uint8_t bits);
+
+  void check_coverage(TaskNode* parent, const AccessRequest& req) const;
+
+  SerializerListener* listener_;
+  bool enforce_hierarchy_;
+  TaskNode* root_;
+  std::vector<std::unique_ptr<TaskNode>> tasks_;
+  std::unordered_map<ObjectId, ObjectQueue> queues_;
+  std::uint64_t next_task_id_ = 1;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t unstarted_ = 0;
+  /// Task currently inside update_spec/acquire; its own unblock
+  /// notification is suppressed (the return value carries it).
+  TaskNode* in_update_ = nullptr;
+};
+
+}  // namespace jade

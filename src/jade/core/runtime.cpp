@@ -1,0 +1,36 @@
+#include "jade/core/runtime.hpp"
+
+#include "jade/engine/serial_engine.hpp"
+#include "jade/engine/sim_engine.hpp"
+#include "jade/engine/thread_engine.hpp"
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+namespace {
+std::unique_ptr<Engine> make_engine(const RuntimeConfig& config) {
+  switch (config.engine) {
+    case EngineKind::kSerial:
+      return std::make_unique<SerialEngine>(config.enforce_hierarchy);
+    case EngineKind::kThread:
+      return std::make_unique<ThreadEngine>(
+          config.threads, config.sched.throttle, config.enforce_hierarchy);
+    case EngineKind::kSim:
+      config.cluster.validate();
+      return std::make_unique<SimEngine>(config.cluster, config.sched,
+                                         config.enforce_hierarchy);
+  }
+  throw ConfigError("unknown EngineKind");
+}
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)), engine_(make_engine(config_)) {}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(std::function<void(TaskContext&)> root_body) {
+  engine_->run(std::move(root_body));
+}
+
+}  // namespace jade

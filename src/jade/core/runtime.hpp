@@ -1,0 +1,126 @@
+// Runtime — the public entry point of the library.
+//
+// A Runtime owns an execution engine, lets the host program allocate and
+// initialize shared objects, runs a Jade program (a root body that creates
+// tasks with withonly), and reads results back.  The same program runs
+// unmodified on any engine/platform — the paper's portability claim:
+// "Programs written in Jade run on all of these platforms without
+// modification."
+//
+//   jade::RuntimeConfig cfg;
+//   cfg.engine = jade::EngineKind::kSim;
+//   cfg.cluster = jade::presets::mica(8);
+//   jade::Runtime rt(cfg);
+//   auto v = rt.alloc<double>(1024, "v");
+//   rt.run([&](jade::TaskContext& ctx) {
+//     ctx.withonly([&](jade::AccessDecl& d) { d.rd_wr(v); },
+//                  [=](jade::TaskContext& t) { ... t.read_write(v) ... });
+//   });
+//   std::vector<double> result = rt.get(v);
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "jade/core/object.hpp"
+#include "jade/core/task.hpp"
+#include "jade/engine/engine.hpp"
+#include "jade/mach/machine.hpp"
+#include "jade/sched/policies.hpp"
+
+namespace jade {
+
+enum class EngineKind : std::uint8_t {
+  kSerial,  ///< reference implementation of the serial semantics
+  kThread,  ///< shared-memory worker pool (real parallelism)
+  kSim,     ///< virtual-time simulated cluster (the evaluation platform)
+};
+
+struct RuntimeConfig {
+  EngineKind engine = EngineKind::kSerial;
+
+  /// ThreadEngine: worker count.
+  int threads = 4;
+
+  /// SimEngine: the platform to simulate.
+  ClusterConfig cluster;
+
+  /// Scheduling policy (SimEngine; ThreadEngine uses throttle only).
+  SchedPolicy sched;
+
+  /// Reject child tasks whose accesses the parent did not declare
+  /// (Section 4.4).  Disable only in benchmarks measuring check overhead.
+  bool enforce_hierarchy = true;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Allocates a zero-initialized shared array of `count` T's.  `home`
+  /// places the initial copy on a simulated machine (-1: round-robin).
+  template <typename T>
+  SharedRef<T> alloc(std::size_t count, std::string name = "",
+                     MachineId home = -1) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const ObjectId id = engine_->allocate(
+        TypeDescriptor::array_of<T>(count), std::move(name), home);
+    return SharedRef<T>(id, count);
+  }
+
+  /// Allocates and initializes in one step.
+  template <typename T>
+  SharedRef<T> alloc_init(std::span<const T> data, std::string name = "",
+                          MachineId home = -1) {
+    SharedRef<T> ref = alloc<T>(data.size(), std::move(name), home);
+    put(ref, data);
+    return ref;
+  }
+
+  /// Host-side write of an object's contents (outside run()).
+  template <typename T>
+  void put(const SharedRef<T>& ref, std::span<const T> data) {
+    JADE_ASSERT(data.size() == ref.count());
+    engine_->put_bytes(ref.id(),
+                       {reinterpret_cast<const std::byte*>(data.data()),
+                        data.size() * sizeof(T)});
+  }
+
+  /// Host-side read of an object's contents (outside run()).
+  template <typename T>
+  std::vector<T> get(const SharedRef<T>& ref) {
+    std::vector<std::byte> raw = engine_->get_bytes(ref.id());
+    JADE_ASSERT(raw.size() == ref.byte_size());
+    std::vector<T> out(ref.count());
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Runs a Jade program to completion (the root body is the paper's
+  /// "original task that starts the program execution").
+  void run(std::function<void(TaskContext&)> root_body);
+
+  const RuntimeStats& stats() const { return engine_->stats(); }
+
+  /// Virtual seconds the program took (SimEngine; 0 for other engines).
+  SimTime sim_duration() const { return engine_->stats().finish_time; }
+
+  int machine_count() const { return engine_->machine_count(); }
+
+  Engine& engine() { return *engine_; }
+  const RuntimeConfig& config() const { return config_; }
+
+ private:
+  RuntimeConfig config_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace jade

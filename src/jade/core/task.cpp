@@ -1,0 +1,38 @@
+#include "jade/core/task.hpp"
+
+#include "jade/engine/engine.hpp"
+
+namespace jade {
+
+void TaskContext::withonly(const SpecFn& spec, BodyFn body, std::string name) {
+  withonly_on(-1, spec, std::move(body), std::move(name));
+}
+
+void TaskContext::withonly_on(MachineId machine, const SpecFn& spec,
+                              BodyFn body, std::string name) {
+  // The access declaration section runs *now*, in the creating task — it is
+  // ordinary code and may inspect any data the creator can see, which is how
+  // Jade expresses data-dependent concurrency.
+  AccessDecl decl;
+  spec(decl);
+  engine_->spawn(node_, decl.requests(), std::move(body), std::move(name),
+                 machine);
+}
+
+void TaskContext::with_cont(const SpecFn& spec) {
+  AccessDecl decl;
+  spec(decl);
+  engine_->with_cont(node_, decl.requests());
+}
+
+std::byte* TaskContext::acquire(ObjectId obj, std::uint8_t mode) {
+  return engine_->acquire_bytes(node_, obj, mode);
+}
+
+void TaskContext::charge(double units) { engine_->charge(node_, units); }
+
+int TaskContext::machine_count() const { return engine_->machine_count(); }
+
+MachineId TaskContext::machine() const { return engine_->machine_of(node_); }
+
+}  // namespace jade

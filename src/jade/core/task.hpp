@@ -1,0 +1,107 @@
+// TaskContext — what a task body sees.
+//
+// The paper's language constructs map onto this class:
+//
+//   withonly { spec } do (params) { body }   ->  ctx.withonly(spec, body)
+//   with { spec } cont;                      ->  ctx.with_cont(spec)
+//   reading/writing a shared object          ->  ctx.read(ref) / ctx.write(ref)
+//
+// Parameters are captured by the body closure (by value, like the paper's
+// explicit parameter list).  Accessors return spans: acquiring one performs
+// the dynamic access check and the global→local translation once, and the
+// task then amortizes that cost over any number of element accesses
+// (Section 3.3).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "jade/core/access.hpp"
+#include "jade/core/object.hpp"
+#include "jade/core/queues.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class Engine;
+
+class TaskContext {
+ public:
+  using SpecFn = std::function<void(AccessDecl&)>;
+  using BodyFn = std::function<void(TaskContext&)>;
+
+  TaskContext(Engine* engine, TaskNode* node) : engine_(engine), node_(node) {}
+
+  /// Creates a child task.  `spec` runs immediately (in this task, at this
+  /// point of the serial order) to build the child's access specification;
+  /// `body` runs whenever the child's declared accesses allow.
+  void withonly(const SpecFn& spec, BodyFn body, std::string name = "");
+
+  /// Like withonly, but pins the child to a specific machine — the paper's
+  /// low-level placement control (Section 4.5), used e.g. to put a video
+  /// capture task on the machine with the camera.
+  void withonly_on(MachineId machine, const SpecFn& spec, BodyFn body,
+                   std::string name = "");
+
+  /// Updates this task's access specification mid-body (Section 4.2):
+  /// rd/wr/cm convert previously deferred rights (blocking until the serial
+  /// order allows them); no_rd/no_wr/no_cm retire rights, releasing
+  /// successor tasks immediately.
+  void with_cont(const SpecFn& spec);
+
+  /// Checked read accessor; requires an immediate rd right.
+  template <typename T>
+  std::span<const T> read(const SharedRef<T>& ref) {
+    auto* p = acquire(ref.id(), access::kRead);
+    return {reinterpret_cast<const T*>(p), ref.count()};
+  }
+
+  /// Checked write accessor; requires an immediate wr right.  (A wr-only
+  /// right licenses stores; declare rd_wr and use read_write() to also
+  /// observe previous contents.)
+  template <typename T>
+  std::span<T> write(const SharedRef<T>& ref) {
+    auto* p = acquire(ref.id(), access::kWrite);
+    return {reinterpret_cast<T*>(p), ref.count()};
+  }
+
+  /// Checked read+write accessor; requires immediate rd and wr rights.
+  template <typename T>
+  std::span<T> read_write(const SharedRef<T>& ref) {
+    auto* p = acquire(ref.id(), access::kRead | access::kWrite);
+    return {reinterpret_cast<T*>(p), ref.count()};
+  }
+
+  /// Checked commuting-update accessor; requires an immediate cm right
+  /// (Section 4.3 extension).  The task may read-modify-write the object;
+  /// the runtime orders commuting tasks arbitrarily but exclusively.
+  template <typename T>
+  std::span<T> commute(const SharedRef<T>& ref) {
+    auto* p = acquire(ref.id(), access::kCommute);
+    return {reinterpret_cast<T*>(p), ref.count()};
+  }
+
+  /// Declares `units` of abstract work done by this task.  Engines that
+  /// model time (SimEngine) advance the virtual clock by units divided by
+  /// the executing machine's speed; other engines only account it.
+  void charge(double units);
+
+  /// Number of machines executing the program (Section 4.5 exposes this for
+  /// grain-size decisions).
+  int machine_count() const;
+
+  /// The machine this task is executing on (0 outside SimEngine).
+  MachineId machine() const;
+
+  TaskNode* node() { return node_; }
+  Engine& engine() { return *engine_; }
+
+ private:
+  std::byte* acquire(ObjectId obj, std::uint8_t mode);
+
+  Engine* engine_;
+  TaskNode* node_;
+};
+
+}  // namespace jade

@@ -1,0 +1,2 @@
+// Engine is an interface; shared helpers live here.
+#include "jade/engine/engine.hpp"

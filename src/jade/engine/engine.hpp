@@ -1,0 +1,103 @@
+// The engine interface: everything the Jade front end (Runtime/TaskContext)
+// needs from an execution platform.
+//
+// Three engines implement it:
+//   SerialEngine — executes every task inline at its creation point; this IS
+//                  the serial semantics every other execution must match.
+//   ThreadEngine — real shared-memory parallelism on a worker pool.
+//   SimEngine    — deterministic virtual-time execution on a simulated
+//                  (possibly heterogeneous, message-passing) cluster; the
+//                  platform for all of the paper's evaluation experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "jade/core/access.hpp"
+#include "jade/core/object.hpp"
+#include "jade/core/queues.hpp"
+#include "jade/core/task.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+/// Counters every engine maintains (those that apply to it).
+struct RuntimeStats {
+  std::uint64_t tasks_created = 0;
+  std::uint64_t tasks_inlined = 0;   ///< executed in the creator (throttling)
+  std::uint64_t tasks_migrated = 0;  ///< executed off the creating machine
+  std::uint64_t throttle_suspensions = 0;
+
+  std::uint64_t messages = 0;        ///< simulated network messages
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t object_moves = 0;    ///< exclusive transfers (write access)
+  std::uint64_t object_copies = 0;   ///< replications (read access)
+  std::uint64_t invalidations = 0;
+  std::uint64_t scalars_converted = 0;  ///< heterogeneous format conversion
+
+  double total_charged_work = 0;     ///< sum of charge() units
+  SimTime finish_time = 0;           ///< virtual completion time (SimEngine)
+  std::vector<double> machine_busy_seconds;  ///< per machine (SimEngine)
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  // --- objects -------------------------------------------------------------
+
+  /// Creates a shared object (zero-initialized).  `home` places the initial
+  /// copy on a specific simulated machine (-1: engine's default placement,
+  /// round-robin in SimEngine).  Legal before run() and from inside tasks.
+  virtual ObjectId allocate(TypeDescriptor type, std::string name,
+                            MachineId home) = 0;
+
+  /// Host-side initialization before run() (or between runs).
+  virtual void put_bytes(ObjectId obj, std::span<const std::byte> data) = 0;
+
+  /// Host-side readback after run().
+  virtual std::vector<std::byte> get_bytes(ObjectId obj) = 0;
+
+  virtual const ObjectInfo& object_info(ObjectId obj) const = 0;
+
+  // --- execution -----------------------------------------------------------
+
+  /// Executes `root_body` as the main task and returns when the whole task
+  /// graph has drained.
+  virtual void run(std::function<void(TaskContext&)> root_body) = 0;
+
+  // --- TaskContext backend -------------------------------------------------
+
+  virtual void spawn(TaskNode* parent,
+                     const std::vector<AccessRequest>& requests,
+                     TaskContext::BodyFn body, std::string name,
+                     MachineId placement) = 0;
+
+  virtual void with_cont(TaskNode* task,
+                         const std::vector<AccessRequest>& requests) = 0;
+
+  /// Access check + global→local translation; blocks (in the engine's way)
+  /// until the serial order admits the access.  The pointer stays valid for
+  /// the remainder of the task.
+  virtual std::byte* acquire_bytes(TaskNode* task, ObjectId obj,
+                                   std::uint8_t mode) = 0;
+
+  virtual void charge(TaskNode* task, double units) = 0;
+
+  virtual int machine_count() const = 0;
+
+  /// Machine `task` is currently executing on (0 where machines don't
+  /// exist).
+  virtual MachineId machine_of(TaskNode* task) const = 0;
+
+  const RuntimeStats& stats() const { return stats_; }
+
+ protected:
+  RuntimeStats stats_;
+};
+
+}  // namespace jade

@@ -1,0 +1,85 @@
+#include "jade/engine/serial_engine.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+SerialEngine::SerialEngine(bool enforce_hierarchy)
+    : serializer_(this, enforce_hierarchy) {}
+
+ObjectId SerialEngine::allocate(TypeDescriptor type, std::string name,
+                                MachineId /*home*/) {
+  const ObjectId id = objects_.add(std::move(type), std::move(name));
+  buffers_[id].assign(objects_.info(id).byte_size(), std::byte{0});
+  return id;
+}
+
+void SerialEngine::put_bytes(ObjectId obj, std::span<const std::byte> data) {
+  auto& buf = buffers_.at(obj);
+  JADE_ASSERT(data.size() == buf.size());
+  std::copy(data.begin(), data.end(), buf.begin());
+}
+
+std::vector<std::byte> SerialEngine::get_bytes(ObjectId obj) {
+  return buffers_.at(obj);
+}
+
+const ObjectInfo& SerialEngine::object_info(ObjectId obj) const {
+  return objects_.info(obj);
+}
+
+void SerialEngine::run(std::function<void(TaskContext&)> root_body) {
+  JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
+  ran_ = true;
+  TaskContext ctx(this, serializer_.root());
+  root_body(ctx);
+  serializer_.complete_task(serializer_.root());
+  JADE_ASSERT_MSG(serializer_.outstanding() == 0,
+                  "serial run left outstanding tasks");
+}
+
+void SerialEngine::spawn(TaskNode* parent,
+                         const std::vector<AccessRequest>& requests,
+                         TaskContext::BodyFn body, std::string name,
+                         MachineId /*placement*/) {
+  TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
+                                           std::move(name));
+  ++stats_.tasks_created;
+  // Serial invariant: every earlier task has already completed, so nothing
+  // can be blocking this one.
+  JADE_ASSERT_MSG(task->state() == TaskState::kReady,
+                  "serial execution created a non-ready task");
+  execute(task);
+}
+
+void SerialEngine::execute(TaskNode* task) {
+  serializer_.task_started(task);
+  TaskContext ctx(this, task);
+  task->body(ctx);
+  task->body = nullptr;  // release captured state promptly
+  serializer_.complete_task(task);
+}
+
+void SerialEngine::with_cont(TaskNode* task,
+                             const std::vector<AccessRequest>& requests) {
+  const bool must_block = serializer_.update_spec(task, requests);
+  JADE_ASSERT_MSG(!must_block, "serial execution cannot block in with-cont");
+}
+
+std::byte* SerialEngine::acquire_bytes(TaskNode* task, ObjectId obj,
+                                       std::uint8_t mode) {
+  const bool must_block = serializer_.acquire(task, obj, mode);
+  JADE_ASSERT_MSG(!must_block, "serial execution cannot block in acquire");
+  return buffers_.at(obj).data();
+}
+
+void SerialEngine::charge(TaskNode* task, double units) {
+  task->charged_work += units;
+  stats_.total_charged_work += units;
+}
+
+void SerialEngine::on_task_unblocked(TaskNode* /*task*/) {
+  throw InternalError("serial engine received an unblock notification");
+}
+
+}  // namespace jade

@@ -1,0 +1,595 @@
+#include "jade/engine/sim_engine.hpp"
+
+#include <algorithm>
+
+#include "jade/support/error.hpp"
+#include "jade/support/log.hpp"
+#include "jade/types/wire.hpp"
+
+namespace jade {
+
+namespace {
+constexpr std::uint8_t kExclusiveBits = access::kWrite | access::kCommute;
+
+/// Runtime control-message kinds on the simulated wire.
+enum class MsgKind : std::uint8_t {
+  kObjectRequest = 1,   ///< please send object X (move or copy)
+  kObjectData = 2,      ///< header preceding an object payload
+  kInvalidate = 3,      ///< drop your replica of object X
+};
+
+/// Encodes a control message exactly as the transport would (the typed
+/// PVM-style protocol of Section 7); its wire size is what the network
+/// model is charged with.  A floor models transport framing minima.
+std::size_t control_message_size(MsgKind kind, ObjectId obj, MachineId from,
+                                 MachineId to, std::uint64_t payload,
+                                 std::size_t floor) {
+  WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_u64(obj);
+  w.put_u32(static_cast<std::uint32_t>(from));
+  w.put_u32(static_cast<std::uint32_t>(to));
+  w.put_u64(payload);
+  return std::max(w.size(), floor);
+}
+}  // namespace
+
+SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
+                     bool enforce_hierarchy)
+    : cluster_(std::move(cluster)),
+      sched_(sched),
+      network_(cluster_.make_network()),
+      directory_(cluster_.machine_count()),
+      serializer_(this, enforce_hierarchy) {
+  cluster_.validate();
+  if (sched_.contexts_per_machine < 1)
+    throw ConfigError("contexts_per_machine must be >= 1");
+  machines_.reserve(cluster_.machines.size());
+  for (const MachineDesc& desc : cluster_.machines) {
+    Machine m;
+    m.desc = desc;
+    m.free_contexts = sched_.contexts_per_machine;
+    machines_.push_back(std::move(m));
+  }
+  stats_.machine_busy_seconds.assign(machines_.size(), 0.0);
+}
+
+SimEngine::~SimEngine() = default;
+
+SimEngine::SimTask& SimEngine::st(TaskNode* task) {
+  JADE_ASSERT_MSG(task->engine_data != nullptr,
+                  "task has no simulation state");
+  return *static_cast<SimTask*>(task->engine_data);
+}
+
+// --- objects ---------------------------------------------------------------
+
+ObjectId SimEngine::allocate(TypeDescriptor type, std::string name,
+                             MachineId home) {
+  const ObjectId id = objects_.add(std::move(type), std::move(name));
+  MachineId home_m;
+  if (home >= 0) {
+    JADE_ASSERT_MSG(home < machine_count(), "placement machine out of range");
+    home_m = home;
+  } else {
+    home_m = next_home_;
+    next_home_ = (next_home_ + 1) % machine_count();
+  }
+  directory_.add_object(objects_.info(id), home_m);
+  return id;
+}
+
+void SimEngine::put_bytes(ObjectId obj, std::span<const std::byte> data) {
+  JADE_ASSERT(data.size() == objects_.info(obj).byte_size());
+  std::copy(data.begin(), data.end(), directory_.data(obj));
+}
+
+std::vector<std::byte> SimEngine::get_bytes(ObjectId obj) {
+  auto view = directory_.data_view(obj);
+  return {view.begin(), view.end()};
+}
+
+const ObjectInfo& SimEngine::object_info(ObjectId obj) const {
+  return objects_.info(obj);
+}
+
+// --- notifications ---------------------------------------------------------
+
+void SimEngine::on_task_ready(TaskNode* task) { ready_.push_back(task); }
+
+void SimEngine::on_task_unblocked(TaskNode* task) {
+  to_unblock_.push_back(task);
+}
+
+void SimEngine::post_serializer() {
+  try_dispatch();
+  while (!to_unblock_.empty()) {
+    std::vector<TaskNode*> batch;
+    batch.swap(to_unblock_);
+    for (TaskNode* t : batch) deliver_unblock(t);
+  }
+}
+
+void SimEngine::deliver_unblock(TaskNode* task) {
+  SimTask& t = st(task);
+  JADE_ASSERT_MSG(t.wait == Wait::kUnblock,
+                  "unblock delivered to a task not waiting on dependencies");
+  sim_.resume(t.process);
+}
+
+// --- dispatch --------------------------------------------------------------
+
+void SimEngine::try_dispatch() {
+  // Task-driven dispatch in FIFO order: each ready task picks its best
+  // machine — most declared bytes already resident (locality), then the
+  // creating machine, then the least-loaded (pure balancing).  On
+  // shared-memory platforms data movement is free, so locality is moot and
+  // only load balancing applies.
+  const bool locality = sched_.locality && !cluster_.shared_memory();
+  bool progress = true;
+  while (progress && !ready_.empty()) {
+    progress = false;
+    std::vector<int> free(machines_.size());
+    int total_free = 0;
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      free[m] = machines_[m].free_contexts;
+      total_free += free[m];
+    }
+    if (total_free == 0) return;  // nothing can be placed; skip the scan
+    // Bounded scheduler window: only the oldest kWindow ready tasks are
+    // considered, keeping dispatch cost independent of backlog size (the
+    // backlog can be huge when a creator floods tasks, Figure 7(e)).
+    constexpr std::size_t kWindow = 64;
+    const std::size_t window = std::min(ready_.size(), kWindow);
+    for (std::size_t i = 0; i < window; ++i) {
+      TaskNode* task = ready_[i];
+      MachineId m;
+      if (task->placement >= 0) {
+        // Explicit placement (Section 4.5) overrides the heuristics.
+        m = free[static_cast<std::size_t>(task->placement)] > 0
+                ? task->placement
+                : -1;
+      } else {
+        m = pick_machine_for_task(directory_, st(task).objects, free,
+                                  locality, st(task).creator_machine);
+      }
+      if (m < 0) continue;
+      ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+      assign(task, m);
+      progress = true;
+      break;  // ready_ and free context counts changed; restart the scan
+    }
+  }
+}
+
+void SimEngine::assign(TaskNode* task, MachineId m) {
+  Machine& mach = machines_[m];
+  JADE_ASSERT(mach.free_contexts > 0);
+  --mach.free_contexts;
+  SimTask& t = st(task);
+  t.machine = m;
+  t.dispatched = sim_.now();
+  task->assigned_machine = m;
+  if (m != t.creator_machine) ++stats_.tasks_migrated;
+  JADE_TRACE("t=" << sim_.now() << " dispatch " << task->name()
+                  << " -> machine " << m << " (" << mach.desc.name << ")");
+  t.process = sim_.spawn(task->name(), [this, task] { task_process(task); });
+}
+
+// --- task lifecycle --------------------------------------------------------
+
+void SimEngine::task_process(TaskNode* task) {
+  SimTask& t = st(task);
+  serializer_.task_started(task);
+  ++active_tasks_;
+
+  // Prefetch: move/copy every object named by an immediate right to this
+  // machine; all transfers go out at once so their latencies overlap
+  // (and overlap other tasks' execution — latency hiding, Figure 7(f)).
+  if (!cluster_.shared_memory()) {
+    SimTime ready_at = sim_.now();
+    for (const DeclRecord* rec : task->ordered_records()) {
+      if (rec->immediate == 0) continue;
+      const bool exclusive = (rec->immediate & kExclusiveBits) != 0;
+      ready_at =
+          std::max(ready_at, transfer_object(rec->obj, t.machine, exclusive));
+    }
+    if (ready_at > sim_.now()) {
+      t.wait = Wait::kFetch;
+      sim_.resume_at(sim_.current(), ready_at);
+      sim_.park();
+      t.wait = Wait::kNone;
+    }
+  }
+
+  occupy_runtime(t, cluster_.task_dispatch_overhead);
+  t.body_start = sim_.now();
+
+  TaskContext ctx(this, task);
+  task->body(ctx);
+  task->body = nullptr;
+
+  finish_task(task);
+}
+
+void SimEngine::finish_task(TaskNode* task) {
+  SimTask& t = st(task);
+  JADE_TRACE("t=" << sim_.now() << " complete " << task->name()
+                  << " on machine " << t.machine);
+  if (sched_.record_timeline) {
+    timeline_.push_back(TaskTimeline{task->id(), task->name(), t.machine,
+                                     t.created, t.dispatched, t.body_start,
+                                     sim_.now(), task->charged_work});
+  }
+  --active_tasks_;
+  serializer_.complete_task(task);
+  post_serializer();
+  for (ObjectId obj : t.commute_tokens) release_commute_token(obj);
+  t.commute_tokens.clear();
+  release_context(t);
+  maybe_release_throttled();
+}
+
+void SimEngine::release_commute_token(ObjectId obj) {
+  auto& waiters = commute_waiters_[obj];
+  if (!waiters.empty()) {
+    TaskNode* next = waiters.front();
+    waiters.pop_front();
+    commute_holder_[obj] = next;
+    st(next).commute_tokens.push_back(obj);
+    sim_.resume(st(next).process);
+  } else {
+    commute_holder_.erase(obj);
+  }
+}
+
+void SimEngine::occupy_cpu(SimTask& t, SimTime seconds) {
+  if (seconds <= 0) return;
+  Machine& m = machines_[t.machine];
+  const SimTime start = std::max(sim_.now(), m.cpu_free_until);
+  const SimTime end = start + seconds;
+  m.cpu_free_until = end;
+  m.busy_seconds += seconds;
+  t.wait = Wait::kCpu;
+  sim_.resume_at(sim_.current(), end);
+  sim_.park();
+  t.wait = Wait::kNone;
+}
+
+void SimEngine::occupy_runtime(SimTask& t, SimTime seconds) {
+  if (seconds <= 0) return;
+  Machine& m = machines_[t.machine];
+  const SimTime start = std::max(sim_.now(), m.runtime_free_until);
+  const SimTime end = start + seconds;
+  m.runtime_free_until = end;
+  t.wait = Wait::kCpu;
+  sim_.resume_at(sim_.current(), end);
+  sim_.park();
+  t.wait = Wait::kNone;
+}
+
+void SimEngine::release_context(SimTask& t) {
+  Machine& m = machines_[t.machine];
+  if (!m.context_waiters.empty()) {
+    // The slot passes directly to a task re-entering after a block.
+    TaskNode* next = m.context_waiters.front();
+    m.context_waiters.pop_front();
+    sim_.resume(st(next).process);
+  } else {
+    ++m.free_contexts;
+    try_dispatch();
+  }
+}
+
+void SimEngine::reacquire_context(SimTask& t) {
+  Machine& m = machines_[t.machine];
+  if (m.free_contexts > 0) {
+    --m.free_contexts;
+    return;
+  }
+  JADE_TRACE("t=" << sim_.now() << " " << t.node->name()
+                  << " waits for a context on machine " << t.machine);
+  m.context_waiters.push_back(t.node);
+  park_inactive(t, Wait::kContext);
+}
+
+void SimEngine::park_inactive(SimTask& t, Wait kind) {
+  t.wait = kind;
+  --active_tasks_;
+  // If this park leaves no runnable task, a suspended creator is the only
+  // source of progress and must be released now.
+  maybe_release_throttled();
+  sim_.park();
+  ++active_tasks_;
+  t.wait = Wait::kNone;
+}
+
+void SimEngine::maybe_release_throttled() {
+  if (!sched_.throttle.enabled) return;
+  while (!throttled_.empty() &&
+         (serializer_.backlog() <= sched_.throttle.low_water ||
+          active_tasks_ == 0)) {
+    TaskNode* t = throttled_.front();
+    throttled_.pop_front();
+    sim_.resume(st(t).process);
+    if (active_tasks_ == 0) break;  // one is enough to restore progress
+  }
+}
+
+// --- TaskContext backend ---------------------------------------------------
+
+void SimEngine::spawn(TaskNode* parent,
+                      const std::vector<AccessRequest>& requests,
+                      TaskContext::BodyFn body, std::string name,
+                      MachineId placement) {
+  SimTask& pt = st(parent);
+  // Executing the withonly construct costs the creator time (building the
+  // specification, inserting queue records) on the runtime lane.
+  occupy_runtime(pt, cluster_.task_create_overhead);
+
+  TaskNode* task =
+      serializer_.create_task(parent, requests, std::move(body),
+                              std::move(name));
+  task->placement = placement;
+  sim_tasks_.emplace_back();
+  SimTask& t = sim_tasks_.back();
+  t.node = task;
+  t.creator_machine = pt.machine;
+  t.created = sim_.now();
+  for (const AccessRequest& req : requests)
+    if (req.add_immediate | req.add_deferred) t.objects.push_back(req.obj);
+  task->engine_data = &t;
+  ++stats_.tasks_created;
+  post_serializer();
+
+  if (sched_.throttle.enabled &&
+      serializer_.backlog() > sched_.throttle.high_water &&
+      active_tasks_ > 1) {
+    // Excess concurrency: suspend the creating task (Figure 7(e)) until the
+    // unstarted backlog drains.  Skipped when this creator is the only
+    // active task — then it is the sole source of progress.
+    ++stats_.throttle_suspensions;
+    JADE_TRACE("t=" << sim_.now() << " throttle suspends " << parent->name()
+                    << " (backlog=" << serializer_.backlog() << ")");
+    throttled_.push_back(parent);
+    release_context(pt);
+    park_inactive(pt, Wait::kThrottle);
+    reacquire_context(pt);
+  }
+}
+
+void SimEngine::with_cont(TaskNode* task,
+                          const std::vector<AccessRequest>& requests) {
+  SimTask& t = st(task);
+  const bool must_block = serializer_.update_spec(task, requests);
+  post_serializer();
+  // no_cm hands the exclusivity token to the next waiting commuter now
+  // rather than at completion.
+  for (const AccessRequest& req : requests) {
+    if (!(req.remove & access::kCommute)) continue;
+    auto held = std::find(t.commute_tokens.begin(), t.commute_tokens.end(),
+                          req.obj);
+    if (held == t.commute_tokens.end()) continue;
+    t.commute_tokens.erase(held);
+    release_commute_token(req.obj);
+  }
+  if (must_block) {
+    // Release the machine slot while waiting: the tasks we wait on may need
+    // it (they precede us in the serial order).
+    JADE_TRACE("t=" << sim_.now() << " " << task->name()
+                    << " blocks in with-cont");
+    release_context(t);
+    park_inactive(t, Wait::kUnblock);
+    reacquire_context(t);
+  }
+  fetch_for(t, requests);
+}
+
+void SimEngine::fetch_for(SimTask& t,
+                          const std::vector<AccessRequest>& reqs) {
+  if (cluster_.shared_memory()) return;
+  SimTime ready_at = sim_.now();
+  for (const AccessRequest& req : reqs) {
+    if (req.add_immediate == 0) continue;
+    DeclRecord* rec = t.node->find_record(req.obj);
+    if (rec == nullptr || rec->immediate == 0) continue;
+    const bool exclusive = (rec->immediate & kExclusiveBits) != 0;
+    ready_at =
+        std::max(ready_at, transfer_object(req.obj, t.machine, exclusive));
+  }
+  if (ready_at > sim_.now()) {
+    t.wait = Wait::kFetch;
+    sim_.resume_at(sim_.current(), ready_at);
+    sim_.park();
+    t.wait = Wait::kNone;
+  }
+}
+
+std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
+                                    std::uint8_t mode) {
+  SimTask& t = st(task);
+  const bool must_block = serializer_.acquire(task, obj, mode);
+  if (must_block) {
+    JADE_TRACE("t=" << sim_.now() << " " << task->name()
+                    << " blocks in acquire of obj " << obj);
+    release_context(t);
+    park_inactive(t, Wait::kUnblock);
+    reacquire_context(t);
+  }
+  if (mode & access::kCommute) {
+    auto it = commute_holder_.find(obj);
+    if (it != commute_holder_.end() && it->second != task) {
+      // Another commuter holds the object; queue for the token.  The
+      // machine slot is released meanwhile — the holder may be later in the
+      // serial order and need it.
+      JADE_TRACE("t=" << sim_.now() << " " << task->name()
+                      << " waits for commute token on obj " << obj);
+      release_context(t);
+      commute_waiters_[obj].push_back(task);
+      // the releaser hands us the token before resuming us
+      park_inactive(t, Wait::kCommute);
+      reacquire_context(t);
+    } else if (it == commute_holder_.end()) {
+      commute_holder_.emplace(obj, task);
+      t.commute_tokens.push_back(obj);
+    }
+  }
+  // A child may have moved the object since our prefetch; re-ensure
+  // residence (cheap when it is still here).
+  if (!cluster_.shared_memory()) {
+    const bool exclusive = (mode & kExclusiveBits) != 0;
+    const SimTime at = transfer_object(obj, t.machine, exclusive);
+    if (at > sim_.now()) {
+      t.wait = Wait::kFetch;
+      sim_.resume_at(sim_.current(), at);
+      sim_.park();
+      t.wait = Wait::kNone;
+    }
+  }
+  return directory_.data(obj);
+}
+
+void SimEngine::charge(TaskNode* task, double units) {
+  JADE_ASSERT_MSG(units >= 0, "charge() units must be non-negative");
+  SimTask& t = st(task);
+  task->charged_work += units;
+  stats_.total_charged_work += units;
+  occupy_cpu(t, units / machines_[t.machine].desc.ops_per_second);
+}
+
+MachineId SimEngine::machine_of(TaskNode* task) const {
+  return static_cast<const SimTask*>(task->engine_data)->machine;
+}
+
+// --- object motion ---------------------------------------------------------
+
+SimTime SimEngine::available_at(ObjectId obj, MachineId m) const {
+  auto it = available_at_.find(obj * 64 + static_cast<std::uint64_t>(m));
+  return it == available_at_.end() ? 0 : it->second;
+}
+
+void SimEngine::set_available_at(ObjectId obj, MachineId m, SimTime at) {
+  available_at_[obj * 64 + static_cast<std::uint64_t>(m)] = at;
+}
+
+SimTime SimEngine::transfer_object(ObjectId obj, MachineId to,
+                                   bool exclusive) {
+  const SimTime now = sim_.now();
+  if (cluster_.shared_memory()) return now;
+
+  const ObjectInfo& info = objects_.info(obj);
+  const MachineId from = directory_.owner(obj);
+  // The object travels behind a data header; requests and invalidations are
+  // standalone control messages.
+  const std::size_t payload =
+      info.byte_size() +
+      control_message_size(MsgKind::kObjectData, obj, from, to,
+                           info.byte_size(), cluster_.control_message_bytes);
+  const std::size_t request_bytes =
+      control_message_size(MsgKind::kObjectRequest, obj, to, from, 0,
+                           cluster_.control_message_bytes);
+
+  // Heterogeneous format conversion: when the byte orders differ we really
+  // run the per-scalar conversion (twice: sender->wire, wire->receiver; the
+  // two swaps compose to the identity on the host's canonical buffer, but
+  // the work and the code path are real) and charge its time.
+  auto maybe_convert = [&](MachineId src, MachineId dst) -> SimTime {
+    const Endian se = machines_[src].desc.endian;
+    const Endian de = machines_[dst].desc.endian;
+    if (se == de || info.type.order_invariant()) return 0;
+    std::span<std::byte> data{directory_.data(obj), info.byte_size()};
+    const std::size_t n =
+        convert_representation(data, info.type, Endian::kLittle,
+                               Endian::kBig);
+    convert_representation(data, info.type, Endian::kBig, Endian::kLittle);
+    stats_.scalars_converted += n;
+    return static_cast<SimTime>(n) * cluster_.conversion_seconds_per_scalar;
+  };
+
+  if (!exclusive) {
+    if (directory_.present(obj, to))
+      return std::max(now, available_at(obj, to));
+    // Copy: request to the owner, data back; the owner keeps its version so
+    // machines read concurrently (object replication, Section 5).
+    const SimTime req_arr =
+        network_->schedule_transfer(to, from, request_bytes, now);
+    SimTime data_arr = network_->schedule_transfer(from, to, payload,
+                                                   req_arr);
+    stats_.messages += 2;
+    stats_.bytes_sent += request_bytes + payload;
+    data_arr += maybe_convert(from, to);
+    directory_.replicate_to(obj, to);
+    ++stats_.object_copies;
+    set_available_at(obj, to, data_arr);
+    JADE_TRACE("t=" << now << " copy " << info.name << " " << from << "->"
+                    << to << " arrives t=" << data_arr);
+    return data_arr;
+  }
+
+  // Exclusive (write/commute) access: the object *moves*; every other copy
+  // is deallocated (Figure 7(c)).  Invalidations are fire-and-forget — the
+  // serializer already guarantees no earlier reader is still active.
+  SimTime avail = std::max(now, available_at(obj, to));
+  if (from != to) {
+    const SimTime req_arr =
+        network_->schedule_transfer(to, from, request_bytes, now);
+    SimTime data_arr = network_->schedule_transfer(from, to, payload,
+                                                   req_arr);
+    stats_.messages += 2;
+    stats_.bytes_sent += request_bytes + payload;
+    data_arr += maybe_convert(from, to);
+    avail = data_arr;
+    ++stats_.object_moves;
+    JADE_TRACE("t=" << now << " move " << info.name << " " << from << "->"
+                    << to << " arrives t=" << data_arr);
+  }
+  for (MachineId h : directory_.holders(obj)) {
+    if (h == to || h == from) continue;
+    const std::size_t inval_bytes =
+        control_message_size(MsgKind::kInvalidate, obj, from, h, 0,
+                             cluster_.control_message_bytes);
+    network_->schedule_transfer(from, h, inval_bytes, now);
+    ++stats_.messages;
+    stats_.bytes_sent += inval_bytes;
+    ++stats_.invalidations;
+  }
+  directory_.move_to(obj, to);
+  set_available_at(obj, to, avail);
+  return avail;
+}
+
+// --- run -------------------------------------------------------------------
+
+void SimEngine::run(std::function<void(TaskContext&)> root_body) {
+  JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
+  ran_ = true;
+
+  // The original task starts on machine 0, occupying one of its contexts
+  // (Figure 7(a): the first machine runs the main task).
+  JADE_ASSERT(machines_[0].free_contexts > 0);
+  --machines_[0].free_contexts;
+  sim_tasks_.emplace_back();
+  SimTask& rt = sim_tasks_.back();
+  rt.node = serializer_.root();
+  rt.machine = 0;
+  rt.creator_machine = 0;
+  serializer_.root()->engine_data = &rt;
+  serializer_.root()->assigned_machine = 0;
+
+  rt.process = sim_.spawn("root", [this, body = std::move(root_body)] {
+    ++active_tasks_;
+    TaskContext ctx(this, serializer_.root());
+    body(ctx);
+    finish_task(serializer_.root());
+  });
+
+  sim_.run();
+
+  JADE_ASSERT_MSG(serializer_.outstanding() == 0,
+                  "simulation drained with outstanding tasks");
+  stats_.finish_time = sim_.now();
+  for (std::size_t m = 0; m < machines_.size(); ++m)
+    stats_.machine_busy_seconds[m] = machines_[m].busy_seconds;
+}
+
+}  // namespace jade

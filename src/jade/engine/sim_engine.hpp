@@ -1,0 +1,190 @@
+// SimEngine — Jade on a simulated (possibly heterogeneous, message-passing)
+// cluster, in deterministic virtual time.
+//
+// This is the platform on which every evaluation experiment runs.  Task
+// bodies really execute (results are real and compared against the serial
+// engine); their *cost* is declared via TaskContext::charge() and converted
+// to virtual seconds by the executing machine's speed.  Object motion goes
+// through the interconnect model and the object directory, reproducing the
+// paper's Section 3.3 walkthrough:
+//
+//   * a ready task is assigned to a machine by the dynamic load balancer,
+//     preferring machines that already hold its objects (locality);
+//   * the runtime then moves (write access) or copies (read access) the
+//     declared objects to that machine, converting data formats when the
+//     machines' byte orders differ;
+//   * while one task's objects are in transit the machine executes another
+//     resident task — latency hiding via multiple task contexts;
+//   * excess task creation suspends the creating task (throttling), which
+//     serial semantics makes deadlock-free.
+//
+// Every task executes as a cooperative sim::Process, so an unmodified body
+// can pause mid-execution in a with-cont — the pipelining construct of
+// Section 4.2.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "jade/engine/engine.hpp"
+#include "jade/engine/timeline.hpp"
+#include "jade/mach/machine.hpp"
+#include "jade/net/network.hpp"
+#include "jade/sched/policies.hpp"
+#include "jade/sim/simulation.hpp"
+#include "jade/store/directory.hpp"
+
+namespace jade {
+
+class SimEngine : public Engine, private SerializerListener {
+ public:
+  SimEngine(ClusterConfig cluster, SchedPolicy sched, bool enforce_hierarchy);
+  ~SimEngine() override;
+
+  ObjectId allocate(TypeDescriptor type, std::string name,
+                    MachineId home) override;
+  void put_bytes(ObjectId obj, std::span<const std::byte> data) override;
+  std::vector<std::byte> get_bytes(ObjectId obj) override;
+  const ObjectInfo& object_info(ObjectId obj) const override;
+
+  void run(std::function<void(TaskContext&)> root_body) override;
+
+  void spawn(TaskNode* parent, const std::vector<AccessRequest>& requests,
+             TaskContext::BodyFn body, std::string name,
+             MachineId placement) override;
+  void with_cont(TaskNode* task,
+                 const std::vector<AccessRequest>& requests) override;
+  std::byte* acquire_bytes(TaskNode* task, ObjectId obj,
+                           std::uint8_t mode) override;
+  void charge(TaskNode* task, double units) override;
+  int machine_count() const override { return cluster_.machine_count(); }
+  MachineId machine_of(TaskNode* task) const override;
+
+  /// Virtual time now (for apps/benches that trace progress).
+  SimTime now() const { return sim_.now(); }
+  const NetworkModel& network() const { return *network_; }
+  const ObjectDirectory& directory() const { return directory_; }
+
+  /// Per-task execution records (empty unless sched.record_timeline).
+  const std::vector<TaskTimeline>& timeline() const { return timeline_; }
+
+ private:
+  /// What a parked task process is waiting for (routes resumes).
+  enum class Wait : std::uint8_t {
+    kNone,
+    kFetch,     ///< object transfers in flight (self-resume scheduled)
+    kCpu,       ///< charge() occupancy (self-resume scheduled)
+    kUnblock,   ///< serializer dependency (deliver_unblock resumes)
+    kContext,   ///< machine task-context slot (release_context resumes)
+    kThrottle,  ///< outstanding-task backlog (completion path resumes)
+    kCommute,   ///< commute token held by another task
+  };
+
+  struct SimTask {
+    TaskNode* node = nullptr;
+    Process* process = nullptr;
+    MachineId machine = -1;          ///< executing machine once assigned
+    MachineId creator_machine = 0;   ///< where the withonly executed
+    Wait wait = Wait::kNone;
+    std::vector<ObjectId> objects;   ///< declared objects, in decl order
+    std::vector<ObjectId> commute_tokens;  ///< exclusivity tokens held
+    // timeline capture (when sched.record_timeline)
+    SimTime created = 0;
+    SimTime dispatched = 0;
+    SimTime body_start = 0;
+  };
+
+  struct Machine {
+    MachineDesc desc;
+    int free_contexts = 0;
+    /// Application compute (charge()) serializes on the CPU proper.
+    SimTime cpu_free_until = 0;
+    /// Runtime bookkeeping (task creation/dispatch) runs on its own lane:
+    /// real implementations process task management asynchronously with
+    /// compute (interrupt-level message handling / timesharing), so a long
+    /// compute slice must not stall the creator for its full duration.
+    SimTime runtime_free_until = 0;
+    double busy_seconds = 0;
+    std::deque<TaskNode*> context_waiters;  ///< unblocked tasks re-entering
+  };
+
+  // SerializerListener (fires inside serializer calls; engine drains after).
+  void on_task_ready(TaskNode* task) override;
+  void on_task_unblocked(TaskNode* task) override;
+
+  SimTask& st(TaskNode* task);
+
+  /// Dispatches + delivers queued unblocks; call after every serializer
+  /// mutation.
+  void post_serializer();
+  void try_dispatch();
+  void assign(TaskNode* task, MachineId m);
+
+  /// The body of every task's sim process.
+  void task_process(TaskNode* task);
+  void finish_task(TaskNode* task);
+
+  void release_context(SimTask& t);
+  void reacquire_context(SimTask& t);
+  /// Parks the current task in a wait that other tasks must resolve
+  /// (dependency, commute token, machine context, throttle), maintaining
+  /// the runnable-task count and waking a throttled creator if this park
+  /// leaves nothing else runnable.
+  void park_inactive(SimTask& t, Wait kind);
+  /// Hands an object's commute token to the next waiter (or frees it).
+  void release_commute_token(ObjectId obj);
+  void maybe_release_throttled();
+  void deliver_unblock(TaskNode* task);
+
+  /// Occupies the machine's compute CPU for `seconds` of virtual time
+  /// (parking the current task process until done).
+  void occupy_cpu(SimTask& t, SimTime seconds);
+
+  /// Same, on the machine's runtime lane (task management overheads).
+  void occupy_runtime(SimTask& t, SimTime seconds);
+
+  /// Ensures `obj` is usable at machine `m` (exclusively if `exclusive`),
+  /// scheduling transfers/invalidations/conversions; returns when it is
+  /// available there.  Immediate (returns now) on shared-memory platforms.
+  SimTime transfer_object(ObjectId obj, MachineId m, bool exclusive);
+
+  /// Fetches every object in `reqs` that carries immediate rights; parks
+  /// until all have arrived.
+  void fetch_for(SimTask& t, const std::vector<AccessRequest>& reqs);
+
+  SimTime available_at(ObjectId obj, MachineId m) const;
+  void set_available_at(ObjectId obj, MachineId m, SimTime at);
+
+  ClusterConfig cluster_;
+  SchedPolicy sched_;
+  std::unique_ptr<NetworkModel> network_;
+  ObjectTable objects_;
+  ObjectDirectory directory_;
+  Serializer serializer_;
+  std::vector<Machine> machines_;
+
+  std::deque<SimTask> sim_tasks_;          ///< stable storage; engine_data
+  std::deque<TaskNode*> ready_;            ///< dispatch queue (FIFO base)
+  std::vector<TaskNode*> to_unblock_;      ///< queued unblock notifications
+  std::deque<TaskNode*> throttled_;        ///< creators suspended (Fig 7e)
+  /// Commuting-update exclusivity: commuters run in any order but touch the
+  /// object one at a time; the token passes FIFO among waiters.
+  std::unordered_map<ObjectId, TaskNode*> commute_holder_;
+  std::unordered_map<ObjectId, std::deque<TaskNode*>> commute_waiters_;
+  std::unordered_map<std::uint64_t, SimTime> available_at_;
+  std::vector<TaskTimeline> timeline_;
+  MachineId next_home_ = 0;                ///< round-robin initial placement
+  /// Started-but-incomplete tasks not parked in the throttle; when this
+  /// would reach zero, throttled creators are the only progress source and
+  /// must run.
+  int active_tasks_ = 0;
+  bool ran_ = false;
+
+  /// Declared last: destroyed first, so parked task processes unwind while
+  /// every engine structure their stacks reference is still alive.
+  Simulation sim_;
+};
+
+}  // namespace jade

@@ -1,0 +1,302 @@
+#include "jade/engine/thread_engine.hpp"
+
+#include "jade/support/error.hpp"
+#include "jade/support/log.hpp"
+
+namespace jade {
+
+namespace {
+/// Thrown inside a blocked task to unwind it when another task has already
+/// failed; never escapes the engine.
+struct EngineAborting {};
+}  // namespace
+
+ThreadEngine::ThreadEngine(int workers, ThrottleConfig throttle,
+                           bool enforce_hierarchy)
+    : workers_requested_(workers),
+      throttle_(throttle),
+      serializer_(this, enforce_hierarchy) {
+  JADE_ASSERT_MSG(workers >= 1, "ThreadEngine needs at least one worker");
+}
+
+ThreadEngine::~ThreadEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+ObjectId ThreadEngine::allocate(TypeDescriptor type, std::string name,
+                                MachineId /*home*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ObjectId id = objects_.add(std::move(type), std::move(name));
+  buffers_[id].assign(objects_.info(id).byte_size(), std::byte{0});
+  return id;
+}
+
+void ThreadEngine::put_bytes(ObjectId obj, std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& buf = buffers_.at(obj);
+  JADE_ASSERT(data.size() == buf.size());
+  std::copy(data.begin(), data.end(), buf.begin());
+}
+
+std::vector<std::byte> ThreadEngine::get_bytes(ObjectId obj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.at(obj);
+}
+
+const ObjectInfo& ThreadEngine::object_info(ObjectId obj) const {
+  return objects_.info(obj);
+}
+
+void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
+    ran_ = true;
+  }
+  workers_.reserve(static_cast<std::size_t>(workers_requested_));
+  for (int i = 0; i < workers_requested_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_threads_ = workers_requested_ + 1;
+  }
+  // The caller's thread is the original task (Figure 7(a)).
+  bool root_failed = false;
+  try {
+    TaskContext ctx(this, serializer_.root());
+    root_body(ctx);
+  } catch (const EngineAborting&) {
+    root_failed = true;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+    root_failed = true;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!root_failed) serializer_.complete_task(serializer_.root());
+  // Drain: help execute ready tasks rather than idling.
+  while (serializer_.outstanding() > 0 && !first_error_) {
+    if (!ready_.empty()) {
+      TaskNode* task = ready_.front();
+      ready_.pop_front();
+      execute(task, lock);
+    } else {
+      ++sleeping_threads_;
+      if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
+      state_cv_.wait(lock, [this] {
+        return serializer_.outstanding() == 0 || !ready_.empty() ||
+               first_error_ != nullptr;
+      });
+      --sleeping_threads_;
+    }
+  }
+  stop_ = true;
+  lock.unlock();
+  work_cv_.notify_all();
+  state_cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadEngine::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    ++sleeping_threads_;
+    ++idle_workers_;
+    if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
+    work_cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
+    --idle_workers_;
+    --sleeping_threads_;
+    if (stop_) return;
+    TaskNode* task = ready_.front();
+    ready_.pop_front();
+    execute(task, lock);
+  }
+}
+
+void ThreadEngine::ensure_spare_worker() {
+  if (idle_workers_ > 0 || stop_) return;
+  JADE_ASSERT_MSG(workers_.size() < 4096,
+                  "runaway compensating-worker growth");
+  workers_.emplace_back([this] { worker_loop(); });
+  ++total_threads_;
+}
+
+void ThreadEngine::execute(TaskNode* task,
+                           std::unique_lock<std::mutex>& lock) {
+  serializer_.task_started(task);
+  JADE_TRACE("exec-start " << task->name());
+  lock.unlock();
+  TaskContext ctx(this, task);
+  bool failed = false;
+  try {
+    task->body(ctx);
+  } catch (const EngineAborting&) {
+    failed = true;  // unwound because another task already failed
+  } catch (...) {
+    lock.lock();
+    if (!first_error_) first_error_ = std::current_exception();
+    lock.unlock();
+    failed = true;
+  }
+  task->body = nullptr;
+  lock.lock();
+  if (auto held = commute_held_.find(task); held != commute_held_.end()) {
+    for (ObjectId obj : held->second) commute_holder_.erase(obj);
+    commute_held_.erase(held);
+  }
+  if (failed) {
+    // Leave the task incomplete; run() aborts on first_error_.
+    state_cv_.notify_all();
+    work_cv_.notify_all();
+    return;
+  }
+  serializer_.complete_task(task);
+  JADE_TRACE("exec-done " << task->name() << " backlog=" << serializer_.backlog()
+             << " ready=" << ready_.size());
+  // Completion may have readied tasks (on_task_ready notified workers); it
+  // also may unblock throttled creators or the draining root.
+  state_cv_.notify_all();
+}
+
+void ThreadEngine::spawn(TaskNode* parent,
+                         const std::vector<AccessRequest>& requests,
+                         TaskContext::BodyFn body, std::string name,
+                         MachineId /*placement*/) {
+  std::unique_lock<std::mutex> lock(mu_);
+  serializer_.create_task(parent, requests, std::move(body),
+                          std::move(name));
+  ++stats_.tasks_created;
+
+  if (!throttle_.enabled) return;
+  if (serializer_.backlog() <= throttle_.high_water) return;
+  // Too much exploited concurrency: make the creator help until the backlog
+  // drains (inlining ready tasks is deadlock-free under serial semantics —
+  // a task never waits on a later task).  If every running task ends up
+  // waiting here with nothing ready, the backlog can only drain through the
+  // creators themselves — give up throttling rather than deadlock.
+  ++stats_.throttle_suspensions;
+  JADE_TRACE("throttle-enter " << parent->name()
+             << " backlog=" << serializer_.backlog());
+  while (serializer_.backlog() > throttle_.low_water) {
+    if (first_error_) throw EngineAborting{};
+    if (sleeping_threads_ + 1 >= total_threads_ && ready_.empty()) {
+      // Every other thread is parked with nothing ready: the backlog can
+      // only drain through this creator, so it must keep creating.
+      JADE_TRACE("throttle-giveup " << parent->name());
+      return;
+    }
+    ensure_spare_worker();
+    ++sleeping_threads_;
+    if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
+    state_cv_.wait(lock, [this] {
+      return serializer_.backlog() <= throttle_.low_water ||
+             first_error_ != nullptr ||
+             (sleeping_threads_ >= total_threads_ && ready_.empty());
+    });
+    --sleeping_threads_;
+  }
+}
+
+void ThreadEngine::with_cont(TaskNode* task,
+                             const std::vector<AccessRequest>& requests) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool must_block = serializer_.update_spec(task, requests);
+  // no_cm also returns the engine-level exclusivity token early, so other
+  // commuters proceed before this task completes.
+  for (const AccessRequest& req : requests) {
+    if (!(req.remove & access::kCommute)) continue;
+    auto it = commute_holder_.find(req.obj);
+    if (it != commute_holder_.end() && it->second == task) {
+      commute_holder_.erase(it);
+      auto& held = commute_held_[task];
+      held.erase(std::find(held.begin(), held.end(), req.obj));
+    }
+  }
+  if (must_block) wait_unblocked(task, lock);
+  // Retirements may have readied successors and woken throttled creators.
+  state_cv_.notify_all();
+}
+
+std::byte* ThreadEngine::acquire_bytes(TaskNode* task, ObjectId obj,
+                                       std::uint8_t mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool must_block = serializer_.acquire(task, obj, mode);
+  if (must_block) wait_unblocked(task, lock);
+  if (mode & access::kCommute) {
+    // Commuters run in any order but touch the object exclusively; sleep
+    // until the holder completes (or retires via no_cm).  Note: a task
+    // holding a commute accessor must not block on a deferred conversion,
+    // or holder and waiter could form a cycle the serial order does not
+    // rank (see DESIGN.md).
+    for (;;) {
+      auto it = commute_holder_.find(obj);
+      if (it == commute_holder_.end()) {
+        commute_holder_.emplace(obj, task);
+        commute_held_[task].push_back(obj);
+        break;
+      }
+      if (it->second == task) break;
+      if (first_error_) throw EngineAborting{};
+      ensure_spare_worker();
+      ++sleeping_threads_;
+      if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
+      state_cv_.wait(lock, [&] {
+        auto h = commute_holder_.find(obj);
+        return h == commute_holder_.end() || h->second == task ||
+               first_error_ != nullptr;
+      });
+      --sleeping_threads_;
+    }
+  }
+  return buffers_.at(obj).data();
+}
+
+void ThreadEngine::wait_unblocked(TaskNode* task,
+                                  std::unique_lock<std::mutex>& lock) {
+  // Sleep until the serializer delivers the unblock.  A compensating
+  // worker keeps ready tasks flowing; every wait edge points to a record
+  // strictly ahead in some queue, so the waits-for graph is acyclic and
+  // the unblock always arrives (or the run aborts on first_error_).
+  JADE_TRACE("unblk-enter " << task->name());
+  ensure_spare_worker();
+  ++sleeping_threads_;
+  if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
+  state_cv_.wait(lock, [this, task] {
+    return unblocked_.contains(task) || first_error_ != nullptr;
+  });
+  --sleeping_threads_;
+  if (!unblocked_.contains(task)) throw EngineAborting{};
+  unblocked_.erase(task);
+  JADE_TRACE("unblk-exit " << task->name());
+}
+
+void ThreadEngine::charge(TaskNode* task, double units) {
+  std::lock_guard<std::mutex> lock(mu_);
+  task->charged_work += units;
+  stats_.total_charged_work += units;
+}
+
+void ThreadEngine::on_task_ready(TaskNode* task) {
+  // Called with mu_ held (from within a serializer call we made).
+  ready_.push_back(task);
+  work_cv_.notify_one();
+  state_cv_.notify_all();  // helpers in throttle/drain loops watch ready_
+}
+
+void ThreadEngine::on_task_unblocked(TaskNode* task) {
+  unblocked_.insert(task);
+  state_cv_.notify_all();
+}
+
+}  // namespace jade

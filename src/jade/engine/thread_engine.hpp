@@ -1,0 +1,107 @@
+// ThreadEngine — Jade on a shared-memory multiprocessor.
+//
+// Models the paper's SGI 4D/240S / DASH implementation: the hardware (here,
+// the host's cache-coherent memory) provides the shared address space, so
+// the runtime "only needs to synchronize the computation" (Section 1).  A
+// pool of worker threads executes ready tasks; all serializer state is
+// protected by one engine mutex — Jade targets coarse-grain tasks, so the
+// lock is uncontended by design (Section 8 discusses the grain-size limit).
+//
+// Throttling (Section 3.3): when too many tasks are outstanding, the
+// creating task executes ready tasks inline instead of creating more — the
+// paper's "legally inline any task without risking deadlock".
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "jade/engine/engine.hpp"
+#include "jade/sched/policies.hpp"
+
+namespace jade {
+
+class ThreadEngine : public Engine, private SerializerListener {
+ public:
+  ThreadEngine(int workers, ThrottleConfig throttle, bool enforce_hierarchy);
+  ~ThreadEngine() override;
+
+  ObjectId allocate(TypeDescriptor type, std::string name,
+                    MachineId home) override;
+  void put_bytes(ObjectId obj, std::span<const std::byte> data) override;
+  std::vector<std::byte> get_bytes(ObjectId obj) override;
+  const ObjectInfo& object_info(ObjectId obj) const override;
+
+  void run(std::function<void(TaskContext&)> root_body) override;
+
+  void spawn(TaskNode* parent, const std::vector<AccessRequest>& requests,
+             TaskContext::BodyFn body, std::string name,
+             MachineId placement) override;
+  void with_cont(TaskNode* task,
+                 const std::vector<AccessRequest>& requests) override;
+  std::byte* acquire_bytes(TaskNode* task, ObjectId obj,
+                           std::uint8_t mode) override;
+  void charge(TaskNode* task, double units) override;
+  int machine_count() const override { return workers_requested_; }
+  MachineId machine_of(TaskNode*) const override { return 0; }
+
+ private:
+  void on_task_ready(TaskNode* task) override;
+  void on_task_unblocked(TaskNode* task) override;
+
+  void worker_loop();
+  /// Runs one task to completion; called with `lock` held, releases it while
+  /// the body executes.
+  void execute(TaskNode* task, std::unique_lock<std::mutex>& lock);
+  /// Blocks the calling task until on_task_unblocked fires for it.
+  void wait_unblocked(TaskNode* task, std::unique_lock<std::mutex>& lock);
+  /// Called (with the lock held) before a task blocks mid-body: if no idle
+  /// worker remains, spawns a compensating worker so ready tasks always
+  /// have an empty-stack executor.  Tasks are never executed inline on a
+  /// blocked task's stack — inlining lets a helped task block on a task
+  /// buried beneath it on the same stack, a deadlock no wakeup can fix.
+  void ensure_spare_worker();
+
+  const int workers_requested_;
+  const ThrottleConfig throttle_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: ready task or stop
+  std::condition_variable state_cv_;  ///< blocked tasks / throttled creators
+  ObjectTable objects_;
+  std::unordered_map<ObjectId, std::vector<std::byte>> buffers_;
+  Serializer serializer_;
+  std::deque<TaskNode*> ready_;
+  std::unordered_set<TaskNode*> unblocked_;
+  /// Commuting-update exclusivity (Section 4.3 extension): commuters may
+  /// execute in any order but their accesses are mutually exclusive.  A
+  /// task takes an object's token at its first commute accessor and holds
+  /// it until completion.  Tasks taking tokens on several objects must do
+  /// so in a consistent global order (as with any lock).
+  std::unordered_map<ObjectId, TaskNode*> commute_holder_;
+  std::unordered_map<TaskNode*, std::vector<ObjectId>> commute_held_;
+  std::vector<std::thread> workers_;
+  /// Worker threads + the root thread, once run() starts (grows when
+  /// compensating workers are spawned).
+  int total_threads_ = 0;
+  /// Workers currently idle in worker_loop (empty stack, ready to execute).
+  int idle_workers_ = 0;
+  /// Threads currently blocked in any engine wait (idle workers, throttle
+  /// sleeps, dependency waits).  When every thread would be asleep with
+  /// nothing ready, a throttled creator is the only progress source and
+  /// must give up throttling instead of sleeping (see spawn()).  Nested
+  /// helping makes per-*task* counts wrong — a helped task sleeping on the
+  /// root's stack also parks the root — so this counts *threads*.
+  int sleeping_threads_ = 0;
+  bool stop_ = false;
+  bool ran_ = false;
+  /// First exception that escaped a task body (or a spec violation raised
+  /// inside one); rethrown from run() after the pool shuts down.
+  std::exception_ptr first_error_;
+};
+
+}  // namespace jade

@@ -1,0 +1,70 @@
+// AST for the mini Jade language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jade::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kNumber,   // 1.5
+    kVar,      // x        (local scalar, or a shared binding)
+    kIndex,    // e[i]     (object-array element, or shared-object element)
+    kBinary,   // a op b
+    kUnary,    // -a, !a
+    kCall,     // sqrt(e), abs(e), min(a,b), max(a,b), floor(e)
+  };
+
+  Kind kind;
+  int line = 1;
+  double number = 0;
+  std::string name;          // kVar, kCall
+  std::string op;            // kBinary/kUnary: "+", "<=", "&&", ...
+  ExprPtr lhs, rhs;          // kBinary; kUnary/kIndex use lhs (and rhs=index)
+  std::vector<ExprPtr> args; // kCall
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kBlock,     // { ... }
+    kVarDecl,   // var x = e;
+    kAssign,    // x = e;           (local scalar)
+    kStore,     // e[i] = v;        (shared-object element)
+    kFor,       // for (init; cond; step) body
+    kWhile,     // while (cond) body
+    kIf,        // if (cond) then else?
+    kWithonly,  // withonly { accesses } do (params) { body }
+    kWithCont,  // with { accesses } cont;
+    kCharge,    // charge(e);
+    kExpr,      // e;  (evaluated for effect — calls)
+  };
+
+  Kind kind;
+  int line = 1;
+
+  std::vector<StmtPtr> body;             // kBlock; kWithonly body
+  std::string var_name;                  // kVarDecl/kAssign
+  ExprPtr expr;                          // initializer / value / condition
+  ExprPtr target;                        // kStore: the e[i] expression
+  StmtPtr init, step;                    // kFor
+  StmtPtr then_branch, else_branch;      // kIf (kFor/kWhile reuse then_branch as body)
+  /// kWithonly / kWithCont: the access-declaration section — an arbitrary
+  /// block whose rd()/wr()/df_*()/no_*() calls build the specification,
+  /// evaluated at task creation (the paper's dynamic-concurrency feature).
+  StmtPtr spec;
+  std::vector<std::string> params;       // kWithonly: captured locals
+};
+
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace jade::lang

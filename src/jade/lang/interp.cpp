@@ -1,0 +1,514 @@
+#include "jade/lang/interp.hpp"
+
+#include <cmath>
+#include <memory>
+
+namespace jade::lang {
+
+// --- Environment -------------------------------------------------------------
+
+void Environment::bind(const std::string& name, SharedRef<double> obj) {
+  bind(name, std::vector<SharedRef<double>>{obj});
+}
+
+void Environment::bind(const std::string& name,
+                       std::vector<SharedRef<double>> objs) {
+  Binding b;
+  b.kind = Binding::Kind::kDoubleObjects;
+  b.dobjs = std::move(objs);
+  shared_[name] = std::move(b);
+}
+
+void Environment::bind(const std::string& name, SharedRef<int> obj) {
+  bind(name, std::vector<SharedRef<int>>{obj});
+}
+
+void Environment::bind(const std::string& name,
+                       std::vector<SharedRef<int>> objs) {
+  Binding b;
+  b.kind = Binding::Kind::kIntObjects;
+  b.iobjs = std::move(objs);
+  shared_[name] = std::move(b);
+}
+
+void Environment::bind_scalar(const std::string& name, double value) {
+  scalars_[name] = value;
+}
+
+const Binding* Environment::find_binding(const std::string& name) const {
+  auto it = shared_.find(name);
+  return it == shared_.end() ? nullptr : &it->second;
+}
+
+const double* Environment::find_scalar(const std::string& name) const {
+  auto it = scalars_.find(name);
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+// --- interpreter internals ----------------------------------------------------
+
+namespace {
+
+using access::kCommute;
+using access::kRead;
+using access::kWrite;
+
+/// Script value: a number, an object handle, or a whole object array.
+struct Value {
+  enum class Kind { kNum, kObj, kObjArray };
+  Kind kind = Kind::kNum;
+  double num = 0;
+  const Binding* binding = nullptr;
+  std::size_t index = 0;  // kObj
+};
+
+/// The rights a task's specification grants it, per object.
+struct RightEntry {
+  std::uint8_t immediate = 0;
+  std::uint8_t deferred = 0;
+  const Binding* binding = nullptr;
+  std::size_t index = 0;
+};
+
+using Rights = std::map<ObjectId, RightEntry>;
+
+/// Local scalar variables with block scoping.
+class Locals {
+ public:
+  void push_scope() { marks_.push_back(vars_.size()); }
+  void pop_scope() {
+    vars_.resize(marks_.back());
+    marks_.pop_back();
+  }
+  void declare(const std::string& name, double v) {
+    vars_.emplace_back(name, v);
+  }
+  double* find(const std::string& name) {
+    for (auto it = vars_.rbegin(); it != vars_.rend(); ++it)
+      if (it->first == name) return &it->second;
+    return nullptr;
+  }
+  /// Snapshot of named variables, for withonly parameter capture.
+  std::vector<std::pair<std::string, double>> capture(
+      const std::vector<std::string>& names, int line) {
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto& n : names) {
+      double* v = find(n);
+      if (v == nullptr)
+        throw LangError("withonly parameter '" + n + "' is not a local",
+                        line);
+      out.emplace_back(n, *v);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> vars_;
+  std::vector<std::size_t> marks_;
+};
+
+ObjectRef to_object_ref(const Binding* b, std::size_t index) {
+  return b->kind == Binding::Kind::kDoubleObjects
+             ? static_cast<ObjectRef>(b->dobjs[index])
+             : static_cast<ObjectRef>(b->iobjs[index]);
+}
+
+/// Per-task interpreter.  The root program runs as one of these too (ctx =
+/// root context, rights = nullptr => root access rules apply).
+class Interp {
+ public:
+  Interp(const Environment* env, TaskContext* ctx, Rights* rights)
+      : env_(env), ctx_(ctx), rights_(rights) {}
+
+  Locals& locals() { return locals_; }
+
+  void exec_all(const std::vector<StmtPtr>& stmts) {
+    for (const auto& s : stmts) exec(s.get());
+  }
+
+  void exec(const Stmt* s) {
+    switch (s->kind) {
+      case Stmt::Kind::kBlock:
+        locals_.push_scope();
+        exec_all(s->body);
+        locals_.pop_scope();
+        return;
+      case Stmt::Kind::kVarDecl:
+        locals_.declare(s->var_name, eval_num(s->expr.get()));
+        return;
+      case Stmt::Kind::kAssign: {
+        double* v = locals_.find(s->var_name);
+        if (v == nullptr)
+          throw LangError("assignment to undeclared variable '" +
+                              s->var_name + "'",
+                          s->line);
+        *v = eval_num(s->expr.get());
+        return;
+      }
+      case Stmt::Kind::kStore: {
+        const Expr* target = s->target.get();
+        const Value obj = eval(target->lhs.get());
+        const auto idx =
+            static_cast<std::size_t>(eval_num(target->rhs.get()));
+        const double v = eval_num(s->expr.get());
+        store(obj, idx, v, s->line);
+        return;
+      }
+      case Stmt::Kind::kFor: {
+        locals_.push_scope();
+        exec(s->init.get());
+        while (eval_num(s->expr.get()) != 0) {
+          exec(s->then_branch.get());
+          exec(s->step.get());
+        }
+        locals_.pop_scope();
+        return;
+      }
+      case Stmt::Kind::kWhile:
+        while (eval_num(s->expr.get()) != 0) exec(s->then_branch.get());
+        return;
+      case Stmt::Kind::kIf:
+        if (eval_num(s->expr.get()) != 0) {
+          exec(s->then_branch.get());
+        } else if (s->else_branch) {
+          exec(s->else_branch.get());
+        }
+        return;
+      case Stmt::Kind::kWithonly:
+        exec_withonly(s);
+        return;
+      case Stmt::Kind::kWithCont:
+        exec_withcont(s);
+        return;
+      case Stmt::Kind::kCharge:
+        ctx_->charge(eval_num(s->expr.get()));
+        return;
+      case Stmt::Kind::kExpr:
+        (void)eval(s->expr.get());
+        return;
+    }
+    throw LangError("unhandled statement", s->line);
+  }
+
+ private:
+  // --- tasks -----------------------------------------------------------------
+
+  void exec_withonly(const Stmt* s) {
+    // Evaluate the access-declaration section NOW, in this task: arbitrary
+    // code whose rd()/... calls accumulate the child's specification.
+    AccessDecl decl;
+    auto child_rights = std::make_shared<Rights>();
+    {
+      SpecCollector collector{&decl, child_rights.get(), nullptr};
+      SpecGuard guard(this, &collector);
+      exec(s->spec.get());
+    }
+    auto captured = locals_.capture(s->params, s->line);
+    const Stmt* body = s->then_branch.get();
+    const Environment* env = env_;
+
+    ctx_->withonly(
+        [&](AccessDecl& d) { d = std::move(decl); },
+        [env, child_rights, captured, body](TaskContext& t) {
+          Interp interp(env, &t, child_rights.get());
+          interp.locals().push_scope();
+          for (const auto& [name, value] : captured)
+            interp.locals().declare(name, value);
+          interp.exec(body);
+        },
+        "script:" + std::to_string(s->line));
+  }
+
+  void exec_withcont(const Stmt* s) {
+    if (rights_ == nullptr)
+      throw LangError("with-cont outside a task", s->line);
+    AccessDecl decl;
+    {
+      SpecCollector collector{&decl, rights_, rights_};
+      SpecGuard guard(this, &collector);
+      exec(s->spec.get());
+    }
+    ctx_->with_cont([&](AccessDecl& d) { d = std::move(decl); });
+  }
+
+  // --- spec mode ---------------------------------------------------------------
+
+  struct SpecCollector {
+    AccessDecl* decl;
+    Rights* target;        ///< rights map receiving immediate/deferred bits
+    Rights* existing;      ///< non-null in with-cont: rights being updated
+  };
+
+  class SpecGuard {
+   public:
+    SpecGuard(Interp* interp, SpecCollector* c) : interp_(interp) {
+      prev_ = interp_->spec_;
+      interp_->spec_ = c;
+    }
+    ~SpecGuard() { interp_->spec_ = prev_; }
+
+   private:
+    Interp* interp_;
+    SpecCollector* prev_;
+  };
+
+  static std::uint8_t bits_of(const std::string& op, bool* deferred,
+                              bool* removes) {
+    *deferred = op.rfind("df_", 0) == 0;
+    *removes = op.rfind("no_", 0) == 0;
+    const std::string base =
+        *deferred ? op.substr(3) : (*removes ? op.substr(3) : op);
+    if (base == "rd") return kRead;
+    if (base == "wr") return kWrite;
+    if (base == "rd_wr") return kRead | kWrite;
+    if (base == "cm") return kCommute;
+    return 0;
+  }
+
+  bool try_access_call(const Expr* e) {
+    bool deferred = false, removes = false;
+    const std::uint8_t bits = bits_of(e->name, &deferred, &removes);
+    if (bits == 0) return false;
+    if (spec_ == nullptr)
+      throw LangError("access statement '" + e->name +
+                          "' outside a withonly/with-cont section",
+                      e->line);
+    if (e->args.size() != 1)
+      throw LangError(e->name + " takes exactly one object", e->line);
+    const Value obj = eval(e->args[0].get());
+    if (obj.kind != Value::Kind::kObj)
+      throw LangError(e->name + " needs a shared object (did you mean to "
+                                "index an object array?)",
+                      e->line);
+    const ObjectRef ref = to_object_ref(obj.binding, obj.index);
+    AccessDecl& d = *spec_->decl;
+    if (removes) {
+      if (bits & kRead) d.no_rd(ref);
+      if (bits & kWrite) d.no_wr(ref);
+      if (bits & kCommute) d.no_cm(ref);
+      if (spec_->existing != nullptr) {
+        auto it = spec_->existing->find(ref.id());
+        if (it != spec_->existing->end()) {
+          it->second.immediate &= static_cast<std::uint8_t>(~bits);
+          it->second.deferred &= static_cast<std::uint8_t>(~bits);
+        }
+      }
+      return true;
+    }
+    if (deferred) {
+      if (bits & kRead) d.df_rd(ref);
+      if (bits & kWrite) d.df_wr(ref);
+      if (bits & kCommute) d.df_cm(ref);
+    } else {
+      if (bits == kRead) d.rd(ref);
+      if (bits == kWrite) d.wr(ref);
+      if (bits == (kRead | kWrite)) d.rd_wr(ref);
+      if (bits == kCommute) d.cm(ref);
+    }
+    RightEntry& entry = (*spec_->target)[ref.id()];
+    entry.binding = obj.binding;
+    entry.index = obj.index;
+    if (deferred) {
+      entry.deferred |= bits;
+    } else {
+      entry.immediate |= bits;
+      entry.deferred &= static_cast<std::uint8_t>(~bits);
+    }
+    return true;
+  }
+
+  // --- expressions -------------------------------------------------------------
+
+  Value eval(const Expr* e) {
+    switch (e->kind) {
+      case Expr::Kind::kNumber:
+        return num(e->number);
+      case Expr::Kind::kVar: {
+        if (double* v = locals_.find(e->name)) return num(*v);
+        if (const double* s = env_->find_scalar(e->name)) return num(*s);
+        if (const Binding* b = env_->find_binding(e->name)) {
+          if (b->size() == 1) {
+            Value val;
+            val.kind = Value::Kind::kObj;
+            val.binding = b;
+            val.index = 0;
+            return val;
+          }
+          Value val;
+          val.kind = Value::Kind::kObjArray;
+          val.binding = b;
+          return val;
+        }
+        throw LangError("unknown name '" + e->name + "'", e->line);
+      }
+      case Expr::Kind::kIndex: {
+        const Value base = eval(e->lhs.get());
+        const auto idx = static_cast<std::size_t>(eval_num(e->rhs.get()));
+        if (base.kind == Value::Kind::kObjArray) {
+          if (idx >= base.binding->size())
+            throw LangError("object index out of range", e->line);
+          Value val;
+          val.kind = Value::Kind::kObj;
+          val.binding = base.binding;
+          val.index = idx;
+          return val;
+        }
+        if (base.kind == Value::Kind::kObj)
+          return num(load(base, idx, e->line));
+        throw LangError("cannot index a number", e->line);
+      }
+      case Expr::Kind::kUnary: {
+        const double v = eval_num(e->lhs.get());
+        return num(e->op == "-" ? -v : (v == 0 ? 1.0 : 0.0));
+      }
+      case Expr::Kind::kBinary:
+        return num(eval_binary(e));
+      case Expr::Kind::kCall:
+        return eval_call(e);
+    }
+    throw LangError("unhandled expression", e->line);
+  }
+
+  double eval_binary(const Expr* e) {
+    if (e->op == "&&")
+      return eval_num(e->lhs.get()) != 0 && eval_num(e->rhs.get()) != 0;
+    if (e->op == "||")
+      return eval_num(e->lhs.get()) != 0 || eval_num(e->rhs.get()) != 0;
+    const double a = eval_num(e->lhs.get());
+    const double b = eval_num(e->rhs.get());
+    if (e->op == "+") return a + b;
+    if (e->op == "-") return a - b;
+    if (e->op == "*") return a * b;
+    if (e->op == "/") return a / b;
+    if (e->op == "%") return std::fmod(a, b);
+    if (e->op == "<") return a < b;
+    if (e->op == ">") return a > b;
+    if (e->op == "<=") return a <= b;
+    if (e->op == ">=") return a >= b;
+    if (e->op == "==") return a == b;
+    if (e->op == "!=") return a != b;
+    throw LangError("unknown operator '" + e->op + "'", e->line);
+  }
+
+  Value eval_call(const Expr* e) {
+    if (try_access_call(e)) return num(0);
+    auto arg = [&](std::size_t i) { return eval_num(e->args[i].get()); };
+    auto need = [&](std::size_t n) {
+      if (e->args.size() != n)
+        throw LangError(e->name + " takes " + std::to_string(n) +
+                            " argument(s)",
+                        e->line);
+    };
+    if (e->name == "sqrt") { need(1); return num(std::sqrt(arg(0))); }
+    if (e->name == "abs") { need(1); return num(std::abs(arg(0))); }
+    if (e->name == "floor") { need(1); return num(std::floor(arg(0))); }
+    if (e->name == "min") { need(2); return num(std::min(arg(0), arg(1))); }
+    if (e->name == "max") { need(2); return num(std::max(arg(0), arg(1))); }
+    if (e->name == "len") {
+      need(1);
+      const Value v = eval(e->args[0].get());
+      if (v.kind == Value::Kind::kObjArray)
+        return num(static_cast<double>(v.binding->size()));
+      if (v.kind == Value::Kind::kObj)
+        return num(static_cast<double>(
+            v.binding->kind == Binding::Kind::kDoubleObjects
+                ? v.binding->dobjs[v.index].count()
+                : v.binding->iobjs[v.index].count()));
+      throw LangError("len() needs an object or object array", e->line);
+    }
+    throw LangError("unknown function '" + e->name + "'", e->line);
+  }
+
+  double eval_num(const Expr* e) {
+    const Value v = eval(e);
+    if (v.kind != Value::Kind::kNum)
+      throw LangError("expected a number here", e->line);
+    return v.num;
+  }
+
+  static Value num(double v) {
+    Value val;
+    val.kind = Value::Kind::kNum;
+    val.num = v;
+    return val;
+  }
+
+  // --- shared element access ------------------------------------------------
+
+  /// The task's declared immediate bits for an object (0 for the root
+  /// program, whose accesses go through the runtime's root rules).
+  std::uint8_t declared_bits(ObjectId id) const {
+    if (rights_ == nullptr) return 0;
+    auto it = rights_->find(id);
+    return it == rights_->end() ? std::uint8_t{0} : it->second.immediate;
+  }
+
+  /// Reads/writes pick the accessor matching the declared right: a cm-only
+  /// task must use the commute accessor, a wr-only task the write accessor,
+  /// etc.  The runtime still performs the authoritative dynamic check.
+  template <typename T>
+  double load_via(const SharedRef<T>& ref, std::size_t idx, int line) {
+    check_range(idx, ref.count(), line);
+    const std::uint8_t bits = declared_bits(ref.id());
+    if ((bits & access::kCommute) && !(bits & access::kRead))
+      return static_cast<double>(ctx_->commute(ref)[idx]);
+    return static_cast<double>(ctx_->read(ref)[idx]);
+  }
+
+  template <typename T, typename V>
+  void store_via(const SharedRef<T>& ref, std::size_t idx, V v, int line) {
+    check_range(idx, ref.count(), line);
+    const std::uint8_t bits = declared_bits(ref.id());
+    if ((bits & access::kCommute) && !(bits & access::kWrite)) {
+      ctx_->commute(ref)[idx] = static_cast<T>(v);
+      return;
+    }
+    ctx_->write(ref)[idx] = static_cast<T>(v);
+  }
+
+  double load(const Value& obj, std::size_t idx, int line) {
+    if (obj.binding->kind == Binding::Kind::kDoubleObjects)
+      return load_via(obj.binding->dobjs[obj.index], idx, line);
+    return load_via(obj.binding->iobjs[obj.index], idx, line);
+  }
+
+  void store(const Value& obj, std::size_t idx, double v, int line) {
+    if (obj.kind != Value::Kind::kObj)
+      throw LangError("store target must be an object element", line);
+    if (obj.binding->kind == Binding::Kind::kDoubleObjects) {
+      store_via(obj.binding->dobjs[obj.index], idx, v, line);
+      return;
+    }
+    store_via(obj.binding->iobjs[obj.index], idx, std::llround(v), line);
+  }
+
+  static void check_range(std::size_t idx, std::size_t count, int line) {
+    if (idx >= count)
+      throw LangError("element index " + std::to_string(idx) +
+                          " out of range (object has " +
+                          std::to_string(count) + " elements)",
+                      line);
+  }
+
+  const Environment* env_;
+  TaskContext* ctx_;
+  Rights* rights_;  ///< nullptr when running as the root program
+  SpecCollector* spec_ = nullptr;
+  Locals locals_;
+};
+
+}  // namespace
+
+void exec_program(TaskContext& ctx, const Program& program,
+                  const Environment& env) {
+  Interp interp(&env, &ctx, nullptr);
+  interp.locals().push_scope();
+  interp.exec_all(program.statements);
+}
+
+void run_program(Runtime& rt, const Program& program,
+                 const Environment& env) {
+  rt.run([&](TaskContext& ctx) { exec_program(ctx, program, env); });
+}
+
+}  // namespace jade::lang

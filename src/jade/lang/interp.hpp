@@ -1,0 +1,67 @@
+// Interpreter for the mini Jade language, executing over the library's
+// Runtime / TaskContext API.
+//
+// The host binds shared objects (or arrays of them) and scalar constants
+// into an Environment, then runs a parsed Program.  withonly statements
+// create real Jade tasks: the access section is evaluated at creation (its
+// rd()/wr()/df_*()/no_*() calls build the AccessDecl), the body runs as the
+// task, reading and writing shared elements through checked accessors.
+//
+//   jade::Runtime rt;
+//   auto cols = ...vector<SharedRef<double>>...;
+//   jade::lang::Environment env;
+//   env.bind("c", cols);
+//   env.bind_scalar("n", n);
+//   jade::lang::run_program(rt, jade::lang::parse(source), env);
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jade/core/runtime.hpp"
+#include "jade/lang/ast.hpp"
+#include "jade/lang/token.hpp"
+
+namespace jade::lang {
+
+/// A shared binding visible to scripts: an array of shared objects.  A
+/// single object binds as an array of one; scripts write `x[0]` (or bind a
+/// scalar object and index it).
+struct Binding {
+  enum class Kind { kDoubleObjects, kIntObjects };
+  Kind kind = Kind::kDoubleObjects;
+  std::vector<SharedRef<double>> dobjs;
+  std::vector<SharedRef<int>> iobjs;
+
+  std::size_t size() const {
+    return kind == Kind::kDoubleObjects ? dobjs.size() : iobjs.size();
+  }
+};
+
+class Environment {
+ public:
+  void bind(const std::string& name, SharedRef<double> obj);
+  void bind(const std::string& name, std::vector<SharedRef<double>> objs);
+  void bind(const std::string& name, SharedRef<int> obj);
+  void bind(const std::string& name, std::vector<SharedRef<int>> objs);
+  /// Host-provided numeric constant (e.g. the problem size n).
+  void bind_scalar(const std::string& name, double value);
+
+  const Binding* find_binding(const std::string& name) const;
+  const double* find_scalar(const std::string& name) const;
+
+ private:
+  std::map<std::string, Binding> shared_;
+  std::map<std::string, double> scalars_;
+};
+
+/// Executes the program as the main task of `rt` (wraps rt.run()).
+void run_program(Runtime& rt, const Program& program, const Environment& env);
+
+/// Executes the program inside an existing task context (composable with
+/// C++-side task creation).
+void exec_program(TaskContext& ctx, const Program& program,
+                  const Environment& env);
+
+}  // namespace jade::lang

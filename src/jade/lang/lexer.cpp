@@ -1,0 +1,120 @@
+#include <cctype>
+
+#include "jade/lang/token.hpp"
+
+namespace jade::lang {
+
+Tok keyword_or_ident(const std::string& word) {
+  if (word == "var") return Tok::kVar;
+  if (word == "for") return Tok::kFor;
+  if (word == "if") return Tok::kIf;
+  if (word == "else") return Tok::kElse;
+  if (word == "while") return Tok::kWhile;
+  if (word == "withonly") return Tok::kWithonly;
+  if (word == "do") return Tok::kDo;
+  if (word == "with") return Tok::kWith;
+  if (word == "cont") return Tok::kCont;
+  return Tok::kIdent;
+}
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto push = [&](Tok kind) { out.push_back(Token{kind, "", 0, line}); };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t end = i;
+      while (end < n && (std::isdigit(static_cast<unsigned char>(
+                             source[end])) ||
+                         source[end] == '.' || source[end] == 'e' ||
+                         source[end] == 'E' ||
+                         ((source[end] == '+' || source[end] == '-') &&
+                          end > i &&
+                          (source[end - 1] == 'e' || source[end - 1] == 'E'))))
+        ++end;
+      Token t;
+      t.kind = Tok::kNumber;
+      t.line = line;
+      try {
+        t.number = std::stod(source.substr(i, end - i));
+      } catch (...) {
+        throw LangError("malformed number '" + source.substr(i, end - i) +
+                            "'",
+                        line);
+      }
+      out.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = i;
+      while (end < n && (std::isalnum(static_cast<unsigned char>(
+                             source[end])) ||
+                         source[end] == '_'))
+        ++end;
+      Token t;
+      t.line = line;
+      t.text = source.substr(i, end - i);
+      t.kind = keyword_or_ident(t.text);
+      out.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && source[i + 1] == b;
+    };
+    if (two('<', '=')) { push(Tok::kLe); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::kEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNe); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::kAndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::kOrOr); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case '{': push(Tok::kLBrace); break;
+      case '}': push(Tok::kRBrace); break;
+      case '[': push(Tok::kLBracket); break;
+      case ']': push(Tok::kRBracket); break;
+      case ';': push(Tok::kSemi); break;
+      case ',': push(Tok::kComma); break;
+      case '=': push(Tok::kAssign); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '<': push(Tok::kLt); break;
+      case '>': push(Tok::kGt); break;
+      case '!': push(Tok::kNot); break;
+      default:
+        throw LangError(std::string("unexpected character '") + c + "'",
+                        line);
+    }
+    ++i;
+  }
+  out.push_back(Token{Tok::kEnd, "", 0, line});
+  return out;
+}
+
+}  // namespace jade::lang

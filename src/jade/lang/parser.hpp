@@ -1,0 +1,30 @@
+// Recursive-descent parser for the mini Jade language.
+//
+// Grammar (statements):
+//   program    := stmt*
+//   stmt       := block | var | assign-or-store | for | while | if
+//               | withonly | withcont | charge | exprstmt
+//   block      := '{' stmt* '}'
+//   var        := 'var' IDENT '=' expr ';'
+//   for        := 'for' '(' simple ';' expr ';' simple ')' stmt
+//   while      := 'while' '(' expr ')' stmt
+//   if         := 'if' '(' expr ')' stmt ('else' stmt)?
+//   withonly   := 'withonly' '{' access* '}' 'do' '(' ident-list? ')' stmt
+//   withcont   := 'with' '{' access* '}' 'cont' ';'
+//   access     := IDENT '(' expr ')' ';'      (rd/wr/rd_wr/cm/df_*/no_*)
+//   charge     := 'charge' '(' expr ')' ';'
+//
+// Expressions: ||, &&, == !=, < > <= >=, + -, * / %, unary - !, postfix
+// indexing, calls, parentheses, numbers, identifiers.
+#pragma once
+
+#include "jade/lang/ast.hpp"
+#include "jade/lang/token.hpp"
+
+namespace jade::lang {
+
+/// Parses a whole program; throws LangError with a line number on syntax
+/// errors.
+Program parse(const std::string& source);
+
+}  // namespace jade::lang

@@ -1,0 +1,62 @@
+// Tokens for the mini Jade language front end.
+//
+// The paper implemented Jade as "an extension to C" with a front end that
+// rewrites withonly-do constructs into runtime calls.  This module is that
+// front end, scaled to a reproduction: a small C-like language with shared
+// object arrays and the paper's constructs, interpreted over the same
+// Runtime/TaskContext API the C++ face uses — the Figure 6 factor program
+// parses and runs nearly verbatim (see tests/lang_cholesky_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jade/support/error.hpp"
+
+namespace jade::lang {
+
+/// Front-end errors (lexing, parsing, or runtime type errors in scripts).
+class LangError : public JadeError {
+ public:
+  LangError(const std::string& what, int line)
+      : JadeError("jade-lang:" + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+enum class Tok : std::uint8_t {
+  kEnd,
+  kNumber,      // 123, 1.5e-3
+  kIdent,       // names
+  // keywords
+  kVar, kFor, kIf, kElse, kWhile, kReturnless,  // kReturnless unused marker
+  kWithonly, kDo, kWith, kCont,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma,
+  kAssign,                        // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kAndAnd, kOrOr, kNot,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // identifier spelling
+  double number = 0;  // literal value
+  int line = 1;
+};
+
+/// Tokenizes `source`; throws LangError on malformed input.  `//` comments
+/// run to end of line.
+std::vector<Token> lex(const std::string& source);
+
+/// Keyword or identifier classification used by the lexer (exposed for
+/// tests).
+Tok keyword_or_ident(const std::string& word);
+
+}  // namespace jade::lang

@@ -1,0 +1,90 @@
+// Machine and cluster descriptions.
+//
+// A ClusterConfig is the SimEngine's model of one of the paper's platforms:
+// a set of machines (each with its own speed, byte order and role) plus an
+// interconnect and the runtime overhead constants.  Section 7 lists the real
+// systems these model: the Stanford DASH and SGI 4D/240S (shared memory),
+// the Intel iPSC/860 (hypercube message passing), Mica (Sparc ELCs on
+// Ethernet under PVM), mixed SPARC/MIPS workstation networks, and the Sun
+// HRV workstation (SPARC + i860 accelerators).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jade/net/crossbar.hpp"
+#include "jade/net/hypercube.hpp"
+#include "jade/net/mesh.hpp"
+#include "jade/net/network.hpp"
+#include "jade/net/shared_bus.hpp"
+#include "jade/support/time.hpp"
+#include "jade/types/type_desc.hpp"
+
+namespace jade {
+
+/// What a machine is for.  Tasks may be pinned to machines (Section 4.5);
+/// the video-pipeline application pins capture to the frame source and
+/// transforms to accelerators, as the paper's HRV application does.
+enum class MachineKind : std::uint8_t {
+  kCpu,
+  kAccelerator,  ///< fast compute, e.g. the HRV's i860 graphics units
+  kFrameSource,  ///< owns the camera / frame grabber
+};
+
+struct MachineDesc {
+  std::string name;
+  MachineKind kind = MachineKind::kCpu;
+  Endian endian = Endian::kLittle;
+  /// Abstract work units retired per second; task charge() units divide by
+  /// this to give virtual execution time.
+  double ops_per_second = 1.0e7;
+};
+
+enum class NetKind : std::uint8_t {
+  kSharedMemory,  ///< no object motion; hardware keeps memory coherent
+  kSharedBus,     ///< single shared Ethernet (Mica)
+  kHypercube,     ///< iPSC/860-style point-to-point cube
+  kCrossbar,      ///< non-blocking switch (workstation nets, HRV)
+  kMesh,          ///< 2-D mesh with XY routing (DASH fabric, Paragon era)
+  kIdeal,         ///< contention-free baseline for ablations
+};
+
+struct IdealNetConfig {
+  SimTime latency = 10e-6;
+  double bytes_per_second = 100e6;
+};
+
+struct ClusterConfig {
+  std::string name = "cluster";
+  std::vector<MachineDesc> machines;
+  NetKind net = NetKind::kSharedMemory;
+
+  SharedBusConfig bus;
+  HypercubeConfig cube;
+  CrossbarConfig xbar;
+  MeshConfig mesh;
+  IdealNetConfig ideal;
+
+  /// Runtime cost, in seconds on the executing machine, of dispatching one
+  /// task (dequeue, access-spec bookkeeping, local translation setup).
+  SimTime task_dispatch_overhead = 150e-6;
+  /// Runtime cost, in seconds on the creating machine, of executing a
+  /// withonly construct (building the spec, inserting queue records).
+  SimTime task_create_overhead = 60e-6;
+  /// Per-scalar cost of heterogeneous data-format conversion on receive.
+  SimTime conversion_seconds_per_scalar = 40e-9;
+  /// Size of runtime control messages (task dispatch, object requests...).
+  std::size_t control_message_bytes = 64;
+
+  bool shared_memory() const { return net == NetKind::kSharedMemory; }
+  int machine_count() const { return static_cast<int>(machines.size()); }
+
+  /// Instantiates the interconnect model this config describes.
+  std::unique_ptr<NetworkModel> make_network() const;
+
+  /// Throws ConfigError on inconsistencies (no machines, too many, ...).
+  void validate() const;
+};
+
+}  // namespace jade

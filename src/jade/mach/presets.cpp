@@ -1,0 +1,108 @@
+#include "jade/mach/presets.hpp"
+
+namespace jade::presets {
+
+namespace {
+MachineDesc cpu(std::string name, double ops, Endian endian) {
+  MachineDesc m;
+  m.name = std::move(name);
+  m.kind = MachineKind::kCpu;
+  m.endian = endian;
+  m.ops_per_second = ops;
+  return m;
+}
+}  // namespace
+
+ClusterConfig dash(int processors) {
+  ClusterConfig c;
+  c.name = "dash";
+  c.net = NetKind::kSharedMemory;
+  for (int i = 0; i < processors; ++i)
+    c.machines.push_back(
+        cpu("dash" + std::to_string(i), 1.0e7, Endian::kLittle));
+  // Shared-memory Jade only synchronizes; task management is cheap.
+  c.task_dispatch_overhead = 80e-6;
+  c.task_create_overhead = 40e-6;
+  return c;
+}
+
+ClusterConfig ipsc860(int nodes) {
+  ClusterConfig c;
+  c.name = "ipsc860";
+  c.net = NetKind::kHypercube;
+  for (int i = 0; i < nodes; ++i)
+    c.machines.push_back(
+        cpu("i860-" + std::to_string(i), 1.5e7, Endian::kLittle));
+  c.task_dispatch_overhead = 250e-6;
+  c.task_create_overhead = 80e-6;
+  return c;
+}
+
+ClusterConfig mica(int boards) {
+  ClusterConfig c;
+  c.name = "mica";
+  c.net = NetKind::kSharedBus;
+  for (int i = 0; i < boards; ++i)
+    c.machines.push_back(
+        cpu("elc" + std::to_string(i), 0.7e7, Endian::kBig));
+  // PVM over UDP: expensive messaging and task management.
+  c.task_dispatch_overhead = 900e-6;
+  c.task_create_overhead = 150e-6;
+  return c;
+}
+
+ClusterConfig hetero_workstations(int machines) {
+  ClusterConfig c;
+  c.name = "hetero-net";
+  c.net = NetKind::kSharedBus;
+  for (int i = 0; i < machines; ++i) {
+    if (i % 2 == 0)
+      c.machines.push_back(
+          cpu("mips" + std::to_string(i), 1.2e7, Endian::kLittle));
+    else
+      c.machines.push_back(
+          cpu("sparc" + std::to_string(i), 0.8e7, Endian::kBig));
+  }
+  c.task_dispatch_overhead = 900e-6;
+  c.task_create_overhead = 150e-6;
+  return c;
+}
+
+ClusterConfig hrv(int accelerators) {
+  ClusterConfig c;
+  c.name = "hrv";
+  c.net = NetKind::kCrossbar;
+  MachineDesc sparc = cpu("sparc-host", 0.8e7, Endian::kBig);
+  sparc.kind = MachineKind::kFrameSource;
+  c.machines.push_back(sparc);
+  for (int i = 0; i < accelerators; ++i) {
+    MachineDesc acc =
+        cpu("i860-acc" + std::to_string(i), 2.5e7, Endian::kLittle);
+    acc.kind = MachineKind::kAccelerator;
+    c.machines.push_back(acc);
+  }
+  c.task_dispatch_overhead = 120e-6;
+  c.task_create_overhead = 60e-6;
+  return c;
+}
+
+ClusterConfig mesh(int nodes) {
+  ClusterConfig c = ipsc860(nodes);  // same nodes, different wires
+  c.name = "mesh";
+  c.net = NetKind::kMesh;
+  return c;
+}
+
+ClusterConfig ideal(int machines) {
+  ClusterConfig c;
+  c.name = "ideal";
+  c.net = NetKind::kIdeal;
+  for (int i = 0; i < machines; ++i)
+    c.machines.push_back(cpu("m" + std::to_string(i), 1.0e7,
+                             Endian::kLittle));
+  c.task_dispatch_overhead = 50e-6;
+  c.task_create_overhead = 20e-6;
+  return c;
+}
+
+}  // namespace jade::presets

@@ -1,0 +1,39 @@
+// Platform presets modelling the systems of Section 7.
+//
+// Machine speeds and overheads are order-of-magnitude calibrations of the
+// 1992 hardware (MIPS R3000 DASH nodes, i860 cube nodes, Sparc ELC boards);
+// EXPERIMENTS.md compares the *shapes* these produce against the paper's
+// figures, not absolute seconds.
+#pragma once
+
+#include "jade/mach/machine.hpp"
+
+namespace jade::presets {
+
+/// Stanford DASH: shared-memory multiprocessor, up to 32 processors.
+ClusterConfig dash(int processors);
+
+/// Intel iPSC/860: homogeneous hypercube message-passing machine.
+ClusterConfig ipsc860(int nodes);
+
+/// Mica: Sparc ELC boards on a single shared Ethernet, PVM transport.
+ClusterConfig mica(int boards);
+
+/// Heterogeneous workstation network: alternating MIPS (little-endian) and
+/// SPARC (big-endian) machines of different speeds on shared Ethernet —
+/// exercises dynamic load balancing and data-format conversion together.
+ClusterConfig hetero_workstations(int machines);
+
+/// Sun HRV workstation: one SPARC frame-source plus i860 accelerators on a
+/// fast internal interconnect, with opposite byte orders.
+ClusterConfig hrv(int accelerators);
+
+/// 2-D mesh message-passing machine (the Paragon/T3D-era topology; also
+/// the shape of DASH's remote-access fabric).  Same nodes as the iPSC/860
+/// preset, different wires — for interconnect-shape comparisons.
+ClusterConfig mesh(int nodes);
+
+/// Contention-free homogeneous cluster for ablation baselines.
+ClusterConfig ideal(int machines);
+
+}  // namespace jade::presets

@@ -1,0 +1,45 @@
+#include "jade/net/crossbar.hpp"
+
+#include <algorithm>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+CrossbarNet::CrossbarNet(int machines, CrossbarConfig config)
+    : config_(config),
+      send_busy_until_(static_cast<std::size_t>(machines), 0),
+      recv_busy_until_(static_cast<std::size_t>(machines), 0) {
+  JADE_ASSERT(machines > 0);
+}
+
+SimTime CrossbarNet::schedule_transfer(MachineId from, MachineId to,
+                                       std::size_t bytes, SimTime now) {
+  JADE_ASSERT(from >= 0 && static_cast<std::size_t>(from) <
+                               send_busy_until_.size());
+  JADE_ASSERT(to >= 0 &&
+              static_cast<std::size_t>(to) < recv_busy_until_.size());
+  if (from == to) return now;
+
+  const SimTime transmit =
+      static_cast<SimTime>(bytes) / config_.bytes_per_second;
+  const SimTime occupancy = config_.per_message_overhead + transmit;
+  const SimTime send_start = std::max(now, send_busy_until_[from]);
+  const SimTime send_done = send_start + occupancy;
+  send_busy_until_[from] = send_done;
+
+  const SimTime arrive = std::max(send_done + config_.latency,
+                                  recv_busy_until_[to]);
+  recv_busy_until_[to] = arrive;
+
+  record(bytes, occupancy);
+  return arrive;
+}
+
+void CrossbarNet::reset() {
+  std::fill(send_busy_until_.begin(), send_busy_until_.end(), 0.0);
+  std::fill(recv_busy_until_.begin(), recv_busy_until_.end(), 0.0);
+  stats_.reset();
+}
+
+}  // namespace jade

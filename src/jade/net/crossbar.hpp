@@ -1,0 +1,38 @@
+// Crossbar network model — a high-speed switched fabric.
+//
+// Used for the heterogeneous-workstation and HRV presets: point-to-point
+// links through a non-blocking switch, so distinct machine pairs transfer
+// concurrently and the per-machine NIC is the only serializing resource.
+// (The HRV workstation connected its SPARC and i860 functional units with
+// high-speed internal interconnect; a crossbar with generous bandwidth is
+// the closest laptop-runnable equivalent.)
+#pragma once
+
+#include <vector>
+
+#include "jade/net/network.hpp"
+
+namespace jade {
+
+struct CrossbarConfig {
+  SimTime latency = 20e-6;           ///< switch traversal latency, seconds
+  double bytes_per_second = 40e6;    ///< per-link bandwidth
+  SimTime per_message_overhead = 10e-6;
+};
+
+class CrossbarNet : public NetworkModel {
+ public:
+  CrossbarNet(int machines, CrossbarConfig config = {});
+
+  std::string name() const override { return "crossbar"; }
+  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
+                            SimTime now) override;
+  void reset() override;
+
+ private:
+  CrossbarConfig config_;
+  std::vector<SimTime> send_busy_until_;
+  std::vector<SimTime> recv_busy_until_;
+};
+
+}  // namespace jade

@@ -1,0 +1,55 @@
+#include "jade/net/hypercube.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+HypercubeNet::HypercubeNet(int machines, HypercubeConfig config)
+    : config_(config),
+      send_busy_until_(static_cast<std::size_t>(machines), 0),
+      recv_busy_until_(static_cast<std::size_t>(machines), 0) {
+  JADE_ASSERT(machines > 0);
+}
+
+int HypercubeNet::hop_count(MachineId from, MachineId to) {
+  return std::popcount(static_cast<unsigned>(from) ^
+                       static_cast<unsigned>(to));
+}
+
+SimTime HypercubeNet::schedule_transfer(MachineId from, MachineId to,
+                                        std::size_t bytes, SimTime now) {
+  JADE_ASSERT(from >= 0 && static_cast<std::size_t>(from) <
+                               send_busy_until_.size());
+  JADE_ASSERT(to >= 0 &&
+              static_cast<std::size_t>(to) < recv_busy_until_.size());
+  if (from == to) return now;
+
+  const SimTime transmit =
+      static_cast<SimTime>(bytes) / config_.bytes_per_second;
+  // The sender NIC is occupied for startup + transmit time.
+  const SimTime send_start = std::max(now, send_busy_until_[from]);
+  const SimTime send_done = send_start + config_.startup + transmit;
+  send_busy_until_[from] = send_done;
+
+  // With wormhole routing the head arrives per-hop; the tail arrives when
+  // the sender finishes plus the route latency.  The receiver NIC then
+  // drains the message; it handles one inbound message at a time.
+  const SimTime route = config_.per_hop * hop_count(from, to);
+  const SimTime arrive_start = std::max(send_done + route,
+                                        recv_busy_until_[to]);
+  recv_busy_until_[to] = arrive_start;
+
+  record(bytes, config_.startup + transmit);
+  return arrive_start;
+}
+
+void HypercubeNet::reset() {
+  std::fill(send_busy_until_.begin(), send_busy_until_.end(), 0.0);
+  std::fill(recv_busy_until_.begin(), recv_busy_until_.end(), 0.0);
+  stats_.reset();
+}
+
+}  // namespace jade

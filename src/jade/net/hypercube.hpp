@@ -1,0 +1,45 @@
+// Hypercube network model — the "iPSC/860" platform substrate.
+//
+// The Intel iPSC/860 connected up to 128 i860 nodes in a binary hypercube
+// with wormhole-style routing: message latency is a fixed startup cost plus
+// a small per-hop cost plus size over link bandwidth.  Unlike the shared
+// Ethernet, different node pairs communicate concurrently; the serializing
+// resource is each node's network interface, which handles one send and one
+// receive at a time.
+#pragma once
+
+#include <vector>
+
+#include "jade/net/network.hpp"
+
+namespace jade {
+
+struct HypercubeConfig {
+  /// Message startup latency (software + DMA setup), seconds.
+  SimTime startup = 75e-6;
+  /// Additional latency per hop through the cube, seconds.
+  SimTime per_hop = 11e-6;
+  /// Link bandwidth (iPSC/860: ~2.8 MB/s realized), bytes/second.
+  double bytes_per_second = 2.8e6;
+};
+
+class HypercubeNet : public NetworkModel {
+ public:
+  /// `machines` need not be a power of two; hop counts use the XOR metric on
+  /// node indices regardless (the spare corner of the cube is simply unused).
+  HypercubeNet(int machines, HypercubeConfig config = {});
+
+  std::string name() const override { return "hypercube"; }
+  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
+                            SimTime now) override;
+  void reset() override;
+
+  static int hop_count(MachineId from, MachineId to);
+
+ private:
+  HypercubeConfig config_;
+  std::vector<SimTime> send_busy_until_;
+  std::vector<SimTime> recv_busy_until_;
+};
+
+}  // namespace jade

@@ -1,0 +1,54 @@
+#include "jade/net/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+MeshNet::MeshNet(int machines, MeshConfig config)
+    : config_(config),
+      send_busy_until_(static_cast<std::size_t>(machines), 0),
+      recv_busy_until_(static_cast<std::size_t>(machines), 0) {
+  JADE_ASSERT(machines > 0);
+  width_ = static_cast<int>(std::ceil(std::sqrt(machines)));
+}
+
+int MeshNet::hop_count(MachineId from, MachineId to) const {
+  const int fx = from % width_, fy = from / width_;
+  const int tx = to % width_, ty = to / width_;
+  return std::abs(fx - tx) + std::abs(fy - ty);
+}
+
+SimTime MeshNet::schedule_transfer(MachineId from, MachineId to,
+                                   std::size_t bytes, SimTime now) {
+  JADE_ASSERT(from >= 0 && static_cast<std::size_t>(from) <
+                               send_busy_until_.size());
+  JADE_ASSERT(to >= 0 &&
+              static_cast<std::size_t>(to) < recv_busy_until_.size());
+  if (from == to) return now;
+
+  const SimTime transmit =
+      static_cast<SimTime>(bytes) / config_.bytes_per_second;
+  const SimTime send_start = std::max(now, send_busy_until_[from]);
+  const SimTime send_done = send_start + config_.startup + transmit;
+  send_busy_until_[from] = send_done;
+
+  const SimTime route = config_.per_hop * hop_count(from, to);
+  const SimTime arrive =
+      std::max(send_done + route, recv_busy_until_[to]);
+  recv_busy_until_[to] = arrive;
+
+  record(bytes, config_.startup + transmit);
+  return arrive;
+}
+
+void MeshNet::reset() {
+  std::fill(send_busy_until_.begin(), send_busy_until_.end(), 0.0);
+  std::fill(recv_busy_until_.begin(), recv_busy_until_.end(), 0.0);
+  stats_.reset();
+}
+
+}  // namespace jade

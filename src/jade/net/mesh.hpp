@@ -1,0 +1,41 @@
+// 2-D mesh network model with dimension-order (XY) routing.
+//
+// Rounds out the interconnect family: the era's other major topology (the
+// DASH prototype's remote-access fabric was a mesh; Paragon and the Cray
+// T3D generation used 2-D/3-D meshes).  Machines occupy a near-square grid;
+// a message travels |dx| + |dy| hops, and each machine's NIC serializes its
+// sends and receives, as in the hypercube model.
+#pragma once
+
+#include <vector>
+
+#include "jade/net/network.hpp"
+
+namespace jade {
+
+struct MeshConfig {
+  SimTime startup = 60e-6;
+  SimTime per_hop = 15e-6;
+  double bytes_per_second = 3.5e6;
+};
+
+class MeshNet : public NetworkModel {
+ public:
+  explicit MeshNet(int machines, MeshConfig config = {});
+
+  std::string name() const override { return "mesh"; }
+  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
+                            SimTime now) override;
+  void reset() override;
+
+  int width() const { return width_; }
+  int hop_count(MachineId from, MachineId to) const;
+
+ private:
+  MeshConfig config_;
+  int width_;
+  std::vector<SimTime> send_busy_until_;
+  std::vector<SimTime> recv_busy_until_;
+};
+
+}  // namespace jade

@@ -1,0 +1,81 @@
+// Interconnect cost models.
+//
+// The paper evaluates Jade on three platforms with very different
+// interconnects (Section 7.3, Figures 9/10):
+//   * Stanford DASH — hardware shared memory (no explicit object motion),
+//   * Intel iPSC/860 — a hypercube of point-to-point links,
+//   * Mica — Sparc ELC boards on a single shared Ethernet, via PVM.
+// A NetworkModel answers one question for the simulator: a message of B
+// bytes leaves machine `from` for machine `to` at virtual time `now`; when
+// does it arrive?  Models keep contention state (bus occupancy, NIC
+// occupancy) so saturation effects — the reason Mica's speedup flattens —
+// emerge rather than being baked in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "jade/support/stats.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+/// Aggregate traffic counters every model maintains; benches report these.
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  SimTime busy_time = 0;  ///< medium/NIC occupancy accumulated
+
+  void reset() { *this = NetworkStats{}; }
+};
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Schedules a transfer and returns its arrival time.  Must be called with
+  /// non-decreasing... no: calls may arrive out of time order from different
+  /// machines' perspectives; models only assume `now` is the current global
+  /// virtual time (the simulator guarantees it is).
+  virtual SimTime schedule_transfer(MachineId from, MachineId to,
+                                    std::size_t bytes, SimTime now) = 0;
+
+  /// Drops all contention state and counters (between benchmark repetitions).
+  virtual void reset() = 0;
+
+  const NetworkStats& stats() const { return stats_; }
+
+ protected:
+  void record(std::size_t bytes, SimTime occupancy) {
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    stats_.busy_time += occupancy;
+  }
+
+  NetworkStats stats_;
+};
+
+/// Contention-free network: every transfer costs latency + bytes/bandwidth,
+/// with unlimited parallelism.  Used as an idealized baseline in ablations.
+class IdealNet : public NetworkModel {
+ public:
+  IdealNet(SimTime latency, double bytes_per_second);
+
+  std::string name() const override { return "ideal"; }
+  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
+                            SimTime now) override;
+  void reset() override { stats_.reset(); }
+
+ private:
+  SimTime latency_;
+  double bandwidth_;
+};
+
+std::unique_ptr<NetworkModel> make_ideal_net(SimTime latency,
+                                             double bytes_per_second);
+
+}  // namespace jade

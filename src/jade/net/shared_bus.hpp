@@ -1,0 +1,42 @@
+// Shared-bus (Ethernet) network model — the "Mica" platform substrate.
+//
+// Mica was "an array of Sparc ELC boards connected by Ethernet from Sun
+// Microsystems Laboratories" using PVM as transport.  The defining property
+// is a single shared medium: only one frame is on the wire at a time, and
+// each message pays a fixed protocol/stack overhead.  Under load the bus
+// serializes, which is what flattens Mica's speedup curve in the paper's
+// Figure 10.
+#pragma once
+
+#include "jade/net/network.hpp"
+
+namespace jade {
+
+struct SharedBusConfig {
+  /// One-way propagation + interrupt latency per message (seconds).
+  SimTime latency = 1.0e-3;
+  /// Wire bandwidth (10 Mbit Ethernet ~ 1.25 MB/s; PVM realizes less).
+  double bytes_per_second = 1.0e6;
+  /// Fixed per-message protocol overhead occupying the medium (PVM/UDP
+  /// encode + kernel crossings), seconds.
+  SimTime per_message_overhead = 0.8e-3;
+};
+
+class SharedBusNet : public NetworkModel {
+ public:
+  explicit SharedBusNet(SharedBusConfig config = {});
+
+  std::string name() const override { return "shared-bus"; }
+  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
+                            SimTime now) override;
+  void reset() override;
+
+  /// Virtual time until which the medium is occupied (exposed for tests).
+  SimTime busy_until() const { return busy_until_; }
+
+ private:
+  SharedBusConfig config_;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace jade

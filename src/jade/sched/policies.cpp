@@ -1,0 +1,67 @@
+#include "jade/sched/policies.hpp"
+
+#include <limits>
+
+namespace jade {
+
+MachineId pick_machine_for_task(const ObjectDirectory& dir,
+                                std::span<const ObjectId> objects,
+                                std::span<const int> free_contexts,
+                                bool locality, MachineId creator) {
+  MachineId best = -1;
+  std::size_t best_bytes = 0;
+  int best_free = 0;
+  bool best_is_creator = false;
+
+  for (MachineId m = 0; m < static_cast<MachineId>(free_contexts.size());
+       ++m) {
+    if (free_contexts[m] <= 0) continue;
+    const std::size_t bytes =
+        locality ? dir.bytes_present(objects, m) : 0;
+    // The creator preference is part of the locality heuristic (tasks reuse
+    // objects their creator touched); with locality off it is pure load
+    // balancing.
+    const bool is_creator = locality && m == creator;
+    const int free = free_contexts[m];
+
+    bool better;
+    if (best == -1) {
+      better = true;
+    } else if (bytes != best_bytes) {
+      better = bytes > best_bytes;
+    } else if (is_creator != best_is_creator) {
+      better = is_creator;
+    } else if (free != best_free) {
+      better = free > best_free;
+    } else {
+      better = false;  // lowest index wins ties
+    }
+    if (better) {
+      best = m;
+      best_bytes = bytes;
+      best_free = free;
+      best_is_creator = is_creator;
+    }
+  }
+  return best;
+}
+
+std::size_t pick_task_for_machine(
+    const ObjectDirectory& dir,
+    std::span<const std::vector<ObjectId>> object_lists, MachineId machine,
+    bool locality) {
+  if (object_lists.empty()) return std::numeric_limits<std::size_t>::max();
+  if (!locality) return 0;
+  std::size_t best = 0;
+  std::size_t best_bytes = dir.bytes_present(object_lists[0], machine);
+  for (std::size_t i = 1; i < object_lists.size(); ++i) {
+    const std::size_t bytes = dir.bytes_present(object_lists[i], machine);
+    if (bytes > best_bytes) {  // strict: FIFO wins ties
+      best = i;
+      best_bytes = bytes;
+    }
+  }
+  return best;
+}
+
+}  // namespace jade

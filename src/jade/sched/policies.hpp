@@ -1,0 +1,68 @@
+// Scheduling policy knobs and selection heuristics.
+//
+// Section 5 lists the optimizations the Jade implementation applies; each
+// has a knob here so the ablation bench (bench_ablation) can measure it:
+//   * Dynamic Load Balancing      — idle machines pull ready tasks
+//   * Matching Exploited w/ Available Concurrency — task-creation throttling
+//   * Enhancing Locality          — prefer machines already holding a task's
+//                                   objects
+//   * Hiding Latency with Concurrency — multiple task contexts per machine,
+//                                   so one task's object fetches overlap
+//                                   another task's execution (Figure 7(f))
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jade/core/object.hpp"
+#include "jade/store/directory.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+/// Suppression of excess task creation (Section 3.3, Figure 7(e)): when the
+/// number of created-but-incomplete tasks exceeds high_water, the creating
+/// task is suspended (or, in ThreadEngine, made to execute ready tasks
+/// inline) until the backlog drains to low_water.  Serial semantics makes
+/// this deadlock-free: a task never waits for a later task.
+struct ThrottleConfig {
+  bool enabled = false;
+  std::uint64_t high_water = 512;
+  std::uint64_t low_water = 256;
+};
+
+struct SchedPolicy {
+  /// Resident task slots per machine; >1 lets object fetches for one task
+  /// overlap execution of another (latency hiding).
+  int contexts_per_machine = 2;
+  /// Prefer placing tasks where their objects already live.
+  bool locality = true;
+  /// Record a per-task TaskTimeline (SimEngine; see engine/timeline.hpp).
+  bool record_timeline = false;
+  ThrottleConfig throttle;
+};
+
+/// Picks the machine to run a ready task on, among machines with free
+/// contexts, or -1 if none qualifies.
+///
+/// With locality on: the machine holding the most bytes of the task's
+/// declared objects wins; ties prefer the creating machine, then more free
+/// contexts, then the lowest index (deterministic).  With locality off:
+/// most free contexts (pure load balancing), ties to lowest index.
+MachineId pick_machine_for_task(const ObjectDirectory& dir,
+                                std::span<const ObjectId> objects,
+                                std::span<const int> free_contexts,
+                                bool locality, MachineId creator);
+
+/// Picks which of several ready tasks an idle machine should take: with
+/// locality on, the task with the most resident bytes on `machine`; ties
+/// (and locality off) fall to the oldest task (FIFO, serial-order friendly).
+/// `object_lists[i]` are the declared objects of ready task i.  Returns the
+/// winning index, or SIZE_MAX if `object_lists` is empty.
+std::size_t pick_task_for_machine(
+    const ObjectDirectory& dir,
+    std::span<const std::vector<ObjectId>> object_lists, MachineId machine,
+    bool locality);
+
+}  // namespace jade

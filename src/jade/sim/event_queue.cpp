@@ -1,0 +1,31 @@
+#include "jade/sim/event_queue.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+void EventQueue::schedule(SimTime t, Callback fn) {
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  JADE_ASSERT(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  JADE_ASSERT(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, so we
+  // const_cast the owned entry (safe: it is popped immediately after).
+  auto& top = const_cast<Entry&>(heap_.top());
+  std::pair<SimTime, Callback> out{top.time, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace jade

@@ -1,0 +1,53 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (virtual time, insertion sequence), so simultaneous
+// events fire in the order they were scheduled.  Determinism here is what
+// makes whole SimEngine executions bit-reproducible, which in turn lets the
+// property tests compare simulated runs against serial semantics exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at virtual time `t` (>= current pop time).
+  void schedule(SimTime t, Callback fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest event's callback along with its time.
+  std::pair<SimTime, Callback> pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace jade

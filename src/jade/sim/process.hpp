@@ -1,0 +1,82 @@
+// Cooperative simulated processes.
+//
+// SimEngine must let an *unmodified* task body pause in virtual time in the
+// middle of its execution — that is exactly what a `with-cont` that converts
+// a deferred right does (Section 4.2).  C++ cannot suspend a plain function,
+// so each simulated activity runs on its own OS thread, with a strict
+// handoff protocol guaranteeing that at most one thread (either the
+// simulation coordinator or a single process) runs at any instant.  The
+// result behaves like coroutines with full stacks: deterministic, and host
+// parallelism plays no role in the simulated timing.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class Simulation;
+
+/// One cooperative activity.  Created via Simulation::spawn; never run
+/// directly.
+class Process {
+ public:
+  enum class State : std::uint8_t {
+    kCreated,   ///< thread not yet started
+    kRunning,   ///< owns the simulation (coordinator is waiting)
+    kParked,    ///< waiting to be resumed
+    kDone,      ///< body returned; thread joined or joinable
+  };
+
+  Process(Simulation* sim, std::string name, std::function<void()> body);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+
+  /// Number of times this process has been unparked; used to detect stale
+  /// resume events (each parked period has exactly one designated waker).
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend class Simulation;
+
+  /// Starts the underlying thread and runs the body until it first parks or
+  /// finishes.  Called by the coordinator.
+  void start();
+
+  /// Hands control to this (parked) process until it parks again or
+  /// finishes.  Called by the coordinator.
+  void run_until_parked();
+
+  /// Called from inside the process: yields control back to the coordinator
+  /// and blocks until resumed.
+  void park();
+
+  void thread_main();
+  void join();
+
+  Simulation* sim_;
+  std::string name_;
+  std::function<void()> body_;
+  std::thread thread_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  State state_ = State::kCreated;
+  bool go_ = false;          ///< process may run
+  bool yielded_ = false;     ///< process has handed control back
+  std::uint64_t epoch_ = 0;
+  std::exception_ptr error_;  ///< exception escaping the body, rethrown in run()
+};
+
+}  // namespace jade

@@ -1,0 +1,95 @@
+// The discrete-event simulation coordinator.
+//
+// Owns the virtual clock, the event queue and all processes.  Exactly one
+// thread runs at a time: the coordinator pops events in (time, sequence)
+// order; an event is either a plain callback or a "resume process P" action,
+// which hands control to P's thread until P parks again.  Because scheduling
+// order is deterministic and host threads never run concurrently, an entire
+// simulation is a deterministic function of its inputs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jade/sim/event_queue.hpp"
+#include "jade/sim/process.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules a plain event.  Callable from the coordinator or from inside
+  /// a process (the handoff protocol makes this race-free).
+  void schedule(SimTime t, std::function<void()> fn);
+  void schedule_in(SimTime dt, std::function<void()> fn) {
+    schedule(now_ + dt, std::move(fn));
+  }
+
+  /// Creates a process whose body starts running at time `at` (default: now).
+  /// The body runs on its own thread under the cooperative handoff protocol.
+  Process* spawn(std::string name, std::function<void()> body);
+  Process* spawn_at(SimTime at, std::string name, std::function<void()> body);
+
+  /// From inside a process: blocks until some other activity resumes it.
+  /// The caller must have arranged exactly one future resume.
+  void park();
+
+  /// Schedules process `p` (currently parked, or parking imminently at this
+  /// virtual time) to resume at time `t` (default now).  Exactly one resume
+  /// may be pending per parked period.
+  void resume(Process* p) { resume_at(p, now_); }
+  void resume_at(Process* p, SimTime t);
+
+  /// From inside a process: advances that process's local activity by `dt`
+  /// of virtual time (schedules its own resume and parks).
+  void advance(SimTime dt);
+
+  /// The process currently running, or nullptr when called from an event
+  /// callback / outside run().
+  Process* current() const { return current_; }
+
+  /// Runs until no events remain.  Throws InternalError if processes remain
+  /// parked with no pending events (simulated deadlock), and rethrows the
+  /// first exception that escaped a process body.
+  void run();
+
+  /// Number of processes that are parked (not done); used for deadlock
+  /// diagnostics and by tests.
+  std::size_t parked_count() const;
+
+  /// Total events executed; a cheap progress / cost metric for benches.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// True while the destructor is unwinding parked processes; park() turns
+  /// into a cooperative stack unwind when set.
+  bool tearing_down() const { return tearing_down_; }
+
+ private:
+  friend class Process;
+
+  /// Hands control to `p` (starting its thread on first use) until it parks
+  /// or finishes, stashing any exception that escaped its body.
+  void run_process(Process* p);
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Process* current_ = nullptr;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::uint64_t events_executed_ = 0;
+  bool running_ = false;
+  bool tearing_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace jade

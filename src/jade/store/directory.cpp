@@ -1,0 +1,118 @@
+#include "jade/store/directory.hpp"
+
+#include <bit>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+ObjectDirectory::ObjectDirectory(int machines) {
+  JADE_ASSERT_MSG(machines >= 1 && machines <= 64,
+                  "directory supports 1..64 machines");
+  stores_.reserve(static_cast<std::size_t>(machines));
+  for (int m = 0; m < machines; ++m) stores_.emplace_back(m);
+}
+
+LocalStore& ObjectDirectory::store(MachineId m) {
+  JADE_ASSERT(m >= 0 && static_cast<std::size_t>(m) < stores_.size());
+  return stores_[static_cast<std::size_t>(m)];
+}
+
+const LocalStore& ObjectDirectory::store(MachineId m) const {
+  JADE_ASSERT(m >= 0 && static_cast<std::size_t>(m) < stores_.size());
+  return stores_[static_cast<std::size_t>(m)];
+}
+
+void ObjectDirectory::add_object(const ObjectInfo& info, MachineId home) {
+  JADE_ASSERT_MSG(info.id == entries_.size() + 1,
+                  "objects must be registered in allocation order");
+  JADE_ASSERT(home >= 0 && home < machine_count());
+  Entry e;
+  e.id = info.id;
+  e.bytes = info.byte_size();
+  e.owner = home;
+  e.copies = 1ULL << home;
+  e.buffer.assign(e.bytes, std::byte{0});
+  entries_.push_back(std::move(e));
+  store(home).insert(info.id, info.byte_size());
+}
+
+bool ObjectDirectory::known(ObjectId obj) const {
+  return obj >= 1 && obj <= entries_.size();
+}
+
+ObjectDirectory::Entry& ObjectDirectory::entry(ObjectId obj) {
+  JADE_ASSERT_MSG(known(obj), "object not registered in directory");
+  return entries_[obj - 1];
+}
+
+const ObjectDirectory::Entry& ObjectDirectory::entry(ObjectId obj) const {
+  JADE_ASSERT_MSG(known(obj), "object not registered in directory");
+  return entries_[obj - 1];
+}
+
+MachineId ObjectDirectory::owner(ObjectId obj) const {
+  return entry(obj).owner;
+}
+
+bool ObjectDirectory::present(ObjectId obj, MachineId m) const {
+  return (entry(obj).copies >> m) & 1ULL;
+}
+
+std::size_t ObjectDirectory::object_bytes(ObjectId obj) const {
+  return entry(obj).bytes;
+}
+
+std::byte* ObjectDirectory::data(ObjectId obj) {
+  return entry(obj).buffer.data();
+}
+
+std::span<const std::byte> ObjectDirectory::data_view(ObjectId obj) const {
+  const Entry& e = entry(obj);
+  return {e.buffer.data(), e.buffer.size()};
+}
+
+std::uint64_t ObjectDirectory::version(ObjectId obj) const {
+  return entry(obj).version;
+}
+
+void ObjectDirectory::replicate_to(ObjectId obj, MachineId m) {
+  Entry& e = entry(obj);
+  JADE_ASSERT_MSG(!((e.copies >> m) & 1ULL),
+                  "replicating to a machine that already holds a copy");
+  e.copies |= 1ULL << m;
+  store(m).insert(obj, e.bytes);
+}
+
+int ObjectDirectory::move_to(ObjectId obj, MachineId m) {
+  Entry& e = entry(obj);
+  int invalidated = 0;
+  for (int h = 0; h < machine_count(); ++h) {
+    if (h == m || !((e.copies >> h) & 1ULL)) continue;
+    store(h).evict(obj, e.bytes);
+    if (h != e.owner) ++invalidated;  // the owner's copy travels, not dies
+  }
+  if (!((e.copies >> m) & 1ULL)) store(m).insert(obj, e.bytes);
+  e.copies = 1ULL << m;
+  e.owner = m;
+  ++e.version;
+  return invalidated;
+}
+
+std::vector<MachineId> ObjectDirectory::holders(ObjectId obj) const {
+  const Entry& e = entry(obj);
+  std::vector<MachineId> out;
+  for (int h = 0; h < machine_count(); ++h)
+    if ((e.copies >> h) & 1ULL) out.push_back(h);
+  return out;
+}
+
+std::size_t ObjectDirectory::bytes_present(std::span<const ObjectId> objs,
+                                           MachineId m) const {
+  std::size_t sum = 0;
+  for (ObjectId obj : objs)
+    if (present(obj, m)) sum += object_bytes(obj);
+  return sum;
+}
+
+}  // namespace jade

@@ -1,0 +1,81 @@
+// The global object directory.
+//
+// Tracks, for every shared object, where its authoritative copy (owner) and
+// read replicas live.  The SimEngine's transfer protocol consults and
+// mutates this state to implement the paper's object management (Section 5):
+// move on write access (old copy deallocated — Figure 7(c)), copy on read
+// access (concurrent replicas — "Object Replication"), invalidate replicas
+// when a writer takes the object.
+//
+// The directory also owns the canonical byte buffer of every object (task
+// bodies execute in-process, so there is exactly one data copy; see
+// LocalStore for why this is faithful).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jade/core/object.hpp"
+#include "jade/store/local_store.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class ObjectDirectory {
+ public:
+  explicit ObjectDirectory(int machines);
+
+  int machine_count() const { return static_cast<int>(stores_.size()); }
+  LocalStore& store(MachineId m);
+  const LocalStore& store(MachineId m) const;
+
+  /// Registers an object with its initial copy on `home`.
+  void add_object(const ObjectInfo& info, MachineId home);
+
+  bool known(ObjectId obj) const;
+  MachineId owner(ObjectId obj) const;
+  bool present(ObjectId obj, MachineId m) const;
+  std::size_t object_bytes(ObjectId obj) const;
+
+  /// Data access (canonical buffer).
+  std::byte* data(ObjectId obj);
+  std::span<const std::byte> data_view(ObjectId obj) const;
+
+  /// Version counter: bumped on every ownership move; lets tests verify the
+  /// protocol took the expected number of exclusive transfers.
+  std::uint64_t version(ObjectId obj) const;
+
+  /// Adds a read replica on `m` (object stays owned where it is).
+  void replicate_to(ObjectId obj, MachineId m);
+
+  /// Moves ownership to `m`, dropping every other copy (invalidation).
+  /// Returns the number of remote copies invalidated (excluding the old
+  /// owner's, whose copy travelled rather than being discarded).
+  int move_to(ObjectId obj, MachineId m);
+
+  /// Machines currently holding a copy (owner included).
+  std::vector<MachineId> holders(ObjectId obj) const;
+
+  /// Sum of the sizes of `objs` already present on machine `m` — the
+  /// locality heuristic's score (Section 5, "Enhancing Locality").
+  std::size_t bytes_present(std::span<const ObjectId> objs, MachineId m) const;
+
+ private:
+  struct Entry {
+    ObjectId id = kInvalidObject;
+    std::size_t bytes = 0;
+    MachineId owner = -1;
+    std::uint64_t copies = 0;  ///< bitmask of machines holding a copy
+    std::uint64_t version = 0;
+    std::vector<std::byte> buffer;
+  };
+
+  Entry& entry(ObjectId obj);
+  const Entry& entry(ObjectId obj) const;
+
+  std::vector<LocalStore> stores_;
+  std::vector<Entry> entries_;  ///< indexed by ObjectId - 1
+};
+
+}  // namespace jade

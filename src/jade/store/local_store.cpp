@@ -1,0 +1,22 @@
+#include "jade/store/local_store.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+void LocalStore::insert(ObjectId obj, std::size_t bytes) {
+  auto [it, inserted] = resident_.insert(obj);
+  JADE_ASSERT_MSG(inserted, "object already resident in local store");
+  resident_bytes_ += bytes;
+  ++inserts_;
+}
+
+void LocalStore::evict(ObjectId obj, std::size_t bytes) {
+  const std::size_t erased = resident_.erase(obj);
+  JADE_ASSERT_MSG(erased == 1, "evicting an object that is not resident");
+  JADE_ASSERT(resident_bytes_ >= bytes);
+  resident_bytes_ -= bytes;
+  ++evictions_;
+}
+
+}  // namespace jade

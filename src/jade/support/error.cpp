@@ -1,0 +1,16 @@
+#include "jade/support/error.hpp"
+
+#include <sstream>
+
+namespace jade::detail {
+
+void throw_internal(const char* file, int line, const char* expr,
+                    const std::string& msg) {
+  std::ostringstream os;
+  os << "jade internal invariant failed: " << expr << " at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw InternalError(os.str());
+}
+
+}  // namespace jade::detail

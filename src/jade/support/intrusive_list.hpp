@@ -1,0 +1,103 @@
+// A minimal intrusive doubly-linked list.
+//
+// The per-object declaration queues at the heart of the Jade serializer need
+// O(1) insert-before-a-known-node (a child task's declaration is inserted
+// immediately before its parent's) and O(1) unlink (when a task retires a
+// right with no_rd/no_wr or completes).  std::list could do this, but an
+// intrusive list lets a declaration record live in exactly one allocation
+// owned by its task while being linked into its object's queue.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+/// Base class for nodes stored in an IntrusiveList.
+struct IntrusiveNode {
+  IntrusiveNode* prev = nullptr;
+  IntrusiveNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+/// Intrusive doubly-linked list with a sentinel head.  T must derive from
+/// IntrusiveNode.  The list does not own its elements.
+template <typename T>
+class IntrusiveList {
+ public:
+  IntrusiveList() { head_.prev = head_.next = &head_; }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const IntrusiveNode* p = head_.next; p != &head_; p = p->next) ++n;
+    return n;
+  }
+
+  T* front() { return empty() ? nullptr : static_cast<T*>(head_.next); }
+  const T* front() const {
+    return empty() ? nullptr : static_cast<const T*>(head_.next);
+  }
+
+  T* back() { return empty() ? nullptr : static_cast<T*>(head_.prev); }
+
+  void push_back(T* node) { insert_before_node(&head_, node); }
+  void push_front(T* node) { insert_before_node(head_.next, node); }
+
+  /// Inserts `node` immediately before `pos`, which must be linked into this
+  /// list.
+  void insert_before(T* pos, T* node) { insert_before_node(pos, node); }
+
+  static void unlink(T* node) {
+    JADE_ASSERT(node->linked());
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->prev = node->next = nullptr;
+  }
+
+  /// Returns the node after `node`, or nullptr at the end of the list.
+  T* next_of(T* node) {
+    return node->next == &head_ ? nullptr : static_cast<T*>(node->next);
+  }
+  const T* next_of(const T* node) const {
+    return node->next == &head_ ? nullptr : static_cast<const T*>(node->next);
+  }
+
+  /// Returns the node before `node`, or nullptr at the front of the list.
+  T* prev_of(T* node) {
+    return node->prev == &head_ ? nullptr : static_cast<T*>(node->prev);
+  }
+  const T* prev_of(const T* node) const {
+    return node->prev == &head_ ? nullptr : static_cast<const T*>(node->prev);
+  }
+
+  /// Simple forward iteration support.
+  template <typename F>
+  void for_each(F&& f) {
+    for (IntrusiveNode* p = head_.next; p != &head_;) {
+      IntrusiveNode* nxt = p->next;  // allow f to unlink p
+      f(static_cast<T*>(p));
+      p = nxt;
+    }
+  }
+
+ private:
+  void insert_before_node(IntrusiveNode* pos, T* node) {
+    JADE_ASSERT(!node->linked());
+    node->prev = pos->prev;
+    node->next = pos;
+    pos->prev->next = node;
+    pos->prev = node;
+  }
+
+  IntrusiveNode head_;
+};
+
+}  // namespace jade

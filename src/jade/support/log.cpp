@@ -1,0 +1,38 @@
+#include "jade/support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace jade {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_sink_mutex;
+Log::Sink& sink_storage() {
+  static Log::Sink sink;
+  return sink;
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink_storage()) {
+    sink_storage()(level, msg);
+  } else {
+    std::cerr << "[jade] " << msg << '\n';
+  }
+}
+
+}  // namespace jade

@@ -1,0 +1,41 @@
+// Leveled logging for the runtime.  Off by default; the trace bench
+// (bench_fig7_trace) raises the level to narrate object motion and task
+// migration the way the paper's Figure 7 does.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace jade {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kTrace = 2 };
+
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replaces the output sink (default: stderr).  Used by tests to capture
+  /// trace output.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& msg);
+  static bool enabled(LogLevel level) { return level <= Log::level(); }
+};
+
+#define JADE_LOG(lvl, expr)                                       \
+  do {                                                            \
+    if (::jade::Log::enabled(lvl)) {                              \
+      std::ostringstream jade_log_os_;                            \
+      jade_log_os_ << expr;                                       \
+      ::jade::Log::write(lvl, jade_log_os_.str());                \
+    }                                                             \
+  } while (0)
+
+#define JADE_INFO(expr) JADE_LOG(::jade::LogLevel::kInfo, expr)
+#define JADE_TRACE(expr) JADE_LOG(::jade::LogLevel::kTrace, expr)
+
+}  // namespace jade

@@ -1,0 +1,101 @@
+#include "jade/support/stats.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::quantile(double q) const {
+  JADE_ASSERT(!xs_.empty());
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double SampleSet::mean() const {
+  return xs_.empty() ? 0.0 : sum() / static_cast<double>(xs_.size());
+}
+
+double SampleSet::sum() const {
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  JADE_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double c : cells) out.push_back(format_double(c, precision));
+  add_row(std::move(out));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size())
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace jade

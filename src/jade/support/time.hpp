@@ -1,0 +1,14 @@
+// Virtual-time definitions shared by the simulation kernel and the network
+// cost models.
+#pragma once
+
+namespace jade {
+
+/// Virtual time in seconds.  The discrete-event engine (SimEngine) advances
+/// this clock; wall-clock time is irrelevant to the reproduced experiments.
+using SimTime = double;
+
+/// Identifies a simulated machine within a cluster (dense index).
+using MachineId = int;
+
+}  // namespace jade

@@ -1,0 +1,108 @@
+#include "jade/types/type_desc.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+Endian host_endian() {
+  return std::endian::native == std::endian::little ? Endian::kLittle
+                                                    : Endian::kBig;
+}
+
+std::size_t scalar_size(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kInt8:
+    case ScalarKind::kUInt8:
+      return 1;
+    case ScalarKind::kInt16:
+    case ScalarKind::kUInt16:
+      return 2;
+    case ScalarKind::kInt32:
+    case ScalarKind::kUInt32:
+    case ScalarKind::kFloat32:
+      return 4;
+    case ScalarKind::kInt64:
+    case ScalarKind::kUInt64:
+    case ScalarKind::kFloat64:
+      return 8;
+  }
+  throw InternalError("scalar_size: bad ScalarKind");
+}
+
+const char* scalar_name(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kInt8: return "i8";
+    case ScalarKind::kUInt8: return "u8";
+    case ScalarKind::kInt16: return "i16";
+    case ScalarKind::kUInt16: return "u16";
+    case ScalarKind::kInt32: return "i32";
+    case ScalarKind::kUInt32: return "u32";
+    case ScalarKind::kInt64: return "i64";
+    case ScalarKind::kUInt64: return "u64";
+    case ScalarKind::kFloat32: return "f32";
+    case ScalarKind::kFloat64: return "f64";
+  }
+  return "?";
+}
+
+TypeDescriptor::TypeDescriptor(std::vector<FieldDesc> fields)
+    : fields_(std::move(fields)) {
+  for (const FieldDesc& f : fields_) {
+    byte_size_ += f.byte_size();
+    scalar_count_ += f.count;
+    if (scalar_size(f.kind) > 1 && f.count > 0) order_invariant_ = false;
+  }
+}
+
+TypeDescriptor TypeDescriptor::array(ScalarKind kind, std::size_t count) {
+  return TypeDescriptor({FieldDesc{kind, count}});
+}
+
+std::string TypeDescriptor::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << scalar_name(fields_[i].kind) << "x" << fields_[i].count;
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+void swap_run(std::byte* p, std::size_t width, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i, p += width) {
+    for (std::size_t a = 0, b = width - 1; a < b; ++a, --b)
+      std::swap(p[a], p[b]);
+  }
+}
+}  // namespace
+
+void swap_representation(std::span<std::byte> data,
+                         const TypeDescriptor& desc) {
+  JADE_ASSERT_MSG(data.size() == desc.byte_size(),
+                  "object size does not match its type descriptor");
+  std::byte* p = data.data();
+  for (const FieldDesc& f : desc.fields()) {
+    const std::size_t width = scalar_size(f.kind);
+    if (width > 1) swap_run(p, width, f.count);
+    p += f.byte_size();
+  }
+}
+
+std::size_t convert_representation(std::span<std::byte> data,
+                                   const TypeDescriptor& desc, Endian from,
+                                   Endian to) {
+  if (from == to || desc.order_invariant()) return 0;
+  swap_representation(data, desc);
+  std::size_t converted = 0;
+  for (const FieldDesc& f : desc.fields())
+    if (scalar_size(f.kind) > 1) converted += f.count;
+  return converted;
+}
+
+}  // namespace jade

@@ -1,0 +1,125 @@
+// Type descriptors for shared objects.
+//
+// The paper (Section 6.1): "The Jade implementation can do the necessary
+// conversions in a heterogeneous environment because it knows the types of
+// all shared objects."  Every shared object in our runtime carries a
+// TypeDescriptor: a flat sequence of scalar fields (C structs and arrays of
+// scalars flatten to exactly this).  The descriptor drives byte-order
+// conversion when an object moves between simulated machines of different
+// architectures, and sizing/validation everywhere else.
+//
+// All simulated architectures use IEEE-754 floating point and two's
+// complement integers (as the paper's SPARC, MIPS and i860 machines did), so
+// representation differences reduce to byte order and the conversion is a
+// per-scalar byte swap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jade {
+
+enum class Endian : std::uint8_t { kLittle = 0, kBig = 1 };
+
+/// Byte order of the host this process runs on.
+Endian host_endian();
+
+enum class ScalarKind : std::uint8_t {
+  kInt8,
+  kUInt8,
+  kInt16,
+  kUInt16,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat32,
+  kFloat64,
+};
+
+/// Size in bytes of one scalar of the given kind.
+std::size_t scalar_size(ScalarKind kind);
+
+/// Human-readable name ("f64", "i32", ...), used in traces and errors.
+const char* scalar_name(ScalarKind kind);
+
+/// Maps a C++ scalar type to its ScalarKind at compile time.
+template <typename T>
+constexpr ScalarKind scalar_kind_of();
+
+template <> constexpr ScalarKind scalar_kind_of<std::int8_t>() { return ScalarKind::kInt8; }
+template <> constexpr ScalarKind scalar_kind_of<std::uint8_t>() { return ScalarKind::kUInt8; }
+template <> constexpr ScalarKind scalar_kind_of<std::int16_t>() { return ScalarKind::kInt16; }
+template <> constexpr ScalarKind scalar_kind_of<std::uint16_t>() { return ScalarKind::kUInt16; }
+template <> constexpr ScalarKind scalar_kind_of<std::int32_t>() { return ScalarKind::kInt32; }
+template <> constexpr ScalarKind scalar_kind_of<std::uint32_t>() { return ScalarKind::kUInt32; }
+template <> constexpr ScalarKind scalar_kind_of<std::int64_t>() { return ScalarKind::kInt64; }
+template <> constexpr ScalarKind scalar_kind_of<std::uint64_t>() { return ScalarKind::kUInt64; }
+template <> constexpr ScalarKind scalar_kind_of<float>() { return ScalarKind::kFloat32; }
+template <> constexpr ScalarKind scalar_kind_of<double>() { return ScalarKind::kFloat64; }
+
+/// One run of identical scalars in an object's layout.
+struct FieldDesc {
+  ScalarKind kind;
+  std::size_t count;
+
+  std::size_t byte_size() const { return scalar_size(kind) * count; }
+  bool operator==(const FieldDesc&) const = default;
+};
+
+/// Flat layout description of a shared object: a sequence of scalar runs,
+/// densely packed (the runtime allocates shared objects packed; there is no
+/// padding to describe).
+class TypeDescriptor {
+ public:
+  TypeDescriptor() = default;
+  explicit TypeDescriptor(std::vector<FieldDesc> fields);
+
+  /// Descriptor for a homogeneous array of `count` scalars.
+  static TypeDescriptor array(ScalarKind kind, std::size_t count);
+
+  template <typename T>
+  static TypeDescriptor array_of(std::size_t count) {
+    return array(scalar_kind_of<T>(), count);
+  }
+
+  /// Descriptor for an untyped byte blob (no conversion applied).
+  static TypeDescriptor bytes(std::size_t count) {
+    return array(ScalarKind::kUInt8, count);
+  }
+
+  const std::vector<FieldDesc>& fields() const { return fields_; }
+  std::size_t byte_size() const { return byte_size_; }
+  std::size_t scalar_count() const { return scalar_count_; }
+
+  /// True when conversion between byte orders is the identity (all fields
+  /// single-byte).
+  bool order_invariant() const { return order_invariant_; }
+
+  std::string to_string() const;
+  bool operator==(const TypeDescriptor&) const = default;
+
+ private:
+  std::vector<FieldDesc> fields_;
+  std::size_t byte_size_ = 0;
+  std::size_t scalar_count_ = 0;
+  bool order_invariant_ = true;
+};
+
+/// Reverses the byte order of every scalar in `data`, whose layout is
+/// described by `desc`.  This is the conversion applied when an object moves
+/// between simulated machines of opposite byte order.  `data.size()` must
+/// equal `desc.byte_size()`.
+void swap_representation(std::span<std::byte> data, const TypeDescriptor& desc);
+
+/// Converts `data` from `from` byte order to `to` byte order in place
+/// (no-op when they match).  Returns the number of scalars converted, which
+/// the simulated transport charges as conversion work.
+std::size_t convert_representation(std::span<std::byte> data,
+                                   const TypeDescriptor& desc, Endian from,
+                                   Endian to);
+
+}  // namespace jade

@@ -1,0 +1,3 @@
+// Wire format is header-only; this TU exists so the module has a home for
+// future out-of-line helpers and to keep the build graph uniform.
+#include "jade/types/wire.hpp"

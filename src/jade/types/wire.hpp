@@ -1,0 +1,111 @@
+// Canonical wire format for runtime control messages.
+//
+// The paper's workstation implementation used PVM "as a reliable, typed
+// transport protocol".  Our simulated transport serializes control messages
+// (task dispatch, object requests, completion notices) into a canonical
+// little-endian wire format via these writer/reader classes; object payloads
+// travel alongside and are converted per their TypeDescriptor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+/// Appends scalars/strings/blobs to a growing byte buffer in canonical
+/// (little-endian) order.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_le(bits);
+  }
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+  }
+  void put_bytes(std::span<const std::byte> data) {
+    put_u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  const std::vector<std::byte>& bytes() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Reads scalars back out of a wire buffer; throws InternalError on
+/// truncation (control messages are runtime-generated, so truncation is a
+/// runtime bug, not user error).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t get_u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint16_t get_u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_le<std::uint64_t>(); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_f64() {
+    std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    auto s = take(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), n);
+  }
+  std::vector<std::byte> get_bytes() {
+    const std::uint32_t n = get_u32();
+    auto s = take(n);
+    return std::vector<std::byte>(s.begin(), s.end());
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> take(std::size_t n) {
+    JADE_ASSERT_MSG(remaining() >= n, "wire message truncated");
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  T get_le() {
+    auto s = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v |= static_cast<T>(static_cast<std::uint8_t>(s[i])) << (8 * i);
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace jade

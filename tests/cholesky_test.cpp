@@ -1,0 +1,194 @@
+// Tests of the sparse Cholesky application — the paper's worked example.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jade/apps/backsubst.hpp"
+#include "jade/apps/cholesky.hpp"
+#include "jade/mach/presets.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade::apps {
+namespace {
+
+RuntimeConfig config_for(EngineKind kind, int machines = 4) {
+  RuntimeConfig cfg;
+  cfg.engine = kind;
+  cfg.threads = machines;
+  if (kind == EngineKind::kSim) cfg.cluster = presets::ideal(machines);
+  return cfg;
+}
+
+double max_abs_diff(const SparseMatrix& a, const SparseMatrix& b) {
+  double m = 0;
+  for (int i = 0; i < a.n; ++i)
+    for (std::size_t k = 0; k < a.cols[i].size(); ++k)
+      m = std::max(m, std::abs(a.cols[i][k] - b.cols[i][k]));
+  return m;
+}
+
+TEST(SpdMatrix, GeneratorIsDeterministic) {
+  const auto a = make_spd(40, 0.1, 5);
+  const auto b = make_spd(40, 0.1, 5);
+  EXPECT_EQ(a.row_idx, b.row_idx);
+  EXPECT_EQ(a.cols, b.cols);
+  const auto c = make_spd(40, 0.1, 6);
+  EXPECT_NE(a.cols, c.cols);
+}
+
+TEST(SpdMatrix, PatternClosedUnderElimination) {
+  // factor_serial asserts on fill-in; surviving it proves closure.
+  auto m = make_spd(60, 0.15, 11);
+  EXPECT_NO_THROW(factor_serial(m));
+}
+
+TEST(SpdMatrix, FactorizationSolvesSystems) {
+  auto a = make_spd(50, 0.2, 3);
+  Rng rng(17);
+  std::vector<double> x_true(50);
+  for (double& v : x_true) v = rng.next_double(-2, 2);
+  const auto b = spd_multiply(a, x_true);
+
+  auto l = a;
+  factor_serial(l);
+  const auto x = solve_factored(l, b);
+  for (int i = 0; i < 50; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(SpdMatrix, PaperExampleStructure) {
+  const auto m = paper_example_matrix();
+  EXPECT_EQ(m.n, 5);
+  // Column 0 updates columns 3 and 4 as in Figure 4.
+  std::vector<int> targets(m.row_idx.begin() + m.col_ptr[0],
+                           m.row_idx.begin() + m.col_ptr[1]);
+  EXPECT_EQ(targets, (std::vector<int>{3, 4}));
+}
+
+TEST(SpdMatrix, DenseCaseFactorsCorrectly) {
+  auto a = make_spd(20, 1.0, 9);  // fully dense lower triangle
+  auto l = a;
+  factor_serial(l);
+  std::vector<double> ones(20, 1.0);
+  const auto b = spd_multiply(a, ones);
+  const auto x = solve_factored(l, b);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+class JadeCholeskyTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(JadeCholeskyTest, MatchesSerialFactorBitExactly) {
+  const auto a = make_spd(48, 0.15, 21);
+  auto expect = a;
+  factor_serial(expect);
+
+  Runtime rt(config_for(GetParam()));
+  auto jm = upload_matrix(rt, a);
+  rt.run([&](TaskContext& ctx) { factor_jade(ctx, jm); });
+  const auto got = download_matrix(rt, jm);
+  EXPECT_EQ(got.cols, expect.cols);  // bit-identical serial semantics
+}
+
+TEST_P(JadeCholeskyTest, PaperExampleTaskCounts) {
+  const auto a = paper_example_matrix();
+  Runtime rt(config_for(GetParam()));
+  auto jm = upload_matrix(rt, a);
+  rt.run([&](TaskContext& ctx) { factor_jade(ctx, jm); });
+  // 5 InternalUpdates + one ExternalUpdate per subdiagonal nonzero.
+  EXPECT_EQ(rt.stats().tasks_created,
+            5u + static_cast<std::uint64_t>(a.row_idx.size()));
+}
+
+TEST_P(JadeCholeskyTest, BlockedFactorMatchesUnblocked) {
+  const auto a = make_spd(40, 0.2, 33);
+  auto expect = a;
+  factor_serial(expect);
+  for (int block : {1, 3, 8, 40}) {
+    Runtime rt(config_for(GetParam()));
+    auto jm = upload_blocked(rt, a, block);
+    rt.run([&](TaskContext& ctx) { factor_jade_blocked(ctx, jm); });
+    const auto got = download_blocked(rt, jm);
+    EXPECT_EQ(got.cols, expect.cols) << "block=" << block;
+  }
+}
+
+TEST_P(JadeCholeskyTest, BlockingReducesTaskCount) {
+  const auto a = make_spd(40, 0.2, 33);
+  auto count_tasks = [&](int block) {
+    Runtime rt(config_for(GetParam()));
+    auto jm = upload_blocked(rt, a, block);
+    rt.run([&](TaskContext& ctx) { factor_jade_blocked(ctx, jm); });
+    return rt.stats().tasks_created;
+  };
+  EXPECT_GT(count_tasks(1), count_tasks(8));
+  EXPECT_GT(count_tasks(8), count_tasks(40));
+}
+
+TEST_P(JadeCholeskyTest, FactorThenPipelinedSolve) {
+  const auto a = make_spd(32, 0.25, 55);
+  Rng rng(5);
+  std::vector<double> x_true(32);
+  for (double& v : x_true) v = rng.next_double(-1, 1);
+  const auto b = spd_multiply(a, x_true);
+
+  Runtime rt(config_for(GetParam()));
+  auto jm = upload_matrix(rt, a);
+  auto x = rt.alloc_init<double>(b, "x");
+  rt.run([&](TaskContext& ctx) {
+    factor_jade(ctx, jm);
+    // Created before the factorization finishes; overlaps via df_rd.
+    forward_solve_jade(ctx, jm, x, /*pipelined=*/true);
+    backward_solve_jade(ctx, jm, x);
+  });
+  const auto got = rt.get(x);
+  for (int i = 0; i < 32; ++i) EXPECT_NEAR(got[i], x_true[i], 1e-8);
+}
+
+TEST_P(JadeCholeskyTest, PipelinedAndUnpipelinedSolvesAgree) {
+  const auto a = make_spd(24, 0.3, 77);
+  const std::vector<double> b(24, 1.0);
+  auto run_variant = [&](bool pipelined) {
+    Runtime rt(config_for(GetParam()));
+    auto jm = upload_matrix(rt, a);
+    auto x = rt.alloc_init<double>(std::span<const double>(b), "x");
+    rt.run([&](TaskContext& ctx) {
+      factor_jade(ctx, jm);
+      forward_solve_jade(ctx, jm, x, pipelined);
+    });
+    return rt.get(x);
+  };
+  EXPECT_EQ(run_variant(true), run_variant(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, JadeCholeskyTest,
+                         ::testing::Values(EngineKind::kSerial,
+                                           EngineKind::kThread,
+                                           EngineKind::kSim),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::kSerial: return "Serial";
+                             case EngineKind::kThread: return "Thread";
+                             case EngineKind::kSim: return "Sim";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(JadeCholeskySim, PipeliningShortensVirtualTime) {
+  const auto a = make_spd(96, 0.1, 13);
+  auto duration = [&](bool pipelined) {
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = presets::ipsc860(8);
+    Runtime rt(std::move(cfg));
+    auto jm = upload_matrix(rt, a);
+    auto x = rt.alloc<double>(static_cast<std::size_t>(a.n), "x");
+    rt.run([&](TaskContext& ctx) {
+      factor_jade(ctx, jm);
+      forward_solve_jade(ctx, jm, x, pipelined);
+    });
+    return rt.sim_duration();
+  };
+  EXPECT_LT(duration(true), duration(false));
+}
+
+}  // namespace
+}  // namespace jade::apps

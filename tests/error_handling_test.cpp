@@ -1,0 +1,141 @@
+// Failure-injection tests: exceptions escaping task bodies, configuration
+// errors, and misuse of the API must surface as exceptions from run() (or
+// construction) on every engine — never hangs, crashes or silent corruption.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "jade/core/runtime.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade {
+namespace {
+
+RuntimeConfig config_for(EngineKind kind, int machines = 4) {
+  RuntimeConfig cfg;
+  cfg.engine = kind;
+  cfg.threads = machines;
+  if (kind == EngineKind::kSim) cfg.cluster = presets::ideal(machines);
+  return cfg;
+}
+
+class ErrorTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ErrorTest, ExceptionInTaskBodyPropagates) {
+  Runtime rt(config_for(GetParam()));
+  auto v = rt.alloc<int>(1);
+  EXPECT_THROW(rt.run([&](TaskContext& ctx) {
+                 ctx.withonly([&](AccessDecl& d) { d.wr(v); },
+                              [](TaskContext&) {
+                                throw std::runtime_error("task boom");
+                              });
+               }),
+               std::runtime_error);
+}
+
+TEST_P(ErrorTest, ExceptionInRootBodyPropagates) {
+  Runtime rt(config_for(GetParam()));
+  EXPECT_THROW(
+      rt.run([&](TaskContext&) { throw std::logic_error("root boom"); }),
+      std::logic_error);
+}
+
+TEST_P(ErrorTest, ExceptionAmongManyTasksStillPropagates) {
+  Runtime rt(config_for(GetParam()));
+  std::vector<SharedRef<int>> objs;
+  for (int i = 0; i < 16; ++i) objs.push_back(rt.alloc<int>(1));
+  EXPECT_THROW(rt.run([&](TaskContext& ctx) {
+                 for (int i = 0; i < 16; ++i) {
+                   auto o = objs[static_cast<std::size_t>(i)];
+                   ctx.withonly([&](AccessDecl& d) { d.rd_wr(o); },
+                                [o, i](TaskContext& t) {
+                                  t.read_write(o)[0] = i;
+                                  if (i == 7)
+                                    throw std::runtime_error("mid boom");
+                                });
+                 }
+               }),
+               std::runtime_error);
+}
+
+TEST_P(ErrorTest, ExceptionInNestedChildPropagates) {
+  Runtime rt(config_for(GetParam()));
+  auto v = rt.alloc<int>(1);
+  EXPECT_THROW(rt.run([&](TaskContext& ctx) {
+                 ctx.withonly([&](AccessDecl& d) { d.rd_wr(v); },
+                              [v](TaskContext& t) {
+                                t.withonly([&](AccessDecl& d) { d.rd_wr(v); },
+                                           [](TaskContext&) {
+                                             throw std::runtime_error(
+                                                 "child boom");
+                                           });
+                              });
+               }),
+               std::runtime_error);
+}
+
+TEST_P(ErrorTest, SpecEvaluationExceptionPropagates) {
+  // The access-declaration callback is user code too.
+  Runtime rt(config_for(GetParam()));
+  EXPECT_THROW(rt.run([&](TaskContext& ctx) {
+                 ctx.withonly(
+                     [&](AccessDecl&) {
+                       throw std::runtime_error("spec boom");
+                     },
+                     [](TaskContext&) {});
+               }),
+               std::runtime_error);
+}
+
+TEST_P(ErrorTest, SecondRunRejected) {
+  Runtime rt(config_for(GetParam()));
+  rt.run([](TaskContext&) {});
+  EXPECT_THROW(rt.run([](TaskContext&) {}), InternalError);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, ErrorTest,
+                         ::testing::Values(EngineKind::kSerial,
+                                           EngineKind::kThread,
+                                           EngineKind::kSim),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::kSerial: return "Serial";
+                             case EngineKind::kThread: return "Thread";
+                             case EngineKind::kSim: return "Sim";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ConfigErrors, BadClusterRejectedAtConstruction) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;  // empty cluster
+  EXPECT_THROW(Runtime rt(std::move(cfg)), ConfigError);
+}
+
+TEST(ConfigErrors, ZeroThreadsRejected) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kThread;
+  cfg.threads = 0;
+  EXPECT_THROW(Runtime rt(std::move(cfg)), InternalError);
+}
+
+TEST(ConfigErrors, PlacementOutOfRangeRejected) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  cfg.cluster = presets::ideal(2);
+  Runtime rt(std::move(cfg));
+  EXPECT_THROW(rt.alloc<int>(4, "x", /*home=*/7), InternalError);
+}
+
+TEST(ConfigErrors, NullObjectInSpecRejected) {
+  Runtime rt;
+  SharedRef<double> null_ref;  // never allocated
+  EXPECT_THROW(rt.run([&](TaskContext& ctx) {
+                 ctx.withonly([&](AccessDecl& d) { d.rd(null_ref); },
+                              [](TaskContext&) {});
+               }),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace jade

@@ -1,0 +1,137 @@
+// Tests of the parallel make application (paper Section 7.1).
+#include <gtest/gtest.h>
+
+#include "jade/apps/jmake.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade::apps {
+namespace {
+
+RuntimeConfig config_for(EngineKind kind, int machines = 4) {
+  RuntimeConfig cfg;
+  cfg.engine = kind;
+  cfg.threads = machines;
+  if (kind == EngineKind::kSim) cfg.cluster = presets::ideal(machines);
+  return cfg;
+}
+
+TEST(MakeSerial, ChainRunsEveryCommandOnce) {
+  const auto mf = chain_makefile(6);
+  const auto r = make_serial(mf);
+  EXPECT_EQ(r.commands_run, 5);
+  // Timestamps strictly increase along the chain.
+  for (int i = 1; i < 6; ++i) EXPECT_GT(r.mtime[i], r.mtime[i - 1]);
+}
+
+TEST(MakeSerial, FreshTargetsAreSkipped) {
+  auto mf = wide_makefile(4);
+  // Mark two objects newer than their sources: up to date.
+  mf.initial_mtime[4] = 1000;
+  mf.initial_mtime[5] = 1000;
+  const auto r = make_serial(mf);
+  EXPECT_EQ(r.commands_run, 2);
+  EXPECT_EQ(r.mtime[4], 1000);  // untouched
+}
+
+TEST(MakeSerial, TouchPropagatesTransitively) {
+  auto mf = project_makefile(4, 2);
+  auto all = make_serial(mf);
+  EXPECT_EQ(all.commands_run, 4 + 1 + 2);  // objects + lib + binaries
+
+  // Rebuild from the built state, touching one source: its object, the
+  // library, and both binaries rebuild.
+  mf.initial_mtime = all.mtime;
+  mf.initial_mtime[0] = 100000;  // touch src0
+  const auto incremental = make_serial(mf);
+  EXPECT_EQ(incremental.commands_run, 1 + 1 + 2);
+}
+
+TEST(MakeSerial, RandomMakefileDeterministic) {
+  const auto a = make_serial(random_makefile(30, 0.1, 5));
+  const auto b = make_serial(random_makefile(30, 0.1, 5));
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.commands_run, b.commands_run);
+}
+
+class JadeMakeTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(JadeMakeTest, ResultsMatchSerialMake) {
+  for (auto mf : {chain_makefile(8), wide_makefile(8),
+                  project_makefile(6, 3), random_makefile(24, 0.12, 9)}) {
+    const auto expect = make_serial(mf);
+    Runtime rt(config_for(GetParam()));
+    auto jm = upload_make(rt, mf);
+    int commands = 0;
+    rt.run([&](TaskContext& ctx) { make_jade(ctx, jm, &commands); });
+    const auto got = download_make(rt, jm);
+    EXPECT_EQ(got.mtime, expect.mtime);
+    EXPECT_EQ(got.hash, expect.hash);
+    EXPECT_EQ(commands, expect.commands_run);
+    EXPECT_EQ(rt.stats().tasks_created,
+              static_cast<std::uint64_t>(expect.commands_run));
+  }
+}
+
+TEST_P(JadeMakeTest, IncrementalRebuildRunsOnlyOutOfDateCommands) {
+  auto mf = project_makefile(6, 2);
+  const auto full = make_serial(mf);
+  mf.initial_mtime = full.mtime;
+  touch_sources(mf, 0.4, 3);
+  const auto expect = make_serial(mf);
+  EXPECT_LT(expect.commands_run, full.commands_run);
+
+  Runtime rt(config_for(GetParam()));
+  auto jm = upload_make(rt, mf);
+  int commands = 0;
+  rt.run([&](TaskContext& ctx) { make_jade(ctx, jm, &commands); });
+  EXPECT_EQ(commands, expect.commands_run);
+  EXPECT_EQ(download_make(rt, jm).hash, expect.hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, JadeMakeTest,
+                         ::testing::Values(EngineKind::kSerial,
+                                           EngineKind::kThread,
+                                           EngineKind::kSim),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::kSerial: return "Serial";
+                             case EngineKind::kThread: return "Thread";
+                             case EngineKind::kSim: return "Sim";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(JadeMakeSim, WideBuildScalesUntilDiskBinds) {
+  auto duration = [](int machines) {
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = presets::ideal(machines);
+    Runtime rt(std::move(cfg));
+    auto jm = upload_make(rt, wide_makefile(24));
+    rt.run([&](TaskContext& ctx) { make_jade(ctx, jm, nullptr); });
+    return rt.sim_duration();
+  };
+  const double t1 = duration(1);
+  const double t4 = duration(4);
+  const double t16 = duration(16);
+  EXPECT_LT(t4, 0.5 * t1);  // compilation parallelizes
+  // Disk I/O (20% of each command) serializes: speedup must flatten well
+  // below 16.
+  EXPECT_GT(t16, t1 / 12.0);
+}
+
+TEST(JadeMakeSim, ChainHasNoParallelism) {
+  auto duration = [](int machines) {
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = presets::ideal(machines);
+    Runtime rt(std::move(cfg));
+    auto jm = upload_make(rt, chain_makefile(10));
+    rt.run([&](TaskContext& ctx) { make_jade(ctx, jm, nullptr); });
+    return rt.sim_duration();
+  };
+  EXPECT_GT(duration(8), 0.85 * duration(1));
+}
+
+}  // namespace
+}  // namespace jade::apps

@@ -1,0 +1,108 @@
+// Tests for cluster configuration and the platform presets of Section 7.
+#include <gtest/gtest.h>
+
+#include "jade/mach/presets.hpp"
+#include "jade/support/error.hpp"
+
+namespace jade {
+namespace {
+
+TEST(ClusterConfig, ValidationCatchesEmpty) {
+  ClusterConfig c;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(ClusterConfig, ValidationCatchesTooMany) {
+  ClusterConfig c = presets::ideal(1);
+  for (int i = 0; i < 70; ++i) c.machines.push_back(c.machines[0]);
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(ClusterConfig, ValidationCatchesBadSpeed) {
+  ClusterConfig c = presets::ideal(2);
+  c.machines[1].ops_per_second = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(ClusterConfig, NetworkFactoryMatchesKind) {
+  EXPECT_EQ(presets::dash(4).make_network()->name(), "ideal");
+  EXPECT_EQ(presets::mica(4).make_network()->name(), "shared-bus");
+  EXPECT_EQ(presets::ipsc860(4).make_network()->name(), "hypercube");
+  EXPECT_EQ(presets::hrv(2).make_network()->name(), "crossbar");
+  EXPECT_EQ(presets::mesh(4).make_network()->name(), "mesh");
+  EXPECT_EQ(presets::ideal(4).make_network()->name(), "ideal");
+}
+
+TEST(Presets, MeshSharesNodesWithIpsc) {
+  const auto m = presets::mesh(8);
+  const auto c = presets::ipsc860(8);
+  ASSERT_EQ(m.machine_count(), c.machine_count());
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(m.machines[i].ops_per_second, c.machines[i].ops_per_second);
+  EXPECT_EQ(m.net, NetKind::kMesh);
+}
+
+TEST(Presets, DashIsSharedMemory) {
+  const auto c = presets::dash(8);
+  EXPECT_TRUE(c.shared_memory());
+  EXPECT_EQ(c.machine_count(), 8);
+  c.validate();
+}
+
+TEST(Presets, MicaUsesSlowBigEndianSparcs) {
+  const auto c = presets::mica(4);
+  EXPECT_FALSE(c.shared_memory());
+  for (const auto& m : c.machines) {
+    EXPECT_EQ(m.endian, Endian::kBig);
+    EXPECT_LT(m.ops_per_second, 1.0e7);
+  }
+  c.validate();
+}
+
+TEST(Presets, Ipsc860IsHomogeneousHypercube) {
+  const auto c = presets::ipsc860(16);
+  EXPECT_EQ(c.net, NetKind::kHypercube);
+  EXPECT_EQ(c.machine_count(), 16);
+  for (const auto& m : c.machines)
+    EXPECT_EQ(m.ops_per_second, c.machines[0].ops_per_second);
+  c.validate();
+}
+
+TEST(Presets, HeteroMixesEndiannessAndSpeed) {
+  const auto c = presets::hetero_workstations(4);
+  EXPECT_EQ(c.machines[0].endian, Endian::kLittle);
+  EXPECT_EQ(c.machines[1].endian, Endian::kBig);
+  EXPECT_NE(c.machines[0].ops_per_second, c.machines[1].ops_per_second);
+  c.validate();
+}
+
+TEST(Presets, HrvHasFrameSourceAndAccelerators) {
+  const auto c = presets::hrv(3);
+  EXPECT_EQ(c.machine_count(), 4);
+  EXPECT_EQ(c.machines[0].kind, MachineKind::kFrameSource);
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(c.machines[i].kind, MachineKind::kAccelerator);
+  // SPARC host and i860 accelerators have opposite byte orders — format
+  // conversion runs on every frame transfer.
+  EXPECT_NE(c.machines[0].endian, c.machines[1].endian);
+  c.validate();
+}
+
+TEST(Presets, RelativePlatformSpeeds) {
+  // The paper's platforms differ in per-node speed: i860 > R3000 > ELC.
+  const double ipsc = presets::ipsc860(1).machines[0].ops_per_second;
+  const double dash = presets::dash(1).machines[0].ops_per_second;
+  const double mica = presets::mica(1).machines[0].ops_per_second;
+  EXPECT_GT(ipsc, dash);
+  EXPECT_GT(dash, mica);
+}
+
+TEST(Presets, MessagePassingOverheadsExceedSharedMemory) {
+  EXPECT_GT(presets::mica(2).task_dispatch_overhead,
+            presets::dash(2).task_dispatch_overhead);
+  EXPECT_GT(presets::ipsc860(2).task_dispatch_overhead,
+            presets::dash(2).task_dispatch_overhead);
+}
+
+}  // namespace
+}  // namespace jade

@@ -1,0 +1,234 @@
+// Unit tests for the interconnect cost models: latency/bandwidth math,
+// contention (bus serialization, NIC occupancy) and statistics.
+#include <gtest/gtest.h>
+
+#include "jade/net/crossbar.hpp"
+#include "jade/net/hypercube.hpp"
+#include "jade/net/mesh.hpp"
+#include "jade/net/network.hpp"
+#include "jade/net/shared_bus.hpp"
+
+namespace jade {
+namespace {
+
+TEST(IdealNet, LatencyPlusBandwidth) {
+  IdealNet net(1e-3, 1e6);
+  // 1000 bytes at 1 MB/s = 1 ms transmit + 1 ms latency.
+  EXPECT_DOUBLE_EQ(net.schedule_transfer(0, 1, 1000, 0.0), 2e-3);
+  // No contention: a simultaneous transfer costs the same.
+  EXPECT_DOUBLE_EQ(net.schedule_transfer(2, 3, 1000, 0.0), 2e-3);
+}
+
+TEST(IdealNet, LocalDeliveryFree) {
+  IdealNet net(1e-3, 1e6);
+  EXPECT_DOUBLE_EQ(net.schedule_transfer(1, 1, 12345, 5.0), 5.0);
+}
+
+TEST(IdealNet, StatsAccumulate) {
+  IdealNet net(0, 1e6);
+  net.schedule_transfer(0, 1, 500, 0.0);
+  net.schedule_transfer(1, 2, 1500, 0.0);
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 2000u);
+  net.reset();
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+TEST(SharedBus, SerializesConcurrentTransfers) {
+  SharedBusConfig cfg;
+  cfg.latency = 0;
+  cfg.per_message_overhead = 0;
+  cfg.bytes_per_second = 1e6;
+  SharedBusNet net(cfg);
+  // Two 1000-byte messages submitted at t=0: the second waits for the bus.
+  const SimTime a = net.schedule_transfer(0, 1, 1000, 0.0);
+  const SimTime b = net.schedule_transfer(2, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, 1e-3);
+  EXPECT_DOUBLE_EQ(b, 2e-3);
+}
+
+TEST(SharedBus, PerMessageOverheadOnWire) {
+  SharedBusConfig cfg;
+  cfg.latency = 0;
+  cfg.per_message_overhead = 1e-3;
+  cfg.bytes_per_second = 1e9;  // transmit ~ 0
+  SharedBusNet net(cfg);
+  net.schedule_transfer(0, 1, 10, 0.0);
+  EXPECT_NEAR(net.busy_until(), 1e-3, 1e-7);
+}
+
+TEST(SharedBus, IdleBusStartsAtSubmitTime) {
+  SharedBusNet net;
+  const SimTime arr = net.schedule_transfer(0, 1, 100, 10.0);
+  EXPECT_GT(arr, 10.0);
+}
+
+TEST(SharedBus, LocalDeliveryBypassesWire) {
+  SharedBusNet net;
+  EXPECT_DOUBLE_EQ(net.schedule_transfer(3, 3, 1 << 20, 7.0), 7.0);
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+TEST(SharedBus, SaturationUnderLoad) {
+  SharedBusConfig cfg;
+  cfg.latency = 0;
+  cfg.per_message_overhead = 0;
+  cfg.bytes_per_second = 1e6;
+  SharedBusNet net(cfg);
+  SimTime last = 0;
+  for (int i = 0; i < 10; ++i)
+    last = net.schedule_transfer(i % 4, (i + 1) % 4, 1000, 0.0);
+  // 10 back-to-back millisecond transfers = 10 ms of wire time.
+  EXPECT_NEAR(last, 10e-3, 1e-9);
+  EXPECT_NEAR(net.stats().busy_time, 10e-3, 1e-9);
+}
+
+TEST(Hypercube, HopCountIsXorPopcount) {
+  EXPECT_EQ(HypercubeNet::hop_count(0, 0), 0);
+  EXPECT_EQ(HypercubeNet::hop_count(0, 1), 1);
+  EXPECT_EQ(HypercubeNet::hop_count(0, 3), 2);
+  EXPECT_EQ(HypercubeNet::hop_count(5, 6), 2);  // 101 ^ 110 = 011
+  EXPECT_EQ(HypercubeNet::hop_count(0, 7), 3);
+}
+
+TEST(Hypercube, FartherNodesTakeLonger) {
+  HypercubeConfig cfg;
+  cfg.startup = 0;
+  cfg.per_hop = 1e-5;
+  cfg.bytes_per_second = 1e9;
+  HypercubeNet near_net(8, cfg);
+  HypercubeNet far_net(8, cfg);
+  const SimTime one_hop = near_net.schedule_transfer(0, 1, 0, 0.0);
+  const SimTime three_hops = far_net.schedule_transfer(0, 7, 0, 0.0);
+  EXPECT_NEAR(three_hops - one_hop, 2e-5, 1e-12);
+}
+
+TEST(Hypercube, DisjointPairsDoNotContend) {
+  HypercubeConfig cfg;
+  cfg.startup = 0;
+  cfg.per_hop = 0;
+  cfg.bytes_per_second = 1e6;
+  HypercubeNet net(4, cfg);
+  const SimTime a = net.schedule_transfer(0, 1, 1000, 0.0);
+  const SimTime b = net.schedule_transfer(2, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);  // concurrent, unlike the shared bus
+}
+
+TEST(Hypercube, SenderNicSerializes) {
+  HypercubeConfig cfg;
+  cfg.startup = 0;
+  cfg.per_hop = 0;
+  cfg.bytes_per_second = 1e6;
+  HypercubeNet net(4, cfg);
+  const SimTime a = net.schedule_transfer(0, 1, 1000, 0.0);
+  const SimTime b = net.schedule_transfer(0, 2, 1000, 0.0);  // same sender
+  EXPECT_DOUBLE_EQ(a, 1e-3);
+  EXPECT_DOUBLE_EQ(b, 2e-3);
+}
+
+TEST(Hypercube, ReceiverNicSerializes) {
+  HypercubeConfig cfg;
+  cfg.startup = 0;
+  cfg.per_hop = 0;
+  cfg.bytes_per_second = 1e6;
+  HypercubeNet net(4, cfg);
+  const SimTime a = net.schedule_transfer(0, 3, 1000, 0.0);
+  const SimTime b = net.schedule_transfer(1, 3, 1000, 0.0);  // same receiver
+  EXPECT_DOUBLE_EQ(a, 1e-3);
+  EXPECT_GE(b, a);
+}
+
+TEST(Crossbar, DisjointPairsConcurrent) {
+  CrossbarConfig cfg;
+  cfg.latency = 0;
+  cfg.per_message_overhead = 0;
+  cfg.bytes_per_second = 1e6;
+  CrossbarNet net(4, cfg);
+  const SimTime a = net.schedule_transfer(0, 1, 1000, 0.0);
+  const SimTime b = net.schedule_transfer(2, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Crossbar, ResetClearsOccupancy) {
+  CrossbarNet net(2);
+  net.schedule_transfer(0, 1, 1 << 20, 0.0);
+  net.reset();
+  const SimTime fresh = net.schedule_transfer(0, 1, 0, 0.0);
+  CrossbarNet reference(2);
+  EXPECT_DOUBLE_EQ(fresh, reference.schedule_transfer(0, 1, 0, 0.0));
+}
+
+TEST(Mesh, GridGeometry) {
+  MeshNet net(9);  // 3x3
+  EXPECT_EQ(net.width(), 3);
+  EXPECT_EQ(net.hop_count(0, 0), 0);
+  EXPECT_EQ(net.hop_count(0, 1), 1);   // right one
+  EXPECT_EQ(net.hop_count(0, 3), 1);   // down one
+  EXPECT_EQ(net.hop_count(0, 8), 4);   // opposite corner
+  EXPECT_EQ(net.hop_count(2, 6), 4);
+}
+
+TEST(Mesh, NonSquareCountsStillRoute) {
+  MeshNet net(6);  // 3-wide grid, 2 rows
+  EXPECT_EQ(net.width(), 3);
+  EXPECT_EQ(net.hop_count(0, 5), 3);  // (0,0) -> (2,1)
+}
+
+TEST(Mesh, FartherNodesTakeLonger) {
+  MeshConfig cfg;
+  cfg.startup = 0;
+  cfg.per_hop = 1e-5;
+  cfg.bytes_per_second = 1e9;
+  MeshNet near_net(16, cfg);
+  MeshNet far_net(16, cfg);
+  const SimTime one = near_net.schedule_transfer(0, 1, 0, 0.0);
+  const SimTime six = far_net.schedule_transfer(0, 15, 0, 0.0);
+  EXPECT_NEAR(six - one, 5e-5, 1e-12);  // 6 hops vs 1 hop
+}
+
+TEST(Mesh, SenderNicSerializes) {
+  MeshConfig cfg;
+  cfg.startup = 0;
+  cfg.per_hop = 0;
+  cfg.bytes_per_second = 1e6;
+  MeshNet net(4, cfg);
+  const SimTime a = net.schedule_transfer(0, 1, 1000, 0.0);
+  const SimTime b = net.schedule_transfer(0, 2, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, 1e-3);
+  EXPECT_DOUBLE_EQ(b, 2e-3);
+}
+
+TEST(Mesh, MeshSlowerThanHypercubeForFarPairs) {
+  // Same per-hop cost: a 16-node mesh's diameter (6) exceeds the
+  // hypercube's (4) — topology matters.
+  MeshConfig mc;
+  mc.startup = 0;
+  mc.per_hop = 1e-5;
+  mc.bytes_per_second = 1e9;
+  HypercubeConfig hc;
+  hc.startup = 0;
+  hc.per_hop = 1e-5;
+  hc.bytes_per_second = 1e9;
+  MeshNet mesh(16, mc);
+  HypercubeNet cube(16, hc);
+  EXPECT_GT(mesh.schedule_transfer(0, 15, 0, 0.0),
+            cube.schedule_transfer(0, 15, 0, 0.0));
+}
+
+TEST(AllNets, ArrivalNeverBeforeSubmit) {
+  SharedBusNet bus;
+  HypercubeNet cube(8);
+  CrossbarNet xbar(8);
+  MeshNet mesh(8);
+  IdealNet ideal(1e-6, 1e7);
+  for (NetworkModel* net : std::initializer_list<NetworkModel*>{
+           &bus, &cube, &xbar, &mesh, &ideal}) {
+    for (int i = 0; i < 20; ++i) {
+      const SimTime t0 = 0.1 * i;
+      EXPECT_GE(net->schedule_transfer(i % 8, (i + 3) % 8, 100 * i, t0), t0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jade

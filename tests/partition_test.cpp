@@ -1,0 +1,103 @@
+// Tests for PartitionedArray — the packaged data-decomposition idiom.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "jade/core/partition.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade {
+namespace {
+
+TEST(PartitionedArray, EvenSplitCoversRange) {
+  Runtime rt;
+  PartitionedArray<double> a(rt, 100, 4);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.parts(), 4u);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(a.part_size(p), 25u);
+    EXPECT_EQ(a.end(p) - a.begin(p), a.part_size(p));
+    EXPECT_EQ(a.part(p).count(), a.part_size(p));
+  }
+  EXPECT_EQ(a.begin(0), 0u);
+  EXPECT_EQ(a.end(3), 100u);
+}
+
+TEST(PartitionedArray, UnevenSplitHasNoGaps) {
+  Runtime rt;
+  PartitionedArray<int> a(rt, 10, 3);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(a.begin(p), total);
+    total += a.part_size(p);
+    EXPECT_GE(a.part_size(p), 3u);
+    EXPECT_LE(a.part_size(p), 4u);
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(PartitionedArray, PartOfIsConsistent) {
+  Runtime rt;
+  for (std::size_t parts : {1u, 3u, 7u, 50u}) {
+    PartitionedArray<int> a(rt, 50, parts);
+    for (std::size_t i = 0; i < 50; ++i) {
+      const std::size_t p = a.part_of(i);
+      EXPECT_GE(i, a.begin(p));
+      EXPECT_LT(i, a.end(p));
+    }
+  }
+}
+
+TEST(PartitionedArray, PutGetRoundTrip) {
+  Runtime rt;
+  PartitionedArray<double> a(rt, 37, 5);
+  std::vector<double> data(37);
+  std::iota(data.begin(), data.end(), 1.0);
+  a.put(rt, data);
+  EXPECT_EQ(a.get(rt), data);
+}
+
+TEST(PartitionedArray, SinglePartAndFullSplitEdges) {
+  Runtime rt;
+  PartitionedArray<int> one(rt, 8, 1);
+  EXPECT_EQ(one.parts(), 1u);
+  EXPECT_EQ(one.part_size(0), 8u);
+  PartitionedArray<int> full(rt, 8, 8);
+  for (std::size_t p = 0; p < 8; ++p) EXPECT_EQ(full.part_size(p), 1u);
+}
+
+TEST(PartitionedArray, DrivesPerPartTasksAcrossEngines) {
+  for (EngineKind kind :
+       {EngineKind::kSerial, EngineKind::kThread, EngineKind::kSim}) {
+    RuntimeConfig cfg;
+    cfg.engine = kind;
+    cfg.threads = 3;
+    if (kind == EngineKind::kSim) cfg.cluster = presets::ideal(3);
+    Runtime rt(std::move(cfg));
+    PartitionedArray<double> a(rt, 64, 6);
+    rt.run([&](TaskContext& ctx) {
+      for (std::size_t p = 0; p < a.parts(); ++p) {
+        auto ref = a.part(p);
+        const double base = static_cast<double>(a.begin(p));
+        ctx.withonly([&](AccessDecl& d) { d.wr(ref); },
+                     [ref, base](TaskContext& t) {
+                       auto s = t.write(ref);
+                       for (std::size_t i = 0; i < s.size(); ++i)
+                         s[i] = base + static_cast<double>(i);
+                     });
+      }
+    });
+    const auto out = a.get(rt);
+    for (std::size_t i = 0; i < 64; ++i)
+      EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i));
+  }
+}
+
+TEST(PartitionedArray, InvalidPartCountRejected) {
+  Runtime rt;
+  EXPECT_THROW(PartitionedArray<int>(rt, 4, 0), InternalError);
+  EXPECT_THROW(PartitionedArray<int>(rt, 4, 5), InternalError);
+}
+
+}  // namespace
+}  // namespace jade

@@ -1,0 +1,254 @@
+// Differential property test for the serializer: random operation sequences
+// are mirrored against a naive reference model (full-scan enabledness, no
+// counters, no fast paths).  Task states must agree after every operation —
+// this guards the O(1) queue-counter fast paths against the reference
+// semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "jade/core/queues.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade {
+namespace {
+
+using access::kCommute;
+using access::kRead;
+using access::kWrite;
+
+/// Naive reference: same rules, implemented with brute-force scans.
+class RefModel {
+ public:
+  struct Rec {
+    int task;
+    std::uint8_t immediate;
+    std::uint8_t deferred;
+    std::uint8_t effective() const {
+      return static_cast<std::uint8_t>(immediate | deferred);
+    }
+  };
+
+  int create(const std::vector<std::tuple<int, std::uint8_t, std::uint8_t>>&
+                 recs) {
+    const int id = static_cast<int>(states_.size());
+    states_.push_back(TaskState::kPending);
+    for (auto [obj, imm, def] : recs)
+      queues_[obj].push_back(Rec{id, imm, def});
+    refresh();
+    return id;
+  }
+
+  void start(int task) {
+    EXPECT_EQ(states_[task], TaskState::kReady);
+    states_[task] = TaskState::kRunning;
+  }
+
+  void complete(int task) {
+    states_[task] = TaskState::kCompleted;
+    for (auto& [obj, q] : queues_)
+      std::erase_if(q, [task](const Rec& r) { return r.task == task; });
+    refresh();
+  }
+
+  void retire(int task, int obj, std::uint8_t bits) {
+    auto& q = queues_[obj];
+    for (Rec& r : q) {
+      if (r.task != task) continue;
+      r.immediate &= static_cast<std::uint8_t>(~bits);
+      r.deferred &= static_cast<std::uint8_t>(~bits);
+    }
+    std::erase_if(q, [task](const Rec& r) {
+      return r.task == task && r.effective() == 0;
+    });
+    refresh();
+  }
+
+  void convert(int task, int obj, std::uint8_t bits) {
+    for (Rec& r : queues_[obj]) {
+      if (r.task != task) continue;
+      r.deferred &= static_cast<std::uint8_t>(~bits);
+      r.immediate |= bits;
+    }
+  }
+
+  /// Would a conversion/acquire of `bits` on `obj` be enabled for `task`?
+  bool enabled(int task, int obj, std::uint8_t bits) const {
+    auto it = queues_.find(obj);
+    if (it == queues_.end()) return true;
+    for (const Rec& r : it->second) {
+      if (r.task == task) return true;  // reached own record: nothing ahead
+      if (access::conflicts(r.effective(), bits)) return false;
+    }
+    return true;
+  }
+
+  TaskState state(int task) const { return states_[task]; }
+
+ private:
+  void refresh() {
+    for (int t = 0; t < static_cast<int>(states_.size()); ++t) {
+      if (states_[t] != TaskState::kPending) continue;
+      bool ready = true;
+      for (const auto& [obj, q] : queues_) {
+        std::uint8_t prior = 0;
+        for (const Rec& r : q) {
+          if (r.task == t) {
+            if (r.immediate != 0 && [&] {
+                  return access::conflicts(prior, r.immediate);
+                }())
+              ready = false;
+            break;
+          }
+          prior |= r.effective();
+        }
+        if (!ready) break;
+      }
+      if (ready) states_[t] = TaskState::kReady;
+    }
+  }
+
+  std::vector<TaskState> states_;
+  std::map<int, std::vector<Rec>> queues_;
+};
+
+class NullListener : public SerializerListener {
+ public:
+  void on_task_ready(TaskNode*) override {}
+  void on_task_unblocked(TaskNode*) override {}
+};
+
+std::vector<AccessRequest> make_requests(
+    const std::vector<std::tuple<int, std::uint8_t, std::uint8_t>>& recs) {
+  std::vector<AccessRequest> out;
+  for (auto [obj, imm, def] : recs) {
+    AccessRequest r;
+    r.obj = static_cast<ObjectId>(obj + 1);
+    r.add_immediate = imm;
+    r.add_deferred = def;
+    out.push_back(r);
+  }
+  return out;
+}
+
+class SerializerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SerializerPropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  NullListener listener;
+  Serializer ser(&listener);
+  RefModel ref;
+
+  const int kObjects = 4;
+  std::vector<TaskNode*> nodes;     // by model id
+  std::vector<std::vector<std::tuple<int, std::uint8_t, std::uint8_t>>>
+      specs;  // records per task, for with-cont choices
+
+  auto random_bits = [&](bool allow_zero) -> std::uint8_t {
+    for (;;) {
+      const auto b = static_cast<std::uint8_t>(rng.next_below(8));
+      // Avoid mixing commute with read/write in one record (the library
+      // allows it but the reference model's simplicity doesn't need it).
+      if ((b & kCommute) && (b & (kRead | kWrite))) continue;
+      if (b == 0 && !allow_zero) continue;
+      return b;
+    }
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const int op = static_cast<int>(rng.next_below(4));
+    if (op == 0 || nodes.empty()) {
+      // create a root child with 1-3 records
+      std::vector<std::tuple<int, std::uint8_t, std::uint8_t>> recs;
+      const int n = 1 + static_cast<int>(rng.next_below(3));
+      std::vector<int> used;
+      for (int i = 0; i < n; ++i) {
+        const int obj = static_cast<int>(rng.next_below(kObjects));
+        if (std::find(used.begin(), used.end(), obj) != used.end()) continue;
+        used.push_back(obj);
+        std::uint8_t imm = random_bits(true);
+        std::uint8_t def = random_bits(imm != 0);
+        def &= static_cast<std::uint8_t>(~imm);
+        if ((imm | def) == 0) imm = kRead;
+        recs.push_back({obj, imm, def});
+      }
+      TaskNode* node =
+          ser.create_task(ser.root(), make_requests(recs), nullptr);
+      const int id = ref.create(recs);
+      ASSERT_EQ(static_cast<int>(nodes.size()), id);
+      nodes.push_back(node);
+      specs.push_back(recs);
+    } else if (op == 1) {
+      // start some ready task
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        if (nodes[t]->state() == TaskState::kReady) {
+          ser.task_started(nodes[t]);
+          ref.start(static_cast<int>(t));
+          break;
+        }
+      }
+    } else if (op == 2) {
+      // complete some running task
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        if (nodes[t]->state() == TaskState::kRunning) {
+          ser.complete_task(nodes[t]);
+          ref.complete(static_cast<int>(t));
+          break;
+        }
+      }
+    } else {
+      // with-cont on a running task: retire an immediate right or convert
+      // a deferred one (only when the reference says it will not block,
+      // keeping the models in lockstep).
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        if (nodes[t]->state() != TaskState::kRunning) continue;
+        bool did = false;
+        for (auto& [obj, imm, def] : specs[t]) {
+          if (imm != 0 && rng.next_bool(0.5)) {
+            AccessRequest r;
+            r.obj = static_cast<ObjectId>(obj + 1);
+            r.remove = imm;
+            EXPECT_FALSE(ser.update_spec(nodes[t], {r}));
+            ref.retire(static_cast<int>(t), obj, imm);
+            imm = 0;
+            did = true;
+            break;
+          }
+          if (def != 0 &&
+              ref.enabled(static_cast<int>(t), obj,
+                          static_cast<std::uint8_t>(imm | def))) {
+            AccessRequest r;
+            r.obj = static_cast<ObjectId>(obj + 1);
+            r.add_immediate = def;
+            EXPECT_FALSE(ser.update_spec(nodes[t], {r}))
+                << "conversion blocked although the reference model says "
+                   "it is enabled";
+            ref.convert(static_cast<int>(t), obj, def);
+            imm |= def;
+            def = 0;
+            did = true;
+            break;
+          }
+        }
+        if (did) break;
+      }
+    }
+
+    // Lockstep comparison after every operation.
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      ASSERT_EQ(nodes[t]->state(), ref.state(static_cast<int>(t)))
+          << "divergence at step " << step << " task " << t << " (seed "
+          << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerPropertyTest,
+                         ::testing::Values(1ull, 7ull, 13ull, 99ull, 1234ull,
+                                           777ull, 31337ull, 0xc0ffeeull));
+
+}  // namespace
+}  // namespace jade

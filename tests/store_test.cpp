@@ -1,0 +1,128 @@
+// Tests for the distributed object store: directory state transitions
+// (move/copy/invalidate), local-store accounting, locality queries.
+#include <gtest/gtest.h>
+
+#include "jade/store/directory.hpp"
+#include "jade/support/error.hpp"
+
+namespace jade {
+namespace {
+
+ObjectInfo make_info(ObjectId id, std::size_t doubles) {
+  return ObjectInfo{id, TypeDescriptor::array_of<double>(doubles),
+                    "o" + std::to_string(id)};
+}
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest() : dir(4) {
+    dir.add_object(make_info(1, 10), /*home=*/0);  // 80 bytes
+    dir.add_object(make_info(2, 5), /*home=*/1);   // 40 bytes
+  }
+  ObjectDirectory dir;
+};
+
+TEST_F(DirectoryTest, InitialPlacement) {
+  EXPECT_EQ(dir.owner(1), 0);
+  EXPECT_TRUE(dir.present(1, 0));
+  EXPECT_FALSE(dir.present(1, 1));
+  EXPECT_EQ(dir.object_bytes(1), 80u);
+  EXPECT_EQ(dir.store(0).resident_bytes(), 80u);
+  EXPECT_EQ(dir.store(1).resident_bytes(), 40u);
+  EXPECT_EQ(dir.version(1), 0u);
+}
+
+TEST_F(DirectoryTest, ReplicationKeepsOwner) {
+  dir.replicate_to(1, 2);
+  dir.replicate_to(1, 3);
+  EXPECT_EQ(dir.owner(1), 0);
+  EXPECT_TRUE(dir.present(1, 2));
+  EXPECT_TRUE(dir.present(1, 3));
+  EXPECT_EQ(dir.holders(1), (std::vector<MachineId>{0, 2, 3}));
+  EXPECT_EQ(dir.store(2).resident_bytes(), 80u);
+  EXPECT_EQ(dir.version(1), 0u);  // copies don't bump the version
+}
+
+TEST_F(DirectoryTest, MoveInvalidatesReplicas) {
+  dir.replicate_to(1, 1);
+  dir.replicate_to(1, 2);
+  const int invalidated = dir.move_to(1, 3);
+  EXPECT_EQ(invalidated, 2);  // replicas at 1 and 2; owner's copy travelled
+  EXPECT_EQ(dir.owner(1), 3);
+  EXPECT_EQ(dir.holders(1), (std::vector<MachineId>{3}));
+  EXPECT_FALSE(dir.present(1, 0));
+  EXPECT_EQ(dir.store(0).resident_bytes(), 0u);
+  EXPECT_EQ(dir.version(1), 1u);
+}
+
+TEST_F(DirectoryTest, MoveToSelfWithReplicas) {
+  dir.replicate_to(1, 1);
+  const int invalidated = dir.move_to(1, 0);
+  EXPECT_EQ(invalidated, 1);
+  EXPECT_EQ(dir.holders(1), (std::vector<MachineId>{0}));
+  EXPECT_EQ(dir.version(1), 1u);
+}
+
+TEST_F(DirectoryTest, MoveToReplicaHolder) {
+  dir.replicate_to(1, 2);
+  dir.move_to(1, 2);
+  EXPECT_EQ(dir.owner(1), 2);
+  EXPECT_EQ(dir.holders(1), (std::vector<MachineId>{2}));
+  EXPECT_EQ(dir.store(2).resident_bytes(), 80u);
+}
+
+TEST_F(DirectoryTest, DataBufferPersistsAcrossMoves) {
+  auto* d = reinterpret_cast<double*>(dir.data(1));
+  d[0] = 42.5;
+  dir.move_to(1, 3);
+  EXPECT_DOUBLE_EQ(reinterpret_cast<double*>(dir.data(1))[0], 42.5);
+}
+
+TEST_F(DirectoryTest, BytesPresentScoresLocality) {
+  const ObjectId objs[] = {1, 2};
+  EXPECT_EQ(dir.bytes_present(objs, 0), 80u);
+  EXPECT_EQ(dir.bytes_present(objs, 1), 40u);
+  EXPECT_EQ(dir.bytes_present(objs, 2), 0u);
+  dir.replicate_to(2, 0);
+  EXPECT_EQ(dir.bytes_present(objs, 0), 120u);
+}
+
+TEST_F(DirectoryTest, DoubleReplicationIsInternalError) {
+  dir.replicate_to(1, 2);
+  EXPECT_THROW(dir.replicate_to(1, 2), InternalError);
+}
+
+TEST_F(DirectoryTest, UnknownObjectIsError) {
+  EXPECT_THROW(dir.owner(99), InternalError);
+  EXPECT_FALSE(dir.known(99));
+  EXPECT_TRUE(dir.known(1));
+}
+
+TEST(LocalStore, InsertEvictAccounting) {
+  LocalStore s(2);
+  s.insert(1, 100);
+  s.insert(2, 50);
+  EXPECT_TRUE(s.resident(1));
+  EXPECT_EQ(s.resident_bytes(), 150u);
+  EXPECT_EQ(s.resident_count(), 2u);
+  s.evict(1, 100);
+  EXPECT_FALSE(s.resident(1));
+  EXPECT_EQ(s.resident_bytes(), 50u);
+  EXPECT_EQ(s.inserts(), 2u);
+  EXPECT_EQ(s.evictions(), 1u);
+}
+
+TEST(LocalStore, EvictingAbsentObjectIsError) {
+  LocalStore s(0);
+  EXPECT_THROW(s.evict(7, 10), InternalError);
+}
+
+TEST(Directory, MachineCountLimits) {
+  EXPECT_THROW(ObjectDirectory(0), InternalError);
+  EXPECT_THROW(ObjectDirectory(65), InternalError);
+  ObjectDirectory ok(64);
+  EXPECT_EQ(ok.machine_count(), 64);
+}
+
+}  // namespace
+}  // namespace jade

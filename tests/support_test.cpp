@@ -1,0 +1,231 @@
+// Unit tests for the support module: intrusive list, RNG, stats, errors.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "jade/support/error.hpp"
+#include "jade/support/intrusive_list.hpp"
+#include "jade/support/rng.hpp"
+#include "jade/support/stats.hpp"
+
+namespace jade {
+namespace {
+
+struct Node : IntrusiveNode {
+  explicit Node(int v) : value(v) {}
+  int value;
+};
+
+std::vector<int> values(IntrusiveList<Node>& list) {
+  std::vector<int> out;
+  list.for_each([&](Node* n) { out.push_back(n->value); });
+  return out;
+}
+
+TEST(IntrusiveList, StartsEmpty) {
+  IntrusiveList<Node> list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+}
+
+TEST(IntrusiveList, PushBackPreservesOrder) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.front()->value, 1);
+  EXPECT_EQ(list.back()->value, 3);
+}
+
+TEST(IntrusiveList, PushFront) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2);
+  list.push_front(&a);
+  list.push_front(&b);
+  EXPECT_EQ(values(list), (std::vector<int>{2, 1}));
+}
+
+TEST(IntrusiveList, InsertBefore) {
+  IntrusiveList<Node> list;
+  Node a(1), b(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  Node mid(2);
+  list.insert_before(&b, &mid);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 2, 3}));
+  Node first(0);
+  list.insert_before(&a, &first);
+  EXPECT_EQ(values(list), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(IntrusiveList, UnlinkMiddleFrontBack) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  IntrusiveList<Node>::unlink(&b);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(b.linked());
+  IntrusiveList<Node>::unlink(&a);
+  EXPECT_EQ(values(list), (std::vector<int>{3}));
+  IntrusiveList<Node>::unlink(&c);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, NextPrevNavigation) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2);
+  list.push_back(&a);
+  list.push_back(&b);
+  EXPECT_EQ(list.next_of(&a), &b);
+  EXPECT_EQ(list.next_of(&b), nullptr);
+  EXPECT_EQ(list.prev_of(&b), &a);
+  EXPECT_EQ(list.prev_of(&a), nullptr);
+}
+
+TEST(IntrusiveList, ForEachMayUnlinkCurrent) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  list.for_each([&](Node* n) {
+    if (n->value == 2) IntrusiveList<Node>::unlink(n);
+  });
+  EXPECT_EQ(values(list), (std::vector<int>{1, 3}));
+}
+
+TEST(IntrusiveList, ReinsertAfterUnlink) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  list.push_back(&a);
+  IntrusiveList<Node>::unlink(&a);
+  list.push_back(&a);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.next_normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t({"name", "value"});
+  t.add_row(std::vector<std::string>{"alpha", "1"});
+  t.add_row(std::vector<double>{2.5, 10.125}, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10.12"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchIsInternalError) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<std::string>{"only-one"}),
+               InternalError);
+}
+
+TEST(Errors, HierarchyPreserved) {
+  try {
+    throw UndeclaredAccessError("boom");
+  } catch (const JadeError& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_THROW(
+      { JADE_ASSERT_MSG(false, "invariant"); }, InternalError);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.5, 3), "1.500");
+  EXPECT_EQ(format_double(-0.25, 2), "-0.25");
+}
+
+}  // namespace
+}  // namespace jade

@@ -1,0 +1,168 @@
+// Unit tests for type descriptors, representation conversion and the wire
+// format — the substrate for the paper's heterogeneous data-format
+// conversion (Sections 5, 6.1).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "jade/types/type_desc.hpp"
+#include "jade/types/wire.hpp"
+
+namespace jade {
+namespace {
+
+TEST(TypeDescriptor, ScalarSizes) {
+  EXPECT_EQ(scalar_size(ScalarKind::kInt8), 1u);
+  EXPECT_EQ(scalar_size(ScalarKind::kUInt16), 2u);
+  EXPECT_EQ(scalar_size(ScalarKind::kFloat32), 4u);
+  EXPECT_EQ(scalar_size(ScalarKind::kFloat64), 8u);
+  EXPECT_EQ(scalar_size(ScalarKind::kInt64), 8u);
+}
+
+TEST(TypeDescriptor, ArrayLayout) {
+  auto d = TypeDescriptor::array_of<double>(10);
+  EXPECT_EQ(d.byte_size(), 80u);
+  EXPECT_EQ(d.scalar_count(), 10u);
+  EXPECT_FALSE(d.order_invariant());
+}
+
+TEST(TypeDescriptor, RecordLayout) {
+  TypeDescriptor d({{ScalarKind::kInt32, 2}, {ScalarKind::kFloat64, 3}});
+  EXPECT_EQ(d.byte_size(), 8u + 24u);
+  EXPECT_EQ(d.scalar_count(), 5u);
+}
+
+TEST(TypeDescriptor, ByteBlobIsOrderInvariant) {
+  auto d = TypeDescriptor::bytes(100);
+  EXPECT_TRUE(d.order_invariant());
+  EXPECT_EQ(d.byte_size(), 100u);
+}
+
+TEST(TypeDescriptor, ToStringNamesFields) {
+  TypeDescriptor d({{ScalarKind::kInt32, 2}, {ScalarKind::kFloat64, 3}});
+  EXPECT_EQ(d.to_string(), "{i32x2, f64x3}");
+}
+
+TEST(Conversion, SwapReversesEveryScalar) {
+  std::uint32_t values[2] = {0x01020304u, 0xa0b0c0d0u};
+  auto d = TypeDescriptor::array_of<std::uint32_t>(2);
+  swap_representation({reinterpret_cast<std::byte*>(values), 8}, d);
+  EXPECT_EQ(values[0], 0x04030201u);
+  EXPECT_EQ(values[1], 0xd0c0b0a0u);
+}
+
+TEST(Conversion, DoubleRoundTrips) {
+  std::vector<double> values{3.14159, -2.5e30, 0.0, 1e-300};
+  auto original = values;
+  auto d = TypeDescriptor::array_of<double>(values.size());
+  std::span<std::byte> bytes{reinterpret_cast<std::byte*>(values.data()),
+                             d.byte_size()};
+  const std::size_t n1 =
+      convert_representation(bytes, d, Endian::kLittle, Endian::kBig);
+  EXPECT_EQ(n1, values.size());
+  // Representation changed (for non-palindromic patterns).
+  EXPECT_NE(values[0], original[0]);
+  const std::size_t n2 =
+      convert_representation(bytes, d, Endian::kBig, Endian::kLittle);
+  EXPECT_EQ(n2, values.size());
+  EXPECT_EQ(values, original);
+}
+
+TEST(Conversion, SameOrderIsNoop) {
+  std::vector<std::uint64_t> values{0x0102030405060708ull};
+  auto d = TypeDescriptor::array_of<std::uint64_t>(1);
+  std::span<std::byte> bytes{reinterpret_cast<std::byte*>(values.data()), 8};
+  EXPECT_EQ(convert_representation(bytes, d, Endian::kBig, Endian::kBig), 0u);
+  EXPECT_EQ(values[0], 0x0102030405060708ull);
+}
+
+TEST(Conversion, MixedRecordSwapsPerField) {
+  // i16 pair then one u32: each scalar swaps within itself.
+  struct Packed {
+    std::uint16_t a;
+    std::uint16_t b;
+    std::uint32_t c;
+  } p{0x0102, 0x0304, 0x0a0b0c0du};
+  TypeDescriptor d({{ScalarKind::kUInt16, 2}, {ScalarKind::kUInt32, 1}});
+  swap_representation({reinterpret_cast<std::byte*>(&p), 8}, d);
+  EXPECT_EQ(p.a, 0x0201);
+  EXPECT_EQ(p.b, 0x0403);
+  EXPECT_EQ(p.c, 0x0d0c0b0au);
+}
+
+TEST(Conversion, SingleByteFieldsUntouched) {
+  std::uint8_t buf[4] = {1, 2, 3, 4};
+  auto d = TypeDescriptor::array(ScalarKind::kUInt8, 4);
+  swap_representation({reinterpret_cast<std::byte*>(buf), 4}, d);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(Conversion, OrderInvariantSkipsWork) {
+  std::uint8_t buf[4] = {1, 2, 3, 4};
+  auto d = TypeDescriptor::bytes(4);
+  EXPECT_EQ(convert_representation({reinterpret_cast<std::byte*>(buf), 4}, d,
+                                   Endian::kLittle, Endian::kBig),
+            0u);
+}
+
+TEST(Wire, ScalarRoundTrip) {
+  WireWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0102030405060708ull);
+  w.put_i64(-42);
+  w.put_f64(6.25);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0102030405060708ull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 6.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, StringsAndBytes) {
+  WireWriter w;
+  w.put_string("hello jade");
+  std::vector<std::byte> blob{std::byte{1}, std::byte{2}, std::byte{3}};
+  w.put_bytes(blob);
+  w.put_string("");
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello jade");
+  EXPECT_EQ(r.get_bytes(), blob);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, CanonicalLittleEndianLayout) {
+  WireWriter w;
+  w.put_u32(0x01020304u);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<int>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<int>(b[3]), 0x01);
+}
+
+TEST(Wire, TruncationThrows) {
+  WireWriter w;
+  w.put_u16(7);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get_u16(), 7);
+  EXPECT_THROW(r.get_u32(), InternalError);
+}
+
+TEST(HostEndian, MatchesBuiltin) {
+  const std::uint16_t probe = 0x0102;
+  const auto first = *reinterpret_cast<const std::uint8_t*>(&probe);
+  if (first == 0x02)
+    EXPECT_EQ(host_endian(), Endian::kLittle);
+  else
+    EXPECT_EQ(host_endian(), Endian::kBig);
+}
+
+}  // namespace
+}  // namespace jade

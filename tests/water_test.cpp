@@ -1,0 +1,149 @@
+// Tests of the LWS liquid-water application (paper Section 7.3).
+#include <gtest/gtest.h>
+
+#include "jade/apps/water.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade::apps {
+namespace {
+
+WaterConfig small_config() {
+  WaterConfig c;
+  c.molecules = 120;
+  c.groups = 6;
+  c.timesteps = 2;
+  return c;
+}
+
+RuntimeConfig config_for(EngineKind kind, int machines = 4) {
+  RuntimeConfig cfg;
+  cfg.engine = kind;
+  cfg.threads = machines;
+  if (kind == EngineKind::kSim) cfg.cluster = presets::ideal(machines);
+  return cfg;
+}
+
+TEST(WaterSerial, DeterministicInSeed) {
+  const auto c = small_config();
+  auto s1 = make_water(c);
+  auto s2 = make_water(c);
+  water_run_serial(c, s1);
+  water_run_serial(c, s2);
+  EXPECT_EQ(s1.pos, s2.pos);
+  EXPECT_EQ(s1.vel, s2.vel);
+}
+
+TEST(WaterSerial, MoleculesActuallyMove) {
+  const auto c = small_config();
+  auto s = make_water(c);
+  const auto initial = s.pos;
+  water_run_serial(c, s);
+  int moved = 0;
+  for (std::size_t i = 0; i < s.pos.size(); ++i)
+    if (s.pos[i] != initial[i]) ++moved;
+  EXPECT_GT(moved, static_cast<int>(s.pos.size()) / 2);
+}
+
+TEST(WaterSerial, StepWorkScalesQuadratically) {
+  WaterConfig a = small_config();
+  WaterConfig b = small_config();
+  b.molecules = 2 * a.molecules;
+  EXPECT_GT(water_step_work(b), 3.5 * water_step_work(a));
+}
+
+class JadeWaterTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(JadeWaterTest, MatchesSerialBitExactly) {
+  const auto c = small_config();
+  auto expect = make_water(c);
+  water_run_serial(c, expect);
+
+  Runtime rt(config_for(GetParam()));
+  auto w = upload_water(rt, c, make_water(c));
+  rt.run([&](TaskContext& ctx) { water_run_jade(ctx, w); });
+  const auto got = download_water(rt, w);
+  EXPECT_EQ(got.pos, expect.pos);
+  EXPECT_EQ(got.vel, expect.vel);
+  EXPECT_DOUBLE_EQ(water_checksum(got), water_checksum(expect));
+}
+
+TEST_P(JadeWaterTest, GroupCountDoesNotChangeResult) {
+  auto run_groups = [&](int groups) {
+    WaterConfig c = small_config();
+    c.groups = groups;
+    Runtime rt(config_for(GetParam()));
+    auto w = upload_water(rt, c, make_water(c));
+    rt.run([&](TaskContext& ctx) { water_run_jade(ctx, w); });
+    return download_water(rt, w).pos;
+  };
+  const auto base = run_groups(1);
+  EXPECT_EQ(run_groups(4), base);
+  EXPECT_EQ(run_groups(12), base);
+}
+
+TEST_P(JadeWaterTest, TaskCountMatchesStructure) {
+  const auto c = small_config();
+  Runtime rt(config_for(GetParam()));
+  auto w = upload_water(rt, c, make_water(c));
+  rt.run([&](TaskContext& ctx) { water_run_jade(ctx, w); });
+  // Per timestep: one task per group plus the serial integration task.
+  EXPECT_EQ(rt.stats().tasks_created,
+            static_cast<std::uint64_t>(c.timesteps) * (c.groups + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, JadeWaterTest,
+                         ::testing::Values(EngineKind::kSerial,
+                                           EngineKind::kThread,
+                                           EngineKind::kSim),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::kSerial: return "Serial";
+                             case EngineKind::kThread: return "Thread";
+                             case EngineKind::kSim: return "Sim";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(JadeWaterSim, MoreMachinesFinishSooner) {
+  auto duration = [](int machines, NetKind net) {
+    WaterConfig c;
+    c.molecules = 200;
+    c.groups = 8;
+    c.timesteps = 1;
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = net == NetKind::kSharedMemory
+                      ? presets::dash(machines)
+                      : presets::ipsc860(machines);
+    Runtime rt(std::move(cfg));
+    auto w = upload_water(rt, c, make_water(c));
+    rt.run([&](TaskContext& ctx) { water_run_jade(ctx, w); });
+    return rt.sim_duration();
+  };
+  EXPECT_LT(duration(4, NetKind::kSharedMemory),
+            0.6 * duration(1, NetKind::kSharedMemory));
+  EXPECT_LT(duration(4, NetKind::kHypercube),
+            0.8 * duration(1, NetKind::kHypercube));
+}
+
+TEST(JadeWaterSim, SerialPhaseBoundsSpeedup) {
+  // Amdahl sanity: with one group the force phase is serial too, so more
+  // machines cannot help much.
+  auto duration = [](int machines) {
+    WaterConfig c;
+    c.molecules = 150;
+    c.groups = 1;
+    c.timesteps = 1;
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = presets::dash(machines);
+    Runtime rt(std::move(cfg));
+    auto w = upload_water(rt, c, make_water(c));
+    rt.run([&](TaskContext& ctx) { water_run_jade(ctx, w); });
+    return rt.sim_duration();
+  };
+  EXPECT_GT(duration(8), 0.9 * duration(1));
+}
+
+}  // namespace
+}  // namespace jade::apps
