@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_lws_times"
+  "../bench/bench_fig9_lws_times.pdb"
+  "CMakeFiles/bench_fig9_lws_times.dir/bench_fig9_lws_times.cpp.o"
+  "CMakeFiles/bench_fig9_lws_times.dir/bench_fig9_lws_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_lws_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_format"
+  "../bench/bench_format.pdb"
+  "CMakeFiles/bench_format.dir/bench_format.cpp.o"
+  "CMakeFiles/bench_format.dir/bench_format.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_network_shapes"
+  "../bench/bench_network_shapes.pdb"
+  "CMakeFiles/bench_network_shapes.dir/bench_network_shapes.cpp.o"
+  "CMakeFiles/bench_network_shapes.dir/bench_network_shapes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pipeline_backsubst"
+  "../bench/bench_pipeline_backsubst.pdb"
+  "CMakeFiles/bench_pipeline_backsubst.dir/bench_pipeline_backsubst.cpp.o"
+  "CMakeFiles/bench_pipeline_backsubst.dir/bench_pipeline_backsubst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_backsubst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_jade_script.dir/jade_script.cpp.o"
+  "CMakeFiles/example_jade_script.dir/jade_script.cpp.o.d"
+  "jade_script"
+  "jade_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_jade_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

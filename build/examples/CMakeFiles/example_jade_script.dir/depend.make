@@ -1,0 +1,2 @@
+# Empty dependencies file for example_jade_script.
+# This may be replaced when dependencies are built.

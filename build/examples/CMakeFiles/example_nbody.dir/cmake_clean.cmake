@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nbody.dir/nbody.cpp.o"
+  "CMakeFiles/example_nbody.dir/nbody.cpp.o.d"
+  "nbody"
+  "nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

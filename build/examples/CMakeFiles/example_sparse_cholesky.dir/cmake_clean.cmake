@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sparse_cholesky.dir/sparse_cholesky.cpp.o"
+  "CMakeFiles/example_sparse_cholesky.dir/sparse_cholesky.cpp.o.d"
+  "sparse_cholesky"
+  "sparse_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sparse_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_water_sim.dir/water_sim.cpp.o"
+  "CMakeFiles/example_water_sim.dir/water_sim.cpp.o.d"
+  "water_sim"
+  "water_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_water_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

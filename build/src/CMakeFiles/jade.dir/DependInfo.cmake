@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jade/apps/backsubst.cpp" "src/CMakeFiles/jade.dir/jade/apps/backsubst.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/apps/backsubst.cpp.o.d"
+  "/root/repo/src/jade/apps/barnes_hut.cpp" "src/CMakeFiles/jade.dir/jade/apps/barnes_hut.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/apps/barnes_hut.cpp.o.d"
+  "/root/repo/src/jade/apps/cholesky.cpp" "src/CMakeFiles/jade.dir/jade/apps/cholesky.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/apps/cholesky.cpp.o.d"
+  "/root/repo/src/jade/apps/jmake.cpp" "src/CMakeFiles/jade.dir/jade/apps/jmake.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/apps/jmake.cpp.o.d"
+  "/root/repo/src/jade/apps/spd_matrix.cpp" "src/CMakeFiles/jade.dir/jade/apps/spd_matrix.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/apps/spd_matrix.cpp.o.d"
+  "/root/repo/src/jade/apps/video.cpp" "src/CMakeFiles/jade.dir/jade/apps/video.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/apps/video.cpp.o.d"
+  "/root/repo/src/jade/apps/water.cpp" "src/CMakeFiles/jade.dir/jade/apps/water.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/apps/water.cpp.o.d"
+  "/root/repo/src/jade/core/access.cpp" "src/CMakeFiles/jade.dir/jade/core/access.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/core/access.cpp.o.d"
+  "/root/repo/src/jade/core/object.cpp" "src/CMakeFiles/jade.dir/jade/core/object.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/core/object.cpp.o.d"
+  "/root/repo/src/jade/core/queues.cpp" "src/CMakeFiles/jade.dir/jade/core/queues.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/core/queues.cpp.o.d"
+  "/root/repo/src/jade/core/runtime.cpp" "src/CMakeFiles/jade.dir/jade/core/runtime.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/core/runtime.cpp.o.d"
+  "/root/repo/src/jade/core/task.cpp" "src/CMakeFiles/jade.dir/jade/core/task.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/core/task.cpp.o.d"
+  "/root/repo/src/jade/engine/engine.cpp" "src/CMakeFiles/jade.dir/jade/engine/engine.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/engine/engine.cpp.o.d"
+  "/root/repo/src/jade/engine/serial_engine.cpp" "src/CMakeFiles/jade.dir/jade/engine/serial_engine.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/engine/serial_engine.cpp.o.d"
+  "/root/repo/src/jade/engine/sim_engine.cpp" "src/CMakeFiles/jade.dir/jade/engine/sim_engine.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/engine/sim_engine.cpp.o.d"
+  "/root/repo/src/jade/engine/thread_engine.cpp" "src/CMakeFiles/jade.dir/jade/engine/thread_engine.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/engine/thread_engine.cpp.o.d"
+  "/root/repo/src/jade/engine/timeline.cpp" "src/CMakeFiles/jade.dir/jade/engine/timeline.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/engine/timeline.cpp.o.d"
+  "/root/repo/src/jade/lang/interp.cpp" "src/CMakeFiles/jade.dir/jade/lang/interp.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/lang/interp.cpp.o.d"
+  "/root/repo/src/jade/lang/lexer.cpp" "src/CMakeFiles/jade.dir/jade/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/lang/lexer.cpp.o.d"
+  "/root/repo/src/jade/lang/parser.cpp" "src/CMakeFiles/jade.dir/jade/lang/parser.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/lang/parser.cpp.o.d"
+  "/root/repo/src/jade/mach/machine.cpp" "src/CMakeFiles/jade.dir/jade/mach/machine.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/mach/machine.cpp.o.d"
+  "/root/repo/src/jade/mach/presets.cpp" "src/CMakeFiles/jade.dir/jade/mach/presets.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/mach/presets.cpp.o.d"
+  "/root/repo/src/jade/net/crossbar.cpp" "src/CMakeFiles/jade.dir/jade/net/crossbar.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/net/crossbar.cpp.o.d"
+  "/root/repo/src/jade/net/hypercube.cpp" "src/CMakeFiles/jade.dir/jade/net/hypercube.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/net/hypercube.cpp.o.d"
+  "/root/repo/src/jade/net/mesh.cpp" "src/CMakeFiles/jade.dir/jade/net/mesh.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/net/mesh.cpp.o.d"
+  "/root/repo/src/jade/net/network.cpp" "src/CMakeFiles/jade.dir/jade/net/network.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/net/network.cpp.o.d"
+  "/root/repo/src/jade/net/shared_bus.cpp" "src/CMakeFiles/jade.dir/jade/net/shared_bus.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/net/shared_bus.cpp.o.d"
+  "/root/repo/src/jade/sched/policies.cpp" "src/CMakeFiles/jade.dir/jade/sched/policies.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/sched/policies.cpp.o.d"
+  "/root/repo/src/jade/sim/event_queue.cpp" "src/CMakeFiles/jade.dir/jade/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/sim/event_queue.cpp.o.d"
+  "/root/repo/src/jade/sim/process.cpp" "src/CMakeFiles/jade.dir/jade/sim/process.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/sim/process.cpp.o.d"
+  "/root/repo/src/jade/sim/simulation.cpp" "src/CMakeFiles/jade.dir/jade/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/sim/simulation.cpp.o.d"
+  "/root/repo/src/jade/store/directory.cpp" "src/CMakeFiles/jade.dir/jade/store/directory.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/store/directory.cpp.o.d"
+  "/root/repo/src/jade/store/local_store.cpp" "src/CMakeFiles/jade.dir/jade/store/local_store.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/store/local_store.cpp.o.d"
+  "/root/repo/src/jade/support/error.cpp" "src/CMakeFiles/jade.dir/jade/support/error.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/support/error.cpp.o.d"
+  "/root/repo/src/jade/support/log.cpp" "src/CMakeFiles/jade.dir/jade/support/log.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/support/log.cpp.o.d"
+  "/root/repo/src/jade/support/rng.cpp" "src/CMakeFiles/jade.dir/jade/support/rng.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/support/rng.cpp.o.d"
+  "/root/repo/src/jade/support/stats.cpp" "src/CMakeFiles/jade.dir/jade/support/stats.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/support/stats.cpp.o.d"
+  "/root/repo/src/jade/types/type_desc.cpp" "src/CMakeFiles/jade.dir/jade/types/type_desc.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/types/type_desc.cpp.o.d"
+  "/root/repo/src/jade/types/wire.cpp" "src/CMakeFiles/jade.dir/jade/types/wire.cpp.o" "gcc" "src/CMakeFiles/jade.dir/jade/types/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barnes_hut_test.dir/barnes_hut_test.cpp.o"
+  "CMakeFiles/barnes_hut_test.dir/barnes_hut_test.cpp.o.d"
+  "barnes_hut_test"
+  "barnes_hut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barnes_hut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_ext_test.dir/determinism_ext_test.cpp.o"
+  "CMakeFiles/determinism_ext_test.dir/determinism_ext_test.cpp.o.d"
+  "determinism_ext_test"
+  "determinism_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_basic_test.dir/engine_basic_test.cpp.o"
+  "CMakeFiles/engine_basic_test.dir/engine_basic_test.cpp.o.d"
+  "engine_basic_test"
+  "engine_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmake_test.dir/jmake_test.cpp.o"
+  "CMakeFiles/jmake_test.dir/jmake_test.cpp.o.d"
+  "jmake_test"
+  "jmake_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

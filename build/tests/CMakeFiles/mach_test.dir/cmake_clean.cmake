@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_test.dir/mach_test.cpp.o"
+  "CMakeFiles/mach_test.dir/mach_test.cpp.o.d"
+  "mach_test"
+  "mach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

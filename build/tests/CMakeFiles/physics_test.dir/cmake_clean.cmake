@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_test.dir/physics_test.cpp.o"
+  "CMakeFiles/physics_test.dir/physics_test.cpp.o.d"
+  "physics_test"
+  "physics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

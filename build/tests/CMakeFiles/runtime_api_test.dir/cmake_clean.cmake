@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_api_test.dir/runtime_api_test.cpp.o"
+  "CMakeFiles/runtime_api_test.dir/runtime_api_test.cpp.o.d"
+  "runtime_api_test"
+  "runtime_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializer_property_test.dir/serializer_property_test.cpp.o"
+  "CMakeFiles/serializer_property_test.dir/serializer_property_test.cpp.o.d"
+  "serializer_property_test"
+  "serializer_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_test.dir/water_test.cpp.o"
+  "CMakeFiles/water_test.dir/water_test.cpp.o.d"
+  "water_test"
+  "water_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/with_cont_test.dir/with_cont_test.cpp.o"
+  "CMakeFiles/with_cont_test.dir/with_cont_test.cpp.o.d"
+  "with_cont_test"
+  "with_cont_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/with_cont_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
