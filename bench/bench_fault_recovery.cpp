@@ -1,0 +1,147 @@
+// Fault injection & recovery overhead — what fault tolerance costs.
+//
+// Runs LWS and sparse Cholesky on the Mica preset (the paper's network of
+// workstations, the platform where machines actually crash) three ways:
+//
+//   ft-off    — the fault layer compiled out of the run entirely;
+//   quiet     — fault layer armed (heartbeats, lossy-transport decorator,
+//               write snapshots) but no crash scheduled and no message loss:
+//               the standing price of being ready to recover;
+//   crashes   — two machines fail mid-run plus 2% message loss: the price
+//               of actually recovering (detection, task re-execution,
+//               object re-homing/restore).
+//
+// Every run's result is verified against the serial execution — recovery
+// that corrupted the answer would abort the bench.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "jade/apps/cholesky.hpp"
+#include "jade/apps/water.hpp"
+#include "jade/ft/ft_stats.hpp"
+#include "jade/mach/presets.hpp"
+#include "jade/support/stats.hpp"
+
+namespace {
+
+constexpr int kMachines = 8;
+
+jade::RuntimeConfig base_config(jade::FaultConfig fault) {
+  jade::RuntimeConfig cfg;
+  cfg.engine = jade::EngineKind::kSim;
+  cfg.cluster = jade::presets::mica(kMachines);
+  cfg.fault = std::move(fault);
+  return cfg;
+}
+
+jade::FaultConfig quiet_fault() {
+  jade::FaultConfig f;
+  f.enabled = true;
+  return f;
+}
+
+/// Two seeded crashes in the busy middle of a run that takes `duration`
+/// fault-free, plus light message loss.
+jade::FaultConfig crashy_fault(jade::SimTime duration) {
+  jade::FaultConfig f;
+  f.enabled = true;
+  f.seed = 0xc4a05;
+  f.auto_crashes = 2;
+  f.crash_window_begin = 0.2 * duration;
+  f.crash_window_end = 0.7 * duration;
+  f.drop_probability = 0.02;
+  return f;
+}
+
+struct Run {
+  double duration = 0;
+  jade::RuntimeStats stats;
+};
+
+Run run_lws(const jade::apps::WaterConfig& wc,
+            const jade::apps::WaterState& initial,
+            const jade::apps::WaterState& expect, jade::FaultConfig fault) {
+  jade::Runtime rt(base_config(std::move(fault)));
+  auto w = jade::apps::upload_water(rt, wc, initial);
+  rt.run([&](jade::TaskContext& ctx) { jade::apps::water_run_jade(ctx, w); });
+  if (jade::apps::download_water(rt, w).pos != expect.pos) {
+    std::fprintf(stderr, "LWS result mismatch under fault injection\n");
+    std::exit(1);
+  }
+  return {rt.sim_duration(), rt.stats()};
+}
+
+Run run_cholesky(const jade::apps::SparseMatrix& a,
+                 const jade::apps::SparseMatrix& expect,
+                 jade::FaultConfig fault) {
+  jade::Runtime rt(base_config(std::move(fault)));
+  auto jm = jade::apps::upload_matrix(rt, a);
+  rt.run([&](jade::TaskContext& ctx) { jade::apps::factor_jade(ctx, jm); });
+  if (jade::apps::download_matrix(rt, jm).cols != expect.cols) {
+    std::fprintf(stderr, "Cholesky result mismatch under fault injection\n");
+    std::exit(1);
+  }
+  return {rt.sim_duration(), rt.stats()};
+}
+
+double pct_over(double base, double x) { return 100.0 * (x - base) / base; }
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fault tolerance overhead: virtual seconds on mica/"
+            << kMachines << ", result verified against serial ===\n";
+
+  // LWS, trimmed from the paper's 2197 molecules to keep the bench quick
+  // but with the same task structure (many groups per machine).
+  jade::apps::WaterConfig wc;
+  wc.molecules = 1000;
+  wc.groups = 26;
+  wc.timesteps = 2;
+  const auto initial = jade::apps::make_water(wc);
+  auto lws_expect = initial;
+  jade::apps::water_run_serial(wc, lws_expect);
+
+  const auto a = jade::apps::make_spd(96, 0.1, 13);
+  auto chol_expect = a;
+  jade::apps::factor_serial(chol_expect);
+
+  const Run lws_off = run_lws(wc, initial, lws_expect, {});
+  const Run lws_quiet = run_lws(wc, initial, lws_expect, quiet_fault());
+  const Run lws_crash =
+      run_lws(wc, initial, lws_expect, crashy_fault(lws_quiet.duration));
+
+  const Run chol_off = run_cholesky(a, chol_expect, {});
+  const Run chol_quiet = run_cholesky(a, chol_expect, quiet_fault());
+  const Run chol_crash =
+      run_cholesky(a, chol_expect, crashy_fault(chol_quiet.duration));
+
+  jade::TextTable table({"app", "ft-off", "quiet", "2-crashes",
+                         "quiet-ovh-%", "crash-ovh-%"});
+  table.add_row({"lws", jade::format_double(lws_off.duration, 3),
+                 jade::format_double(lws_quiet.duration, 3),
+                 jade::format_double(lws_crash.duration, 3),
+                 jade::format_double(pct_over(lws_off.duration,
+                                              lws_quiet.duration), 1),
+                 jade::format_double(pct_over(lws_off.duration,
+                                              lws_crash.duration), 1)});
+  table.add_row({"cholesky", jade::format_double(chol_off.duration, 3),
+                 jade::format_double(chol_quiet.duration, 3),
+                 jade::format_double(chol_crash.duration, 3),
+                 jade::format_double(pct_over(chol_off.duration,
+                                              chol_quiet.duration), 1),
+                 jade::format_double(pct_over(chol_off.duration,
+                                              chol_crash.duration), 1)});
+  table.print(std::cout);
+
+  std::cout << "\n--- fault/recovery counters, LWS crash run ---\n";
+  jade::fault_recovery_counters(lws_crash.stats).print(std::cout);
+  std::cout << "\n--- fault/recovery counters, Cholesky crash run ---\n";
+  jade::fault_recovery_counters(chol_crash.stats).print(std::cout);
+  std::cout << "\n(quiet = heartbeats + lossy-transport decorator + write "
+               "snapshots, no fault fired;\n 2-crashes = two machines "
+               "fail-stop mid-run with 2% message loss, recovered by task "
+               "re-execution)\n";
+  return 0;
+}

@@ -36,13 +36,18 @@ inline jade::apps::WaterConfig lws_config(int molecules = 2197) {
 }
 
 /// Runs LWS and returns virtual seconds; verifies against `expect`.
+/// `fault` arms the ft/ subsystem (message-passing platforms only); the
+/// run's full statistics land in `*stats_out` when given.
 inline double run_lws(const jade::apps::WaterConfig& wc,
                       const jade::apps::WaterState& initial,
                       const jade::apps::WaterState& expect,
-                      const LwsPlatform& platform, int machines) {
+                      const LwsPlatform& platform, int machines,
+                      const jade::FaultConfig& fault = {},
+                      jade::RuntimeStats* stats_out = nullptr) {
   jade::RuntimeConfig cfg;
   cfg.engine = jade::EngineKind::kSim;
   cfg.cluster = platform.make(machines);
+  cfg.fault = fault;
   jade::Runtime rt(std::move(cfg));
   auto w = jade::apps::upload_water(rt, wc, initial);
   rt.run([&](jade::TaskContext& ctx) { jade::apps::water_run_jade(ctx, w); });
@@ -52,6 +57,7 @@ inline double run_lws(const jade::apps::WaterConfig& wc,
                  platform.name.c_str(), machines);
     std::exit(1);
   }
+  if (stats_out != nullptr) *stats_out = rt.stats();
   return rt.sim_duration();
 }
 

@@ -255,6 +255,21 @@ void Serializer::complete_task(TaskNode* task) {
   if (!task->is_root()) --outstanding_;
 }
 
+void Serializer::abort_attempt(TaskNode* task) {
+  JADE_ASSERT_MSG(task->state_ == TaskState::kRunning,
+                  "abort_attempt on a task that is not running");
+  JADE_ASSERT(!task->is_root());
+  for (DeclRecord* rec : task->ordered_records_) {
+    if (rec->counted) {
+      set_counted(queue_for(rec->obj), rec, false);
+      rec->wait_bits = 0;
+    }
+  }
+  task->block_pending_ = 0;
+  task->state_ = TaskState::kReady;
+  ++unstarted_;
+}
+
 bool Serializer::is_enabled(ObjectQueue& q, DeclRecord* rec,
                             std::uint8_t bits) const {
   // O(1) fast paths via the queue counters (self-contributions excluded).

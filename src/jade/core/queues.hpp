@@ -174,6 +174,17 @@ class Serializer {
   /// Retires all of the task's records and marks it completed.
   void complete_task(TaskNode* task);
 
+  /// Fault injection (ft/): a running attempt of `task` was killed before
+  /// completing.  Rewinds the task to kReady so the engine can re-dispatch
+  /// it: counted records are uncounted, block_pending_ clears, and every
+  /// record keeps its queue position and full declared bits (the caller
+  /// guarantees the task never weakened them — only leaf tasks that never
+  /// ran a with-cont are restartable).  Because a leaf's records stay
+  /// linked, everything that was waiting on it still waits; the serial
+  /// order is unchanged and a re-execution is indistinguishable from a
+  /// slower first execution.
+  void abort_attempt(TaskNode* task);
+
   /// Tasks created and not yet completed (excluding the root).
   std::uint64_t outstanding() const { return outstanding_; }
 

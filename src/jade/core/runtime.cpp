@@ -18,7 +18,8 @@ std::unique_ptr<Engine> make_engine(const RuntimeConfig& config) {
     case EngineKind::kSim:
       config.cluster.validate();
       return std::make_unique<SimEngine>(config.cluster, config.sched,
-                                         config.enforce_hierarchy);
+                                         config.enforce_hierarchy,
+                                         config.fault);
   }
   throw ConfigError("unknown EngineKind");
 }

@@ -29,6 +29,7 @@
 #include "jade/core/object.hpp"
 #include "jade/core/task.hpp"
 #include "jade/engine/engine.hpp"
+#include "jade/ft/fault_plan.hpp"
 #include "jade/mach/machine.hpp"
 #include "jade/sched/policies.hpp"
 
@@ -55,6 +56,10 @@ struct RuntimeConfig {
   /// Reject child tasks whose accesses the parent did not declare
   /// (Section 4.4).  Disable only in benchmarks measuring check overhead.
   bool enforce_hierarchy = true;
+
+  /// Fault injection & recovery (SimEngine on message-passing platforms
+  /// only; see docs/FAULT_TOLERANCE.md).  Disabled by default.
+  FaultConfig fault;
 };
 
 class Runtime {

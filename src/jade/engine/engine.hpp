@@ -42,6 +42,20 @@ struct RuntimeStats {
   double total_charged_work = 0;     ///< sum of charge() units
   SimTime finish_time = 0;           ///< virtual completion time (SimEngine)
   std::vector<double> machine_busy_seconds;  ///< per machine (SimEngine)
+
+  // --- fault tolerance (SimEngine with FaultConfig.enabled) ----------------
+  std::uint64_t machine_crashes = 0;
+  std::uint64_t tasks_killed = 0;     ///< running attempts lost to crashes
+  std::uint64_t tasks_requeued = 0;   ///< killed attempts re-run on survivors
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t message_retries = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t false_suspicions = 0;  ///< live machines suspected (congestion)
+  std::uint64_t objects_rehomed = 0;   ///< ownership re-elected to a replica
+  std::uint64_t objects_restored = 0;  ///< reloaded from stable storage
+  std::uint64_t objects_lost = 0;      ///< sole copy died, no stable storage
+  double wasted_charged_work = 0;      ///< charge() units of killed attempts
+  SimTime detection_latency_total = 0; ///< sum over crashes of detect - crash
 };
 
 class Engine {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "jade/ft/recovery.hpp"
 #include "jade/support/error.hpp"
 #include "jade/support/log.hpp"
 #include "jade/types/wire.hpp"
@@ -35,12 +36,13 @@ std::size_t control_message_size(MsgKind kind, ObjectId obj, MachineId from,
 }  // namespace
 
 SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
-                     bool enforce_hierarchy)
+                     bool enforce_hierarchy, FaultConfig fault)
     : cluster_(std::move(cluster)),
       sched_(sched),
       network_(cluster_.make_network()),
       directory_(cluster_.machine_count()),
-      serializer_(this, enforce_hierarchy) {
+      serializer_(this, enforce_hierarchy),
+      fault_(std::move(fault)) {
   cluster_.validate();
   if (sched_.contexts_per_machine < 1)
     throw ConfigError("contexts_per_machine must be >= 1");
@@ -52,6 +54,33 @@ SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
     machines_.push_back(std::move(m));
   }
   stats_.machine_busy_seconds.assign(machines_.size(), 0.0);
+
+  if (fault_.enabled) {
+    if (cluster_.shared_memory())
+      throw ConfigError(
+          "fault injection requires a message-passing platform: on shared "
+          "memory there is no network to lose messages on and no per-machine "
+          "object copies to recover");
+    const FaultPlan plan = FaultPlan::make(fault_, machine_count());
+    injector_ = std::make_unique<FaultInjector>(plan, machine_count());
+    detector_ = std::make_unique<FailureDetector>(
+        machine_count(), fault_.heartbeat_interval,
+        fault_.heartbeat_miss_threshold);
+    FaultyNetConfig net_cfg;
+    net_cfg.drop_probability = fault_.drop_probability;
+    net_cfg.initial_retry_timeout = fault_.initial_retry_timeout;
+    net_cfg.max_retry_timeout = fault_.max_retry_timeout;
+    net_cfg.max_send_attempts = fault_.max_send_attempts;
+    auto faulty = std::make_unique<FaultyNetwork>(
+        std::move(network_), net_cfg,
+        [this](MachineId from, MachineId to) {
+          return injector_->should_drop(from, to);
+        });
+    faulty_net_ = faulty.get();
+    network_ = std::move(faulty);
+    pending_recovery_.resize(machines_.size());
+    recovery_waiters_.resize(machines_.size());
+  }
 }
 
 SimEngine::~SimEngine() = default;
@@ -145,7 +174,13 @@ void SimEngine::try_dispatch() {
       TaskNode* task = ready_[i];
       MachineId m;
       if (task->placement >= 0) {
-        // Explicit placement (Section 4.5) overrides the heuristics.
+        // Explicit placement (Section 4.5) overrides the heuristics.  A task
+        // pinned to a crashed machine can never run anywhere; surface that
+        // rather than stalling the simulation.
+        if (ft_enabled() && !injector_->machine_up(task->placement))
+          throw UnrecoverableError(
+              "task '" + task->name() + "' is pinned to machine " +
+              std::to_string(task->placement) + ", which has crashed");
         m = free[static_cast<std::size_t>(task->placement)] > 0
                 ? task->placement
                 : -1;
@@ -182,6 +217,7 @@ void SimEngine::task_process(TaskNode* task) {
   SimTask& t = st(task);
   serializer_.task_started(task);
   ++active_tasks_;
+  t.attempt_charge_base = task->charged_work;
 
   // Prefetch: move/copy every object named by an immediate right to this
   // machine; all transfers go out at once so their latencies overlap
@@ -191,8 +227,8 @@ void SimEngine::task_process(TaskNode* task) {
     for (const DeclRecord* rec : task->ordered_records()) {
       if (rec->immediate == 0) continue;
       const bool exclusive = (rec->immediate & kExclusiveBits) != 0;
-      ready_at =
-          std::max(ready_at, transfer_object(rec->obj, t.machine, exclusive));
+      ready_at = std::max(
+          ready_at, transfer_object(t, rec->obj, t.machine, exclusive));
     }
     if (ready_at > sim_.now()) {
       t.wait = Wait::kFetch;
@@ -207,7 +243,6 @@ void SimEngine::task_process(TaskNode* task) {
 
   TaskContext ctx(this, task);
   task->body(ctx);
-  task->body = nullptr;
 
   finish_task(task);
 }
@@ -220,6 +255,15 @@ void SimEngine::finish_task(TaskNode* task) {
     timeline_.push_back(TaskTimeline{task->id(), task->name(), t.machine,
                                      t.created, t.dispatched, t.body_start,
                                      sim_.now(), task->charged_work});
+  }
+  task->body = nullptr;  // only now is a re-execution impossible
+  t.snapshots.clear();
+  if (ft_enabled()) {
+    // Stray fault-layer events (a final heartbeat round, a scheduled crash
+    // that no longer matters) may advance the clock after the program is
+    // done; the program's finish time is the last task completion.
+    stats_.finish_time = sim_.now();
+    if (task->is_root()) root_done_ = true;
   }
   --active_tasks_;
   serializer_.complete_task(task);
@@ -270,6 +314,17 @@ void SimEngine::occupy_runtime(SimTask& t, SimTime seconds) {
 
 void SimEngine::release_context(SimTask& t) {
   Machine& m = machines_[t.machine];
+  if (ft_enabled() && !injector_->machine_up(t.machine)) {
+    // Dead machine: a slot may still pass between resident tasks that ride
+    // out the crash, but it never re-enters the free pool (the dispatcher
+    // must not place new work here).
+    if (!m.context_waiters.empty()) {
+      TaskNode* next = m.context_waiters.front();
+      m.context_waiters.pop_front();
+      sim_.resume(st(next).process);
+    }
+    return;
+  }
   if (!m.context_waiters.empty()) {
     // The slot passes directly to a task re-entering after a block.
     TaskNode* next = m.context_waiters.front();
@@ -283,6 +338,12 @@ void SimEngine::release_context(SimTask& t) {
 
 void SimEngine::reacquire_context(SimTask& t) {
   Machine& m = machines_[t.machine];
+  if (ft_enabled() && !injector_->machine_up(t.machine)) {
+    // A non-restartable task re-entering on its crashed machine: it must
+    // still run to completion (its spawns already escaped), so it executes
+    // on the ghost of the machine without slot bookkeeping.
+    return;
+  }
   if (m.free_contexts > 0) {
     --m.free_contexts;
     return;
@@ -323,6 +384,9 @@ void SimEngine::spawn(TaskNode* parent,
                       TaskContext::BodyFn body, std::string name,
                       MachineId placement) {
   SimTask& pt = st(parent);
+  // Spawning makes the parent unkillable *before* it can park below: a
+  // replay of a task that already created a child would create it twice.
+  pt.restartable = false;
   // Executing the withonly construct costs the creator time (building the
   // specification, inserting queue records) on the runtime lane.
   occupy_runtime(pt, cluster_.task_create_overhead);
@@ -361,6 +425,9 @@ void SimEngine::spawn(TaskNode* parent,
 void SimEngine::with_cont(TaskNode* task,
                           const std::vector<AccessRequest>& requests) {
   SimTask& t = st(task);
+  // A with-cont retires or converts rights — visible to other tasks the
+  // moment it executes, and not undoable.  The task rides out crashes.
+  t.restartable = false;
   const bool must_block = serializer_.update_spec(task, requests);
   post_serializer();
   // no_cm hands the exclusivity token to the next waiting commuter now
@@ -394,8 +461,8 @@ void SimEngine::fetch_for(SimTask& t,
     DeclRecord* rec = t.node->find_record(req.obj);
     if (rec == nullptr || rec->immediate == 0) continue;
     const bool exclusive = (rec->immediate & kExclusiveBits) != 0;
-    ready_at =
-        std::max(ready_at, transfer_object(req.obj, t.machine, exclusive));
+    ready_at = std::max(ready_at,
+                        transfer_object(t, req.obj, t.machine, exclusive));
   }
   if (ready_at > sim_.now()) {
     t.wait = Wait::kFetch;
@@ -438,7 +505,7 @@ std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
   // residence (cheap when it is still here).
   if (!cluster_.shared_memory()) {
     const bool exclusive = (mode & kExclusiveBits) != 0;
-    const SimTime at = transfer_object(obj, t.machine, exclusive);
+    const SimTime at = transfer_object(t, obj, t.machine, exclusive);
     if (at > sim_.now()) {
       t.wait = Wait::kFetch;
       sim_.resume_at(sim_.current(), at);
@@ -446,6 +513,13 @@ std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
       t.wait = Wait::kNone;
     }
   }
+  // Snapshot before handing out a mutable pointer: if a crash kills this
+  // attempt mid-write, the pre-image is restored and the re-execution sees
+  // exactly what the first attempt saw.  Taken here — after serializer
+  // admission and commute-token acquisition — so a commuter snapshots the
+  // object *with its predecessors' updates applied*.
+  if (ft_enabled() && st(task).restartable && (mode & kExclusiveBits))
+    maybe_snapshot(st(task), obj);
   return directory_.data(obj);
 }
 
@@ -472,11 +546,34 @@ void SimEngine::set_available_at(ObjectId obj, MachineId m, SimTime at) {
   available_at_[obj * 64 + static_cast<std::uint64_t>(m)] = at;
 }
 
-SimTime SimEngine::transfer_object(ObjectId obj, MachineId to,
+SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
                                    bool exclusive) {
-  const SimTime now = sim_.now();
-  if (cluster_.shared_memory()) return now;
+  if (cluster_.shared_memory()) return sim_.now();
 
+  if (ft_enabled()) {
+    // The owner may be dead (crashed but not yet detected/recovered).  A
+    // local replica satisfies a read; anything else waits for the recovery
+    // protocol to re-home or restore the object — or learns it is gone.
+    while (true) {
+      if (directory_.lost(obj))
+        throw UnrecoverableError(
+            "object " + std::to_string(obj) + " ('" +
+            objects_.info(obj).name +
+            "') is unrecoverable: its only copy died with machine " +
+            std::to_string(directory_.owner(obj)) +
+            " and stable storage is disabled");
+      const MachineId owner = directory_.owner(obj);
+      if (injector_->machine_up(owner)) break;
+      if (!exclusive && directory_.present(obj, to)) break;
+      JADE_TRACE("t=" << sim_.now() << " " << t.node->name()
+                      << " waits for recovery of obj " << obj
+                      << " (owner " << owner << " is down)");
+      recovery_waiters_[static_cast<std::size_t>(owner)].push_back(t.node);
+      park_inactive(t, Wait::kRecovery);
+    }
+  }
+
+  const SimTime now = sim_.now();
   const ObjectInfo& info = objects_.info(obj);
   const MachineId from = directory_.owner(obj);
   // The object travels behind a data header; requests and invalidations are
@@ -573,6 +670,7 @@ void SimEngine::run(std::function<void(TaskContext&)> root_body) {
   rt.node = serializer_.root();
   rt.machine = 0;
   rt.creator_machine = 0;
+  rt.restartable = false;  // the original task; machine 0 never crashes
   serializer_.root()->engine_data = &rt;
   serializer_.root()->assigned_machine = 0;
 
@@ -583,13 +681,273 @@ void SimEngine::run(std::function<void(TaskContext&)> root_body) {
     finish_task(serializer_.root());
   });
 
+  if (ft_enabled()) schedule_fault_events();
+
   sim_.run();
 
   JADE_ASSERT_MSG(serializer_.outstanding() == 0,
                   "simulation drained with outstanding tasks");
-  stats_.finish_time = sim_.now();
+  if (!ft_enabled()) stats_.finish_time = sim_.now();
+  if (faulty_net_ != nullptr) {
+    stats_.messages_dropped = faulty_net_->messages_dropped();
+    stats_.message_retries = faulty_net_->message_retries();
+  }
   for (std::size_t m = 0; m < machines_.size(); ++m)
     stats_.machine_busy_seconds[m] = machines_[m].busy_seconds;
+}
+
+// --- fault injection & recovery --------------------------------------------
+
+bool SimEngine::drained() const {
+  return root_done_ && serializer_.outstanding() == 0;
+}
+
+void SimEngine::schedule_fault_events() {
+  for (const CrashEvent& c : injector_->crashes()) {
+    sim_.schedule(c.time, [this, m = c.machine] { handle_crash(m); });
+  }
+  sim_.schedule(fault_.heartbeat_interval, [this] { send_heartbeats(); });
+  sim_.schedule(fault_.heartbeat_interval, [this] { detector_sweep(); });
+}
+
+void SimEngine::send_heartbeats() {
+  if (drained()) return;
+  for (MachineId m = 1; m < machine_count(); ++m) {
+    if (!injector_->machine_up(m)) continue;
+    const SimTime arrival = network_->schedule_transfer(
+        m, 0, fault_.heartbeat_bytes, sim_.now());
+    ++stats_.heartbeats_sent;
+    stats_.messages += 1;
+    stats_.bytes_sent += fault_.heartbeat_bytes;
+    sim_.schedule(arrival, [this, m, arrival] {
+      // A heartbeat retransmitted past its sender's detected death is
+      // stale; the coordinator has fenced the machine and must not let it
+      // clear the suspicion (the detector would then declare it dead a
+      // second time and recovery would run twice).
+      if (injector_->health(m).detected_at != 0) return;
+      detector_->heartbeat_received(m, arrival);
+    });
+  }
+  sim_.schedule_in(fault_.heartbeat_interval, [this] { send_heartbeats(); });
+}
+
+void SimEngine::detector_sweep() {
+  if (drained()) return;
+  for (MachineId suspect : detector_->sweep(sim_.now())) {
+    if (injector_->machine_up(suspect)) {
+      // Congestion delayed the heartbeats past the threshold.  The
+      // coordinator double-checks with a direct probe (modeled as ground
+      // truth) and does not kill a live machine's work; the standing
+      // suspicion clears when the next heartbeat arrives.
+      ++stats_.false_suspicions;
+      continue;
+    }
+    recover_machine(suspect);
+  }
+  sim_.schedule_in(fault_.heartbeat_interval, [this] { detector_sweep(); });
+}
+
+void SimEngine::handle_crash(MachineId m) {
+  if (drained()) return;  // the program already finished
+  injector_->record_crash(m, sim_.now());
+  ++stats_.machine_crashes;
+  JADE_TRACE("t=" << sim_.now() << " CRASH machine " << m << " ("
+                  << machines_[m].desc.name << ")");
+  // The machine goes dark: no new work is ever placed on it.
+  machines_[static_cast<std::size_t>(m)].free_contexts = 0;
+  // Kill every restartable attempt resident on the machine, in creation
+  // order (deterministic).  Non-restartable attempts (they spawned children
+  // or ran a with-cont — effects that already escaped) ride out the crash
+  // and run to completion; see docs/FAULT_TOLERANCE.md for the model.
+  std::vector<TaskNode*> victims;
+  for (SimTask& t : sim_tasks_) {
+    if (t.machine != m || !t.restartable) continue;
+    if (t.node->state() == TaskState::kCompleted) continue;
+    if (t.process == nullptr ||
+        t.process->state() == Process::State::kDone ||
+        t.process->abandoned())
+      continue;
+    victims.push_back(t.node);
+  }
+  for (TaskNode* task : victims) kill_task_attempt(task);
+  for (TaskNode* task : victims)
+    pending_recovery_[static_cast<std::size_t>(m)].push_back(task);
+  // Surviving (non-restartable) residents parked for a context slot would
+  // wait forever: the holders they waited on were just killed and killed
+  // attempts never release.  The dead machine has no real slots anyway —
+  // wake them all.
+  auto& waiters = machines_[static_cast<std::size_t>(m)].context_waiters;
+  while (!waiters.empty()) {
+    TaskNode* next = waiters.front();
+    waiters.pop_front();
+    sim_.resume(st(next).process);
+  }
+  // Replica/ownership surgery waits for *detection*: until the failure
+  // detector notices, the cluster keeps routing requests at the dead
+  // machine (and transfer_object parks the requesters).
+  maybe_release_throttled();
+}
+
+void SimEngine::kill_task_attempt(TaskNode* task) {
+  SimTask& t = st(task);
+  ++stats_.tasks_killed;
+  JADE_TRACE("t=" << sim_.now() << " kill " << task->name() << " on machine "
+                  << t.machine);
+  // Undo the attempt's writes (reverse acquisition order) and its charge.
+  for (auto it = t.snapshots.rbegin(); it != t.snapshots.rend(); ++it) {
+    std::copy(it->second.begin(), it->second.end(),
+              directory_.data(it->first));
+  }
+  t.snapshots.clear();
+  const double wasted = task->charged_work - t.attempt_charge_base;
+  stats_.wasted_charged_work += wasted;
+  task->charged_work = t.attempt_charge_base;
+
+  Process* p = t.process;
+  const bool started = p->state() != Process::State::kCreated;
+  if (started) {
+    // Undo the wait-specific bookkeeping before aborting the process.
+    switch (t.wait) {
+      case Wait::kFetch:
+      case Wait::kCpu:
+        // Self-resume pending (becomes a no-op once aborted); these waits
+        // count as active.
+        --active_tasks_;
+        break;
+      case Wait::kUnblock: {
+        auto it = std::find(to_unblock_.begin(), to_unblock_.end(), task);
+        if (it != to_unblock_.end()) to_unblock_.erase(it);
+        break;
+      }
+      case Wait::kCommute:
+        for (auto& [obj, waiters] : commute_waiters_) {
+          auto it = std::find(waiters.begin(), waiters.end(), task);
+          if (it != waiters.end()) waiters.erase(it);
+        }
+        break;
+      case Wait::kContext: {
+        auto& waiters =
+            machines_[static_cast<std::size_t>(t.machine)].context_waiters;
+        auto it = std::find(waiters.begin(), waiters.end(), task);
+        JADE_ASSERT(it != waiters.end());
+        waiters.erase(it);
+        break;
+      }
+      case Wait::kRecovery:
+        for (auto& waiters : recovery_waiters_) {
+          auto it = std::find(waiters.begin(), waiters.end(), task);
+          if (it != waiters.end()) waiters.erase(it);
+        }
+        break;
+      case Wait::kThrottle:
+      case Wait::kNone:
+        // Restartable tasks never spawn, so they never throttle-park; and a
+        // parked process always has a wait kind.
+        JADE_ASSERT_MSG(false, "killed task in an impossible wait state");
+    }
+  }
+  // Hand held commute tokens to the next waiters.  (A waiter that is itself
+  // being killed in this sweep gets its resume abandoned and the token
+  // released again when its own kill runs.)
+  while (!t.commute_tokens.empty()) {
+    const ObjectId obj = t.commute_tokens.back();
+    t.commute_tokens.pop_back();
+    JADE_ASSERT(commute_holder_[obj] == task);
+    release_commute_token(obj);
+  }
+  // Rewind the serializer: a started attempt is kRunning (task_started is
+  // the first thing a task process does); an assigned-but-unstarted one is
+  // still kReady and needs no rewind.
+  if (started) serializer_.abort_attempt(task);
+  sim_.abort(p);
+
+  t.process = nullptr;
+  t.machine = -1;
+  t.wait = Wait::kNone;
+  task->assigned_machine = -1;
+}
+
+void SimEngine::recover_machine(MachineId m) {
+  injector_->record_detected(m, sim_.now());
+  stats_.detection_latency_total +=
+      sim_.now() - injector_->health(m).crashed_at;
+  JADE_TRACE("t=" << sim_.now() << " machine " << m
+                  << " declared dead; recovering");
+
+  // Directory surgery, in ObjectId order (deterministic).
+  const std::vector<std::uint8_t> up = injector_->up_mask();
+  for (const RecoveryAction& a :
+       plan_object_recovery(directory_, m, up, fault_.stable_storage)) {
+    switch (a.fate) {
+      case ObjectFate::kRehomed:
+        if (a.owner_moved) {
+          directory_.set_owner(a.obj, a.new_home);
+          directory_.drop_copy(a.obj, m);
+          ++stats_.objects_rehomed;
+          // Home re-election costs a control message to the new home; the
+          // replica it already holds becomes the authoritative copy.
+          const std::size_t bytes = cluster_.control_message_bytes;
+          network_->schedule_transfer(0, a.new_home, bytes, sim_.now());
+          stats_.messages += 1;
+          stats_.bytes_sent += bytes;
+        } else {
+          directory_.drop_copy(a.obj, m);  // only a replica died
+        }
+        break;
+      case ObjectFate::kRestored: {
+        directory_.drop_copy(a.obj, m);
+        directory_.restore_to(a.obj, a.new_home);
+        const SimTime done =
+            sim_.now() + fault_.restore_latency +
+            static_cast<SimTime>(directory_.object_bytes(a.obj)) /
+                fault_.restore_bytes_per_second;
+        set_available_at(a.obj, a.new_home, done);
+        ++stats_.objects_restored;
+        break;
+      }
+      case ObjectFate::kLost:
+        directory_.drop_copy(a.obj, m);
+        directory_.mark_lost(a.obj);
+        ++stats_.objects_lost;
+        break;
+    }
+  }
+
+  // Forget cached availability on the dead machine (keys are obj*64 + m).
+  for (auto it = available_at_.begin(); it != available_at_.end();) {
+    if (static_cast<MachineId>(it->first % 64) == m)
+      it = available_at_.erase(it);
+    else
+      ++it;
+  }
+
+  // Re-queue the killed attempts onto survivors, in kill order.
+  auto& pending = pending_recovery_[static_cast<std::size_t>(m)];
+  for (TaskNode* task : pending) {
+    if (task->placement == m)
+      throw UnrecoverableError(
+          "task '" + task->name() + "' is pinned to crashed machine " +
+          std::to_string(m) + " and cannot be re-run elsewhere");
+    ++stats_.tasks_requeued;
+    ready_.push_back(task);
+  }
+  pending.clear();
+
+  // Wake the transfers that were parked on this machine's recovery.
+  std::deque<TaskNode*> waiters;
+  waiters.swap(recovery_waiters_[static_cast<std::size_t>(m)]);
+  for (TaskNode* w : waiters) sim_.resume(st(w).process);
+
+  try_dispatch();
+  maybe_release_throttled();
+}
+
+void SimEngine::maybe_snapshot(SimTask& t, ObjectId obj) {
+  for (const auto& [id, bytes] : t.snapshots)
+    if (id == obj) return;  // first write wins; later acquires are no-ops
+  auto view = directory_.data_view(obj);
+  t.snapshots.emplace_back(
+      obj, std::vector<std::byte>(view.begin(), view.end()));
 }
 
 }  // namespace jade

@@ -30,7 +30,11 @@
 
 #include "jade/engine/engine.hpp"
 #include "jade/engine/timeline.hpp"
+#include "jade/ft/failure_detector.hpp"
+#include "jade/ft/fault_injector.hpp"
+#include "jade/ft/fault_plan.hpp"
 #include "jade/mach/machine.hpp"
+#include "jade/net/faulty.hpp"
 #include "jade/net/network.hpp"
 #include "jade/sched/policies.hpp"
 #include "jade/sim/simulation.hpp"
@@ -40,7 +44,8 @@ namespace jade {
 
 class SimEngine : public Engine, private SerializerListener {
  public:
-  SimEngine(ClusterConfig cluster, SchedPolicy sched, bool enforce_hierarchy);
+  SimEngine(ClusterConfig cluster, SchedPolicy sched, bool enforce_hierarchy,
+            FaultConfig fault = {});
   ~SimEngine() override;
 
   ObjectId allocate(TypeDescriptor type, std::string name,
@@ -67,6 +72,9 @@ class SimEngine : public Engine, private SerializerListener {
   const NetworkModel& network() const { return *network_; }
   const ObjectDirectory& directory() const { return directory_; }
 
+  /// Ground truth of the failure model, or nullptr when faults are off.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
   /// Per-task execution records (empty unless sched.record_timeline).
   const std::vector<TaskTimeline>& timeline() const { return timeline_; }
 
@@ -80,6 +88,7 @@ class SimEngine : public Engine, private SerializerListener {
     kContext,   ///< machine task-context slot (release_context resumes)
     kThrottle,  ///< outstanding-task backlog (completion path resumes)
     kCommute,   ///< commute token held by another task
+    kRecovery,  ///< object's owner crashed; recovery re-homes, then resumes
   };
 
   struct SimTask {
@@ -90,6 +99,17 @@ class SimEngine : public Engine, private SerializerListener {
     Wait wait = Wait::kNone;
     std::vector<ObjectId> objects;   ///< declared objects, in decl order
     std::vector<ObjectId> commute_tokens;  ///< exclusivity tokens held
+    // fault tolerance (ft/)
+    /// A crash may kill and re-run this task.  Cleared the moment the task
+    /// spawns a child or runs a with-cont: those effects escape the task and
+    /// cannot be rolled back, so such tasks ride out the crash instead (see
+    /// docs/FAULT_TOLERANCE.md, "what can be killed").
+    bool restartable = true;
+    /// charged_work at attempt start; a killed attempt rolls back to it.
+    double attempt_charge_base = 0;
+    /// Pre-write images of objects this attempt acquired with wr/cm rights,
+    /// in acquisition order; restored in reverse on kill.
+    std::vector<std::pair<ObjectId, std::vector<std::byte>>> snapshots;
     // timeline capture (when sched.record_timeline)
     SimTime created = 0;
     SimTime dispatched = 0;
@@ -148,7 +168,10 @@ class SimEngine : public Engine, private SerializerListener {
   /// Ensures `obj` is usable at machine `m` (exclusively if `exclusive`),
   /// scheduling transfers/invalidations/conversions; returns when it is
   /// available there.  Immediate (returns now) on shared-memory platforms.
-  SimTime transfer_object(ObjectId obj, MachineId m, bool exclusive);
+  /// Under fault injection, parks `t` while the object's owner is crashed
+  /// but not yet recovered, and throws UnrecoverableError for lost objects.
+  SimTime transfer_object(SimTask& t, ObjectId obj, MachineId m,
+                          bool exclusive);
 
   /// Fetches every object in `reqs` that carries immediate rights; parks
   /// until all have arrived.
@@ -156,6 +179,33 @@ class SimEngine : public Engine, private SerializerListener {
 
   SimTime available_at(ObjectId obj, MachineId m) const;
   void set_available_at(ObjectId obj, MachineId m, SimTime at);
+
+  // --- fault tolerance (ft/) ----------------------------------------------
+  bool ft_enabled() const { return injector_ != nullptr; }
+  /// True once nothing is left to simulate; recurring fault-layer events
+  /// (heartbeats, detector sweeps) stop rescheduling themselves.
+  bool drained() const;
+  /// Schedules the crash events and the first heartbeat/sweep rounds.
+  void schedule_fault_events();
+  /// Fail-stop of machine `m`: contexts gone, resident restartable task
+  /// attempts killed (queued for recovery), replicas forgotten at detection.
+  void handle_crash(MachineId m);
+  /// Undoes one running attempt of `task`: snapshots restored, charge rolled
+  /// back, serializer rewound to kReady, process aborted.
+  void kill_task_attempt(TaskNode* task);
+  /// Runs the recovery protocol after the detector declares `m` dead:
+  /// directory surgery (re-home / restore / mark lost), killed tasks
+  /// re-queued onto survivors, transfer waiters resumed.
+  void recover_machine(MachineId m);
+  /// One heartbeat round: every live machine != 0 sends through the (lossy)
+  /// network; arrivals feed the detector.
+  void send_heartbeats();
+  /// One detector sweep on the coordinator; newly suspected machines are
+  /// checked against ground truth (false suspicions counted, real crashes
+  /// recovered).
+  void detector_sweep();
+  /// Snapshots `obj` before this restartable attempt's first write to it.
+  void maybe_snapshot(SimTask& t, ObjectId obj);
 
   ClusterConfig cluster_;
   SchedPolicy sched_;
@@ -175,6 +225,20 @@ class SimEngine : public Engine, private SerializerListener {
   std::unordered_map<ObjectId, std::deque<TaskNode*>> commute_waiters_;
   std::unordered_map<std::uint64_t, SimTime> available_at_;
   std::vector<TaskTimeline> timeline_;
+
+  // fault tolerance (all empty/null when FaultConfig.enabled is false)
+  FaultConfig fault_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<FailureDetector> detector_;
+  FaultyNetwork* faulty_net_ = nullptr;    ///< view into network_, if wrapped
+  /// Killed attempts awaiting re-dispatch, per crashed machine; requeued by
+  /// recover_machine in kill (= creation) order.
+  std::vector<std::vector<TaskNode*>> pending_recovery_;
+  /// Tasks parked in transfer_object because the object's owner is this
+  /// (crashed, undetected) machine; recover_machine resumes them.
+  std::vector<std::deque<TaskNode*>> recovery_waiters_;
+  bool root_done_ = false;
+
   MachineId next_home_ = 0;                ///< round-robin initial placement
   /// Started-but-incomplete tasks not parked in the throttle; when this
   /// would reach zero, throttled creators are the only progress source and

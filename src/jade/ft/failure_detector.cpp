@@ -1,0 +1,48 @@
+#include "jade/ft/failure_detector.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+FailureDetector::FailureDetector(int machine_count,
+                                 SimTime heartbeat_interval,
+                                 int miss_threshold)
+    : interval_(heartbeat_interval),
+      miss_threshold_(miss_threshold),
+      entries_(static_cast<std::size_t>(machine_count)) {
+  JADE_ASSERT(machine_count >= 1);
+  JADE_ASSERT(heartbeat_interval > 0);
+  JADE_ASSERT(miss_threshold >= 1);
+}
+
+void FailureDetector::heartbeat_received(MachineId m, SimTime t) {
+  JADE_ASSERT(m >= 0 && static_cast<std::size_t>(m) < entries_.size());
+  Entry& e = entries_[static_cast<std::size_t>(m)];
+  if (t > e.last_heard) e.last_heard = t;
+  e.suspected = false;
+}
+
+std::vector<MachineId> FailureDetector::sweep(SimTime now) {
+  std::vector<MachineId> newly;
+  for (std::size_t m = 1; m < entries_.size(); ++m) {
+    Entry& e = entries_[m];
+    if (e.suspected) continue;
+    if (now - e.last_heard > threshold()) {
+      e.suspected = true;
+      newly.push_back(static_cast<MachineId>(m));
+    }
+  }
+  return newly;
+}
+
+SimTime FailureDetector::last_heard(MachineId m) const {
+  JADE_ASSERT(m >= 0 && static_cast<std::size_t>(m) < entries_.size());
+  return entries_[static_cast<std::size_t>(m)].last_heard;
+}
+
+bool FailureDetector::suspected(MachineId m) const {
+  JADE_ASSERT(m >= 0 && static_cast<std::size_t>(m) < entries_.size());
+  return entries_[static_cast<std::size_t>(m)].suspected;
+}
+
+}  // namespace jade

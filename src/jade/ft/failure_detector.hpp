@@ -1,0 +1,53 @@
+// Heartbeat-based failure detection.
+//
+// Every machine sends a heartbeat to machine 0 (the coordinator running the
+// original task) each interval; the coordinator sweeps the table each
+// interval and declares dead any machine unheard-from for miss_threshold
+// intervals.  The detector is a pure state machine over (machine, time)
+// events — the SimEngine drives it with simulated heartbeat arrivals and
+// sweep events, and unit tests drive it directly.
+//
+// Because heartbeats travel the same simulated network as object traffic,
+// congestion can delay them past the threshold: the detector then *suspects*
+// a live machine.  The engine double-checks suspicion against ground truth
+// (modeling a direct probe) and counts the false positive rather than
+// killing a live machine's work.
+#pragma once
+
+#include <vector>
+
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class FailureDetector {
+ public:
+  FailureDetector(int machine_count, SimTime heartbeat_interval,
+                  int miss_threshold);
+
+  /// A heartbeat from `m` arrived at time `t`.  Clears any standing
+  /// suspicion of `m` (it was a false positive).
+  void heartbeat_received(MachineId m, SimTime t);
+
+  /// Periodic sweep: returns the machines that just crossed the staleness
+  /// threshold (skipping machine 0 and machines already suspected).  A
+  /// machine stays suspected until a newer heartbeat clears it, so each
+  /// failure is reported once.
+  std::vector<MachineId> sweep(SimTime now);
+
+  SimTime last_heard(MachineId m) const;
+  bool suspected(MachineId m) const;
+  SimTime threshold() const { return interval_ * miss_threshold_; }
+
+ private:
+  struct Entry {
+    SimTime last_heard = 0;
+    bool suspected = false;
+  };
+
+  SimTime interval_;
+  int miss_threshold_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace jade

@@ -1,0 +1,53 @@
+#include "jade/ft/fault_injector.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int machine_count)
+    : config_(plan.config()),
+      crashes_(plan.crashes()),
+      health_(static_cast<std::size_t>(machine_count)),
+      drop_rng_(plan.config().seed ^ 0xd20bbedULL) {
+  JADE_ASSERT(machine_count >= 1);
+}
+
+const MachineHealth& FaultInjector::health_at(MachineId m) const {
+  JADE_ASSERT(m >= 0 && static_cast<std::size_t>(m) < health_.size());
+  return health_[static_cast<std::size_t>(m)];
+}
+
+std::vector<std::uint8_t> FaultInjector::up_mask() const {
+  std::vector<std::uint8_t> mask(health_.size());
+  for (std::size_t m = 0; m < health_.size(); ++m)
+    mask[m] = health_[m].up() ? 1 : 0;
+  return mask;
+}
+
+int FaultInjector::up_count() const {
+  int n = 0;
+  for (const MachineHealth& h : health_) n += h.up() ? 1 : 0;
+  return n;
+}
+
+void FaultInjector::record_crash(MachineId m, SimTime t) {
+  MachineHealth& h = health_[static_cast<std::size_t>(m)];
+  JADE_ASSERT_MSG(h.up(), "machine crashed twice");
+  h.status = MachineStatus::kCrashed;
+  h.crashed_at = t;
+}
+
+void FaultInjector::record_detected(MachineId m, SimTime t) {
+  MachineHealth& h = health_[static_cast<std::size_t>(m)];
+  JADE_ASSERT_MSG(!h.up(), "detected a machine that is up");
+  JADE_ASSERT_MSG(h.detected_at == 0, "machine detected twice");
+  h.detected_at = t;
+}
+
+bool FaultInjector::should_drop(MachineId from, MachineId to) {
+  if (config_.drop_probability <= 0) return false;
+  if (!machine_up(from) || !machine_up(to)) return false;
+  return drop_rng_.next_bool(config_.drop_probability);
+}
+
+}  // namespace jade

@@ -1,0 +1,62 @@
+// The fault injector: runtime ground truth of the failure model.
+//
+// Holds the up/down state of every machine (mach/MachineHealth), decides —
+// deterministically, from the plan's seed — which messages between live
+// machines are lost, and accumulates the injection-side counters.  The
+// SimEngine consults it for dispatch eligibility and transfer routing; the
+// FaultyNetwork transport decorator consults it per message.
+//
+// The injector knows the *truth*; the FailureDetector knows only what the
+// heartbeats say.  Keeping the two separate is what lets the tests measure
+// detection latency and false suspicions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jade/ft/fault_plan.hpp"
+#include "jade/mach/machine.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int machine_count);
+
+  const FaultConfig& config() const { return config_; }
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+
+  int machine_count() const { return static_cast<int>(health_.size()); }
+  bool machine_up(MachineId m) const { return health_at(m).up(); }
+  const MachineHealth& health(MachineId m) const { return health_at(m); }
+
+  /// Machines currently up, as a 0/1 mask (the sched/ and ft/recovery
+  /// helpers take this shape).
+  std::vector<std::uint8_t> up_mask() const;
+  int up_count() const;
+
+  /// Takes machine `m` down at virtual time `t` (fail-stop; never undone).
+  void record_crash(MachineId m, SimTime t);
+
+  /// Records when the failure detector declared `m` dead.
+  void record_detected(MachineId m, SimTime t);
+
+  /// Per-message loss decision.  Messages between live machines are lost
+  /// with the configured probability (consuming the seeded drop stream);
+  /// messages to or from a down machine are not "dropped" — they are sent
+  /// and silently vanish at the dead NIC, so the transport must not
+  /// retransmit them (the recovery protocol, not the transport, handles
+  /// dead endpoints).
+  bool should_drop(MachineId from, MachineId to);
+
+ private:
+  const MachineHealth& health_at(MachineId m) const;
+
+  FaultConfig config_;
+  std::vector<CrashEvent> crashes_;
+  std::vector<MachineHealth> health_;
+  Rng drop_rng_;
+};
+
+}  // namespace jade

@@ -1,0 +1,71 @@
+#include "jade/ft/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "jade/support/error.hpp"
+#include "jade/support/rng.hpp"
+
+namespace jade {
+
+FaultPlan FaultPlan::make(FaultConfig config, int machine_count) {
+  if (machine_count < 1)
+    throw ConfigError("fault plan needs at least one machine");
+  if (config.drop_probability < 0 || config.drop_probability >= 1.0)
+    throw ConfigError("drop_probability must be in [0, 1)");
+  if (config.heartbeat_interval <= 0)
+    throw ConfigError("heartbeat_interval must be positive");
+  if (config.heartbeat_miss_threshold < 1)
+    throw ConfigError("heartbeat_miss_threshold must be >= 1");
+  if (config.max_send_attempts < 1)
+    throw ConfigError("max_send_attempts must be >= 1");
+
+  std::vector<CrashEvent> crashes = config.crashes;
+  if (crashes.empty() && config.auto_crashes > 0) {
+    if (config.auto_crashes > machine_count - 1)
+      throw ConfigError(
+          "auto_crashes exceeds the number of crashable machines "
+          "(machine 0 is the reliable coordinator)");
+    if (config.crash_window_end <= config.crash_window_begin)
+      throw ConfigError("empty crash window");
+    // Distinct machines via a seeded partial Fisher-Yates over [1, n).
+    // The crash stream is decoupled from the message-drop stream (which
+    // hashes the same seed differently in FaultInjector) so adding drops
+    // never perturbs the crash schedule.
+    Rng rng(config.seed ^ 0xc4a54badULL);
+    std::vector<MachineId> pool;
+    for (MachineId m = 1; m < machine_count; ++m) pool.push_back(m);
+    for (int i = 0; i < config.auto_crashes; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+      CrashEvent c;
+      c.machine = pool[i];
+      c.time = rng.next_double(config.crash_window_begin,
+                               config.crash_window_end);
+      crashes.push_back(c);
+    }
+  }
+
+  for (const CrashEvent& c : crashes) {
+    if (c.machine <= 0 || c.machine >= machine_count)
+      throw ConfigError(
+          "crash schedule names machine " + std::to_string(c.machine) +
+          "; only machines 1.." + std::to_string(machine_count - 1) +
+          " may crash (machine 0 is the reliable coordinator)");
+    if (c.time < 0) throw ConfigError("crash time must be non-negative");
+  }
+  std::sort(crashes.begin(), crashes.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.machine < b.machine;
+            });
+  for (std::size_t i = 0; i < crashes.size(); ++i)
+    for (std::size_t j = i + 1; j < crashes.size(); ++j)
+      if (crashes[i].machine == crashes[j].machine)
+        throw ConfigError("machine " + std::to_string(crashes[i].machine) +
+                          " crashes twice; crashes are fail-stop");
+
+  return FaultPlan(std::move(config), std::move(crashes));
+}
+
+}  // namespace jade

@@ -1,0 +1,24 @@
+#include "jade/ft/ft_stats.hpp"
+
+namespace jade {
+
+CounterSet fault_recovery_counters(const RuntimeStats& stats) {
+  CounterSet c;
+  c.add("machine_crashes", stats.machine_crashes);
+  c.add("tasks_killed", stats.tasks_killed);
+  c.add("tasks_requeued", stats.tasks_requeued);
+  c.add("messages_dropped", stats.messages_dropped);
+  c.add("message_retries", stats.message_retries);
+  c.add("heartbeats_sent", stats.heartbeats_sent);
+  c.add("false_suspicions", stats.false_suspicions);
+  c.add("objects_rehomed", stats.objects_rehomed);
+  c.add("objects_restored", stats.objects_restored);
+  c.add("objects_lost", stats.objects_lost);
+  c.add("wasted_charged_work",
+        static_cast<std::uint64_t>(stats.wasted_charged_work));
+  c.add("detection_latency_us",
+        static_cast<std::uint64_t>(stats.detection_latency_total * 1e6));
+  return c;
+}
+
+}  // namespace jade

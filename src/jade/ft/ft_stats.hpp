@@ -1,0 +1,14 @@
+// Observability for the fault-tolerance subsystem: one uniform view of the
+// fault/recovery counters a run accumulated, for benches and tests.
+#pragma once
+
+#include "jade/engine/engine.hpp"
+#include "jade/support/stats.hpp"
+
+namespace jade {
+
+/// The FT counters of `stats` as an ordered CounterSet (times in
+/// microseconds, work in whole charge units, both rounded down).
+CounterSet fault_recovery_counters(const RuntimeStats& stats);
+
+}  // namespace jade

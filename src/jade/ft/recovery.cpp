@@ -1,0 +1,43 @@
+#include "jade/ft/recovery.hpp"
+
+#include "jade/sched/policies.hpp"
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+std::vector<RecoveryAction> plan_object_recovery(
+    const ObjectDirectory& dir, MachineId dead,
+    std::span<const std::uint8_t> machine_up, bool stable_storage) {
+  JADE_ASSERT(static_cast<std::size_t>(dead) < machine_up.size());
+  JADE_ASSERT_MSG(!machine_up[dead], "plan with the dead machine marked down");
+
+  std::vector<RecoveryAction> actions;
+  for (ObjectId obj : dir.objects_on(dead)) {
+    RecoveryAction a;
+    a.obj = obj;
+    if (dir.owner(obj) != dead) {
+      // Only a replica died; the authoritative copy is elsewhere.
+      a.fate = ObjectFate::kRehomed;
+      a.new_home = dir.owner(obj);
+      a.owner_moved = false;
+    } else {
+      const MachineId survivor = pick_rehome_machine(dir, obj, machine_up);
+      if (survivor >= 0) {
+        a.fate = ObjectFate::kRehomed;
+        a.new_home = survivor;
+        a.owner_moved = true;
+      } else if (stable_storage) {
+        a.fate = ObjectFate::kRestored;
+        a.new_home = pick_restore_machine(machine_up, obj);
+        a.owner_moved = true;
+      } else {
+        a.fate = ObjectFate::kLost;
+        a.new_home = -1;
+      }
+    }
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+}  // namespace jade

@@ -1,0 +1,54 @@
+// Recovery planning: what happens to the objects a dead machine held.
+//
+// When the failure detector declares machine `dead`, every object with a
+// copy there falls into one of three cases:
+//
+//   * kRehomed  — `dead` owned it but a surviving machine holds a replica;
+//                 ownership re-elects deterministically onto a survivor (a
+//                 control message, no data transfer — the replica is the
+//                 data).  If `dead` held only a replica, the copy is simply
+//                 dropped and the fate is also kRehomed with the owner
+//                 unchanged (nothing was lost).
+//   * kRestored — `dead` held the sole copy and the snapshot (stable
+//                 storage) policy is on: the object is reloaded onto a
+//                 survivor at the configured restore cost.
+//   * kLost     — sole copy, no stable storage.  Any future access is
+//                 unrecoverable (UnrecoverableError), mirroring the paper's
+//                 position that Jade's serial semantics makes re-execution
+//                 trivially sound but cannot resurrect bytes nobody else has.
+//
+// Planning is pure (directory + up-mask in, actions out) so unit tests can
+// exercise every case without running the simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jade/core/object.hpp"
+#include "jade/store/directory.hpp"
+
+namespace jade {
+
+enum class ObjectFate { kRehomed, kRestored, kLost };
+
+struct RecoveryAction {
+  ObjectId obj = kInvalidObject;
+  ObjectFate fate = ObjectFate::kRehomed;
+  /// Post-recovery owner: the re-elected home (kRehomed with ownership
+  /// moved), the restore target (kRestored), the unchanged owner (kRehomed
+  /// replica drop), or -1 (kLost).
+  MachineId new_home = -1;
+  /// True when ownership actually moved (drives the objects_rehomed counter
+  /// and the control-message cost; a plain replica drop costs nothing).
+  bool owner_moved = false;
+};
+
+/// Plans recovery for every object with a copy on `dead`, in ObjectId order
+/// (deterministic).  `machine_up` is a 0/1 mask over machines with the dead
+/// machine already marked down.
+std::vector<RecoveryAction> plan_object_recovery(
+    const ObjectDirectory& dir, MachineId dead,
+    std::span<const std::uint8_t> machine_up, bool stable_storage);
+
+}  // namespace jade

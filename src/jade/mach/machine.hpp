@@ -41,6 +41,18 @@ struct MachineDesc {
   double ops_per_second = 1.0e7;
 };
 
+/// Fail-stop liveness (ft/).  A machine is up until its scheduled crash,
+/// after which it never comes back (recovery re-runs its work elsewhere
+/// rather than rebooting it).
+enum class MachineStatus : std::uint8_t { kUp, kCrashed };
+
+struct MachineHealth {
+  MachineStatus status = MachineStatus::kUp;
+  SimTime crashed_at = 0;   ///< ground truth (the injector's clock)
+  SimTime detected_at = 0;  ///< when the failure detector declared it dead
+  bool up() const { return status == MachineStatus::kUp; }
+};
+
 enum class NetKind : std::uint8_t {
   kSharedMemory,  ///< no object motion; hardware keeps memory coherent
   kSharedBus,     ///< single shared Ethernet (Mica)

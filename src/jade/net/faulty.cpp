@@ -1,0 +1,56 @@
+#include "jade/net/faulty.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+FaultyNetwork::FaultyNetwork(std::unique_ptr<NetworkModel> inner,
+                             FaultyNetConfig config, DropHook should_drop)
+    : inner_(std::move(inner)),
+      config_(config),
+      should_drop_(std::move(should_drop)) {
+  JADE_ASSERT(inner_ != nullptr);
+  JADE_ASSERT(config_.initial_retry_timeout > 0);
+  JADE_ASSERT(config_.max_retry_timeout >= config_.initial_retry_timeout);
+  JADE_ASSERT(config_.max_send_attempts >= 1);
+}
+
+std::string FaultyNetwork::name() const {
+  return "faulty(" + inner_->name() + ")";
+}
+
+SimTime FaultyNetwork::schedule_transfer(MachineId from, MachineId to,
+                                         std::size_t bytes, SimTime now) {
+  SimTime send_at = now;
+  SimTime rto = config_.initial_retry_timeout;
+  for (int attempt = 1;; ++attempt) {
+    const SimTime arrival = inner_->schedule_transfer(from, to, bytes, send_at);
+    const bool last = attempt >= config_.max_send_attempts;
+    if (last || !should_drop_(from, to)) {
+      // Delivered (or we stop pretending the link will ever admit this
+      // message and deliver the final attempt — a bounded-retry transport's
+      // "give up" would abort the run, which models nothing interesting in
+      // a simulator whose loss process is an independent coin per attempt).
+      stats_ = inner_->stats();
+      return arrival;
+    }
+    ++messages_dropped_;
+    ++message_retries_;
+    // The sender times out waiting for the ack and retransmits; the doomed
+    // attempt already occupied the medium inside `inner_`.
+    send_at = send_at + rto;
+    rto = std::min(rto * 2, config_.max_retry_timeout);
+  }
+}
+
+void FaultyNetwork::reset() {
+  inner_->reset();
+  stats_.reset();
+  messages_dropped_ = 0;
+  message_retries_ = 0;
+}
+
+}  // namespace jade

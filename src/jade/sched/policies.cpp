@@ -64,4 +64,27 @@ std::size_t pick_task_for_machine(
   return best;
 }
 
+MachineId pick_rehome_machine(const ObjectDirectory& dir, ObjectId obj,
+                              std::span<const std::uint8_t> machine_up) {
+  for (MachineId m : dir.holders(obj)) {
+    if (static_cast<std::size_t>(m) < machine_up.size() && machine_up[m])
+      return m;
+  }
+  return -1;
+}
+
+MachineId pick_restore_machine(std::span<const std::uint8_t> machine_up,
+                               std::uint64_t salt) {
+  std::uint64_t up = 0;
+  for (std::uint8_t b : machine_up) up += b ? 1 : 0;
+  if (up == 0) return -1;
+  std::uint64_t skip = salt % up;
+  for (std::size_t m = 0; m < machine_up.size(); ++m) {
+    if (!machine_up[m]) continue;
+    if (skip == 0) return static_cast<MachineId>(m);
+    --skip;
+  }
+  return -1;  // unreachable
+}
+
 }  // namespace jade

@@ -65,4 +65,17 @@ std::size_t pick_task_for_machine(
     std::span<const std::vector<ObjectId>> object_lists, MachineId machine,
     bool locality);
 
+/// Home re-election after a crash: the lowest-indexed surviving machine that
+/// already holds a copy of `obj` (its replica becomes the authoritative
+/// copy, so re-homing costs a control message, not a data transfer).
+/// Returns -1 if no up machine holds a copy.  `machine_up` is a 0/1 mask.
+MachineId pick_rehome_machine(const ObjectDirectory& dir, ObjectId obj,
+                              std::span<const std::uint8_t> machine_up);
+
+/// Target for restoring a sole-copy object from stable storage: the
+/// (salt mod up_count)-th surviving machine, spreading restore load across
+/// survivors deterministically.  Returns -1 if no machine is up.
+MachineId pick_restore_machine(std::span<const std::uint8_t> machine_up,
+                               std::uint64_t salt);
+
 }  // namespace jade

@@ -67,7 +67,7 @@ void Process::park() {
   cv_.wait(lock, [this] { return go_; });
   go_ = false;
   ++epoch_;
-  if (sim_->tearing_down()) throw ProcessAborted{};
+  if (sim_->tearing_down() || abort_requested_) throw ProcessAborted{};
   state_ = State::kRunning;
 }
 

@@ -47,6 +47,10 @@ class Process {
   /// resume events (each parked period has exactly one designated waker).
   std::uint64_t epoch() const { return epoch_; }
 
+  /// True once Simulation::abort gave up on this process: pending spawn and
+  /// resume events for it become no-ops instead of stale-resume errors.
+  bool abandoned() const { return abandoned_; }
+
  private:
   friend class Simulation;
 
@@ -75,6 +79,8 @@ class Process {
   State state_ = State::kCreated;
   bool go_ = false;          ///< process may run
   bool yielded_ = false;     ///< process has handed control back
+  bool abort_requested_ = false;  ///< next unpark unwinds instead of running
+  bool abandoned_ = false;        ///< scheduled events for this process no-op
   std::uint64_t epoch_ = 0;
   std::exception_ptr error_;  ///< exception escaping the body, rethrown in run()
 };

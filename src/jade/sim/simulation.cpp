@@ -33,7 +33,10 @@ Process* Simulation::spawn_at(SimTime at, std::string name,
   processes_.push_back(
       std::make_unique<Process>(this, std::move(name), std::move(body)));
   Process* p = processes_.back().get();
-  schedule(at, [this, p] { run_process(p); });
+  schedule(at, [this, p] {
+    if (p->abandoned()) return;  // aborted before it ever started
+    run_process(p);
+  });
   return p;
 }
 
@@ -51,6 +54,7 @@ void Simulation::resume_at(Process* p, SimTime t) {
                   "resume of a finished process");
   const std::uint64_t expected = p->epoch();
   schedule(t, [this, p, expected] {
+    if (p->abandoned()) return;  // the waker lost a race with fault injection
     JADE_ASSERT_MSG(p->state() == Process::State::kParked &&
                         p->epoch() == expected,
                     "stale resume for process " + p->name());
@@ -64,6 +68,23 @@ void Simulation::advance(SimTime dt) {
   JADE_ASSERT_MSG(p != nullptr, "advance() called outside any process");
   resume_at(p, now_ + dt);
   park();
+}
+
+void Simulation::abort(Process* p) {
+  JADE_ASSERT(p != nullptr);
+  JADE_ASSERT_MSG(p != current_, "a process cannot abort itself");
+  switch (p->state()) {
+    case Process::State::kCreated:
+      p->abandoned_ = true;  // thread never launched; spawn event no-ops
+      break;
+    case Process::State::kParked:
+      p->abort_requested_ = true;
+      p->abandoned_ = true;
+      run_process(p);  // its park() throws; the stack unwinds right now
+      break;
+    default:
+      JADE_ASSERT_MSG(false, "abort of a running or finished process");
+  }
 }
 
 void Simulation::run_process(Process* p) {

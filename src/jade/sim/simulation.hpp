@@ -55,6 +55,13 @@ class Simulation {
   /// of virtual time (schedules its own resume and parks).
   void advance(SimTime dt);
 
+  /// Kills a process that is not currently running (fault injection): a
+  /// parked process unwinds its stack immediately (its park() throws); a
+  /// created-but-unstarted process never starts.  Either way the process is
+  /// marked abandoned, so events already scheduled for it become no-ops —
+  /// including the one pending resume a parked process was owed.
+  void abort(Process* p);
+
   /// The process currently running, or nullptr when called from an event
   /// callback / outside run().
   Process* current() const { return current_; }

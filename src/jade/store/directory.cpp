@@ -115,4 +115,49 @@ std::size_t ObjectDirectory::bytes_present(std::span<const ObjectId> objs,
   return sum;
 }
 
+std::vector<ObjectId> ObjectDirectory::objects_on(MachineId m) const {
+  JADE_ASSERT(m >= 0 && m < machine_count());
+  std::vector<ObjectId> out;
+  for (const Entry& e : entries_)
+    if ((e.copies >> m) & 1ULL) out.push_back(e.id);
+  return out;
+}
+
+void ObjectDirectory::drop_copy(ObjectId obj, MachineId m) {
+  Entry& e = entry(obj);
+  JADE_ASSERT_MSG((e.copies >> m) & 1ULL, "dropping a copy that isn't there");
+  JADE_ASSERT_MSG(e.owner != m || e.copies == (1ULL << m),
+                  "cannot drop the owner's copy while replicas exist; "
+                  "re-home it first");
+  e.copies &= ~(1ULL << m);
+  store(m).evict(obj, e.bytes);
+}
+
+void ObjectDirectory::set_owner(ObjectId obj, MachineId m) {
+  Entry& e = entry(obj);
+  JADE_ASSERT_MSG((e.copies >> m) & 1ULL,
+                  "new owner must already hold a replica");
+  JADE_ASSERT(e.owner != m);
+  e.owner = m;
+  ++e.version;
+}
+
+void ObjectDirectory::restore_to(ObjectId obj, MachineId m) {
+  Entry& e = entry(obj);
+  JADE_ASSERT_MSG(e.copies == 0, "restore requires every copy to have died");
+  JADE_ASSERT(!e.lost);
+  e.copies = 1ULL << m;
+  e.owner = m;
+  ++e.version;
+  store(m).insert(obj, e.bytes);
+}
+
+void ObjectDirectory::mark_lost(ObjectId obj) {
+  Entry& e = entry(obj);
+  JADE_ASSERT(e.copies == 0);
+  e.lost = true;
+}
+
+bool ObjectDirectory::lost(ObjectId obj) const { return entry(obj).lost; }
+
 }  // namespace jade

@@ -61,6 +61,32 @@ class ObjectDirectory {
   /// locality heuristic's score (Section 5, "Enhancing Locality").
   std::size_t bytes_present(std::span<const ObjectId> objs, MachineId m) const;
 
+  // --- Crash recovery surgery (ft/) ------------------------------------
+  // These mutate directory metadata without modeling a transfer; the
+  // recovery protocol in SimEngine charges the appropriate simulated costs
+  // itself.
+
+  /// Objects with a copy on `m`, in ObjectId order (deterministic recovery).
+  std::vector<ObjectId> objects_on(MachineId m) const;
+
+  /// Forgets `m`'s copy (replica loss on crash).  The owner's copy may only
+  /// be dropped when it is the sole copy (the step before restore_to or
+  /// mark_lost); with replicas alive, re-home with set_owner first.
+  void drop_copy(ObjectId obj, MachineId m);
+
+  /// Home re-election: `m` must already hold a replica; it becomes the
+  /// owner without any copy moving (version bumps — ownership changed).
+  void set_owner(ObjectId obj, MachineId m);
+
+  /// Reload from stable storage onto `m` after every copy died: the object
+  /// must have no live copies; `m` becomes sole owner.
+  void restore_to(ObjectId obj, MachineId m);
+
+  /// Marks an object permanently unrecoverable (sole copy died, no stable
+  /// storage).  Any subsequent transfer raises UnrecoverableError.
+  void mark_lost(ObjectId obj);
+  bool lost(ObjectId obj) const;
+
  private:
   struct Entry {
     ObjectId id = kInvalidObject;
@@ -68,6 +94,7 @@ class ObjectDirectory {
     MachineId owner = -1;
     std::uint64_t copies = 0;  ///< bitmask of machines holding a copy
     std::uint64_t version = 0;
+    bool lost = false;  ///< every copy died with its machines
     std::vector<std::byte> buffer;
   };
 

@@ -48,6 +48,15 @@ class ConfigError : public JadeError {
   explicit ConfigError(const std::string& what) : JadeError(what) {}
 };
 
+/// The fault-tolerance subsystem (ft/) cannot mask a failure: the sole copy
+/// of a live object died with its machine (and stable storage is off), or a
+/// killed task was pinned to the crashed machine.  Serial semantics makes
+/// re-execution sound, but it cannot resurrect bytes nobody else holds.
+class UnrecoverableError : public JadeError {
+ public:
+  explicit UnrecoverableError(const std::string& what) : JadeError(what) {}
+};
+
 /// Internal invariant failure; indicates a bug in the runtime itself.
 class InternalError : public JadeError {
  public:

@@ -90,6 +90,23 @@ void TextTable::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+void CounterSet::add(std::string name, std::uint64_t value) {
+  items_.emplace_back(std::move(name), value);
+}
+
+std::uint64_t CounterSet::value(const std::string& name) const {
+  for (const auto& [n, v] : items_)
+    if (n == name) return v;
+  return 0;
+}
+
+void CounterSet::print(std::ostream& os) const {
+  TextTable table({"counter", "value"});
+  for (const auto& [n, v] : items_)
+    table.add_row({n, std::to_string(v)});
+  table.print(os);
+}
+
 std::string format_double(double v, int precision) {
   std::ostringstream os;
   os.setf(std::ios::fixed);

@@ -46,7 +46,9 @@ TEST_P(EngineTest, SingleTaskWritesObject) {
 
 TEST_P(EngineTest, DependentChainPreservesSerialOrder) {
   Runtime rt(config_for(GetParam()));
-  auto v = rt.alloc<std::int64_t>(1, "counter");
+  // Unsigned: 50 triplings wrap, which is well-defined and still
+  // order-sensitive.
+  auto v = rt.alloc<std::uint64_t>(1, "counter");
   constexpr int kSteps = 50;
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < kSteps; ++i) {
@@ -58,7 +60,7 @@ TEST_P(EngineTest, DependentChainPreservesSerialOrder) {
                    });
     }
   });
-  std::int64_t expected = 0;
+  std::uint64_t expected = 0;
   for (int i = 0; i < kSteps; ++i) expected = expected * 3 + i;
   EXPECT_EQ(rt.get(v)[0], expected);
 }

@@ -1,0 +1,139 @@
+// Sim-determinism regression under fault injection: the same FaultConfig
+// seed must produce the same fault schedule, the same recovery decisions,
+// and therefore bit-identical results AND bit-identical RuntimeStats across
+// runs.  This is what makes a chaos failure replayable from its seed alone.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jade/apps/cholesky.hpp"
+#include "jade/apps/water.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade {
+namespace {
+
+RuntimeConfig sim_mica(FaultConfig fault) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  cfg.cluster = presets::mica(8);
+  cfg.fault = std::move(fault);
+  return cfg;
+}
+
+/// Every counter two identical runs must agree on, FT block included.
+/// Virtual times are compared exactly: the simulator is deterministic, so
+/// even doubles must match bit for bit.
+void expect_identical_stats(const RuntimeStats& a, const RuntimeStats& b) {
+  EXPECT_EQ(a.tasks_created, b.tasks_created);
+  EXPECT_EQ(a.tasks_migrated, b.tasks_migrated);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.object_moves, b.object_moves);
+  EXPECT_EQ(a.object_copies, b.object_copies);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.machine_crashes, b.machine_crashes);
+  EXPECT_EQ(a.tasks_killed, b.tasks_killed);
+  EXPECT_EQ(a.tasks_requeued, b.tasks_requeued);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.message_retries, b.message_retries);
+  EXPECT_EQ(a.heartbeats_sent, b.heartbeats_sent);
+  EXPECT_EQ(a.false_suspicions, b.false_suspicions);
+  EXPECT_EQ(a.objects_rehomed, b.objects_rehomed);
+  EXPECT_EQ(a.objects_restored, b.objects_restored);
+  EXPECT_EQ(a.objects_lost, b.objects_lost);
+  EXPECT_EQ(a.wasted_charged_work, b.wasted_charged_work);
+  EXPECT_EQ(a.detection_latency_total, b.detection_latency_total);
+}
+
+FaultConfig chaotic(std::uint64_t seed, SimTime window_end) {
+  FaultConfig f;
+  f.enabled = true;
+  f.seed = seed;
+  f.auto_crashes = 2;
+  f.crash_window_begin = 0.1 * window_end;
+  f.crash_window_end = 0.8 * window_end;
+  f.drop_probability = 0.05;
+  return f;
+}
+
+TEST(FtDeterminism, SameSeedSameLwsRunBitForBit) {
+  apps::WaterConfig wc;
+  wc.molecules = 216;
+  wc.groups = 13;
+  wc.timesteps = 2;
+  const auto initial = apps::make_water(wc);
+
+  auto run = [&](FaultConfig f) {
+    Runtime rt(sim_mica(std::move(f)));
+    auto w = apps::upload_water(rt, wc, initial);
+    rt.run([&](TaskContext& ctx) { apps::water_run_jade(ctx, w); });
+    return std::pair{apps::download_water(rt, w).pos, rt.stats()};
+  };
+
+  // Window sized from a quiet run so crashes land mid-execution.
+  FaultConfig quiet;
+  quiet.enabled = true;
+  const auto [quiet_pos, quiet_stats] = run(quiet);
+
+  const auto a = run(chaotic(42, quiet_stats.finish_time));
+  const auto b = run(chaotic(42, quiet_stats.finish_time));
+  EXPECT_EQ(a.first, b.first);
+  expect_identical_stats(a.second, b.second);
+  EXPECT_EQ(a.second.machine_crashes, 2u);
+
+  // A different seed crashes different machines at different times; the
+  // *result* still matches (serial semantics), the schedule does not.
+  const auto c = run(chaotic(43, quiet_stats.finish_time));
+  EXPECT_EQ(c.first, a.first);
+  EXPECT_NE(a.second.finish_time, c.second.finish_time);
+}
+
+TEST(FtDeterminism, SameSeedSameCholeskyRunBitForBit) {
+  const auto m = apps::make_spd(48, 0.15, 21);
+
+  auto run = [&](FaultConfig f) {
+    Runtime rt(sim_mica(std::move(f)));
+    auto jm = apps::upload_matrix(rt, m);
+    rt.run([&](TaskContext& ctx) { apps::factor_jade(ctx, jm); });
+    return std::pair{apps::download_matrix(rt, jm).cols, rt.stats()};
+  };
+
+  FaultConfig quiet;
+  quiet.enabled = true;
+  const auto [quiet_cols, quiet_stats] = run(quiet);
+
+  const auto a = run(chaotic(17, quiet_stats.finish_time));
+  const auto b = run(chaotic(17, quiet_stats.finish_time));
+  EXPECT_EQ(a.first, b.first);
+  expect_identical_stats(a.second, b.second);
+}
+
+TEST(FtDeterminism, QuietFaultLayerIsDeterministicToo) {
+  // enabled=true with no faults still adds heartbeats and the transport
+  // decorator; two such runs must agree exactly (regression guard for
+  // accidental nondeterminism in the fault layer itself).
+  apps::WaterConfig wc;
+  wc.molecules = 125;
+  wc.groups = 5;
+  wc.timesteps = 1;
+  const auto initial = apps::make_water(wc);
+
+  auto run = [&] {
+    FaultConfig f;
+    f.enabled = true;
+    f.drop_probability = 0.05;
+    Runtime rt(sim_mica(std::move(f)));
+    auto w = apps::upload_water(rt, wc, initial);
+    rt.run([&](TaskContext& ctx) { apps::water_run_jade(ctx, w); });
+    return std::pair{apps::download_water(rt, w).pos, rt.stats()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  expect_identical_stats(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace jade

@@ -1,0 +1,354 @@
+// Unit tests for the fault-tolerance subsystem's building blocks: fault
+// plans (seeded crash schedules), the fault injector's ground truth and
+// drop stream, heartbeat failure detection, object recovery planning,
+// directory crash surgery, the lossy network decorator, and the counter
+// observability layer.  Everything here runs without the simulator; the
+// end-to-end behavior is covered by ft_chaos_test and ft_determinism_test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jade/engine/engine.hpp"
+#include "jade/ft/failure_detector.hpp"
+#include "jade/ft/fault_injector.hpp"
+#include "jade/ft/fault_plan.hpp"
+#include "jade/ft/ft_stats.hpp"
+#include "jade/ft/recovery.hpp"
+#include "jade/net/faulty.hpp"
+#include "jade/net/network.hpp"
+#include "jade/store/directory.hpp"
+#include "jade/support/error.hpp"
+
+namespace jade {
+namespace {
+
+// --- FaultPlan ------------------------------------------------------------
+
+TEST(FaultPlan, AutoScheduleIsSeedDeterministic) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.auto_crashes = 3;
+  cfg.crash_window_begin = 0.1;
+  cfg.crash_window_end = 0.9;
+  cfg.seed = 77;
+  const auto a = FaultPlan::make(cfg, 8);
+  const auto b = FaultPlan::make(cfg, 8);
+  ASSERT_EQ(a.crashes().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.crashes()[i].machine, b.crashes()[i].machine);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].time, b.crashes()[i].time);
+  }
+  cfg.seed = 78;
+  const auto c = FaultPlan::make(cfg, 8);
+  bool differs = false;
+  for (std::size_t i = 0; i < 3; ++i)
+    if (c.crashes()[i].machine != a.crashes()[i].machine ||
+        c.crashes()[i].time != a.crashes()[i].time)
+      differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, AutoScheduleRespectsWindowAndMachines) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.auto_crashes = 5;
+  cfg.crash_window_begin = 0.2;
+  cfg.crash_window_end = 0.6;
+  const auto plan = FaultPlan::make(cfg, 6);  // machines 1..5 all crash
+  ASSERT_EQ(plan.crashes().size(), 5u);
+  std::vector<bool> seen(6, false);
+  SimTime prev = 0;
+  for (const auto& c : plan.crashes()) {
+    EXPECT_GE(c.machine, 1);
+    EXPECT_LT(c.machine, 6);
+    EXPECT_FALSE(seen[c.machine]) << "machine crashed twice";
+    seen[c.machine] = true;
+    EXPECT_GE(c.time, 0.2);
+    EXPECT_LT(c.time, 0.6);
+    EXPECT_GE(c.time, prev);  // sorted by time
+    prev = c.time;
+  }
+}
+
+TEST(FaultPlan, RejectsBadSchedules) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.crashes = {{0, 0.5}};  // machine 0 is the reliable coordinator
+  EXPECT_THROW(FaultPlan::make(cfg, 4), ConfigError);
+
+  cfg.crashes = {{7, 0.5}};  // out of range
+  EXPECT_THROW(FaultPlan::make(cfg, 4), ConfigError);
+
+  cfg.crashes = {{2, 0.3}, {2, 0.7}};  // same machine twice
+  EXPECT_THROW(FaultPlan::make(cfg, 4), ConfigError);
+
+  cfg.crashes.clear();
+  cfg.auto_crashes = 4;  // only 3 crashable machines in a 4-machine cluster
+  EXPECT_THROW(FaultPlan::make(cfg, 4), ConfigError);
+
+  cfg.auto_crashes = 0;
+  cfg.drop_probability = 1.0;  // p == 1 would retransmit forever
+  EXPECT_THROW(FaultPlan::make(cfg, 4), ConfigError);
+}
+
+TEST(FaultPlan, ExplicitScheduleSortedByTime) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.crashes = {{3, 0.9}, {1, 0.2}, {2, 0.5}};
+  const auto plan = FaultPlan::make(cfg, 4);
+  ASSERT_EQ(plan.crashes().size(), 3u);
+  EXPECT_EQ(plan.crashes()[0].machine, 1);
+  EXPECT_EQ(plan.crashes()[1].machine, 2);
+  EXPECT_EQ(plan.crashes()[2].machine, 3);
+}
+
+// --- FaultInjector --------------------------------------------------------
+
+TEST(FaultInjector, TracksUpDownState) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.crashes = {{2, 0.5}};
+  FaultInjector inj(FaultPlan::make(cfg, 4), 4);
+  EXPECT_EQ(inj.up_count(), 4);
+  EXPECT_TRUE(inj.machine_up(2));
+
+  inj.record_crash(2, 0.5);
+  EXPECT_FALSE(inj.machine_up(2));
+  EXPECT_EQ(inj.up_count(), 3);
+  EXPECT_EQ(inj.up_mask(), (std::vector<std::uint8_t>{1, 1, 0, 1}));
+  EXPECT_DOUBLE_EQ(inj.health(2).crashed_at, 0.5);
+
+  inj.record_detected(2, 0.53);
+  EXPECT_DOUBLE_EQ(inj.health(2).detected_at, 0.53);
+}
+
+TEST(FaultInjector, DropStreamIsSeededAndSkipsDeadEndpoints) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.drop_probability = 0.5;
+  cfg.seed = 99;
+  const auto plan = FaultPlan::make(cfg, 4);
+  FaultInjector a(plan, 4);
+  FaultInjector b(plan, 4);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.should_drop(1, 2), b.should_drop(1, 2)) << "message " << i;
+
+  // Dead endpoints never "drop" (the message vanishes at the NIC instead;
+  // no retransmission) and must not consume the drop stream.
+  a.record_crash(3, 0.1);
+  b.record_crash(3, 0.1);
+  EXPECT_FALSE(a.should_drop(1, 3));
+  EXPECT_FALSE(a.should_drop(3, 1));
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.should_drop(1, 2), b.should_drop(1, 2));
+}
+
+// --- FailureDetector ------------------------------------------------------
+
+TEST(FailureDetector, DeclaresStaleMachinesOnce) {
+  FailureDetector det(4, /*interval=*/0.01, /*miss_threshold=*/3);
+  det.heartbeat_received(1, 0.01);
+  det.heartbeat_received(2, 0.01);
+  det.heartbeat_received(3, 0.01);
+  EXPECT_TRUE(det.sweep(0.02).empty());
+
+  det.heartbeat_received(1, 0.02);
+  det.heartbeat_received(3, 0.02);
+  // Machine 2 last heard at 0.01; threshold is 0.03 of silence.
+  EXPECT_TRUE(det.sweep(0.03).empty());
+  const auto stale = det.sweep(0.045);
+  EXPECT_EQ(stale, (std::vector<MachineId>{2}));
+  EXPECT_TRUE(det.suspected(2));
+  // Already suspected: not reported again.
+  EXPECT_TRUE(det.sweep(0.046).empty());
+}
+
+TEST(FailureDetector, HeartbeatClearsSuspicion) {
+  FailureDetector det(3, 0.01, 2);
+  const auto stale = det.sweep(0.05);  // nobody ever heartbeated
+  EXPECT_EQ(stale, (std::vector<MachineId>{1, 2}));
+  det.heartbeat_received(1, 0.06);  // late heartbeat: it was congestion
+  EXPECT_FALSE(det.suspected(1));
+  EXPECT_TRUE(det.suspected(2));
+  EXPECT_DOUBLE_EQ(det.last_heard(1), 0.06);
+}
+
+TEST(FailureDetector, CoordinatorNeverSuspected) {
+  FailureDetector det(2, 0.01, 1);
+  const auto stale = det.sweep(10.0);
+  for (MachineId m : stale) EXPECT_NE(m, 0);
+}
+
+// --- plan_object_recovery -------------------------------------------------
+
+ObjectInfo make_info(ObjectId id, std::size_t doubles) {
+  return ObjectInfo{id, TypeDescriptor::array_of<double>(doubles),
+                    "o" + std::to_string(id)};
+}
+
+TEST(RecoveryPlan, CoversEveryFate) {
+  ObjectDirectory dir(4);
+  dir.add_object(make_info(1, 8), /*home=*/2);  // sole copy on the victim
+  dir.add_object(make_info(2, 8), /*home=*/2);  // replicated: survivors hold it
+  dir.replicate_to(2, 1);
+  dir.replicate_to(2, 3);
+  dir.add_object(make_info(3, 8), /*home=*/0);  // victim holds a mere replica
+  dir.replicate_to(3, 2);
+  dir.add_object(make_info(4, 8), /*home=*/1);  // untouched by the crash
+
+  const std::vector<std::uint8_t> up{1, 1, 0, 1};  // machine 2 down
+
+  // Stable storage on: the sole-copy object restores.
+  auto plan = plan_object_recovery(dir, 2, up, /*stable_storage=*/true);
+  ASSERT_EQ(plan.size(), 3u);  // objects 1..3, in ObjectId order
+
+  EXPECT_EQ(plan[0].obj, 1);
+  EXPECT_EQ(plan[0].fate, ObjectFate::kRestored);
+  EXPECT_GE(plan[0].new_home, 0);
+  EXPECT_TRUE(up[plan[0].new_home]);
+
+  EXPECT_EQ(plan[1].obj, 2);
+  EXPECT_EQ(plan[1].fate, ObjectFate::kRehomed);
+  EXPECT_TRUE(plan[1].owner_moved);
+  EXPECT_EQ(plan[1].new_home, 1);  // lowest-index surviving replica holder
+
+  EXPECT_EQ(plan[2].obj, 3);
+  EXPECT_EQ(plan[2].fate, ObjectFate::kRehomed);
+  EXPECT_FALSE(plan[2].owner_moved);  // replica drop; owner 0 unchanged
+  EXPECT_EQ(plan[2].new_home, 0);
+
+  // Stable storage off: the sole-copy object is lost.
+  plan = plan_object_recovery(dir, 2, up, /*stable_storage=*/false);
+  EXPECT_EQ(plan[0].fate, ObjectFate::kLost);
+  EXPECT_EQ(plan[0].new_home, -1);
+  EXPECT_EQ(plan[1].fate, ObjectFate::kRehomed);  // replicas unaffected
+}
+
+// --- ObjectDirectory crash surgery ---------------------------------------
+
+TEST(DirectorySurgery, RehomeAndRestoreAndLost) {
+  ObjectDirectory dir(4);
+  dir.add_object(make_info(1, 4), 2);
+  dir.replicate_to(1, 3);
+  const auto v0 = dir.version(1);
+
+  // Home re-election: machine 3's replica becomes authoritative.
+  dir.set_owner(1, 3);
+  dir.drop_copy(1, 2);
+  EXPECT_EQ(dir.owner(1), 3);
+  EXPECT_EQ(dir.holders(1), (std::vector<MachineId>{3}));
+  EXPECT_EQ(dir.version(1), v0 + 1);  // ownership moved
+  EXPECT_FALSE(dir.lost(1));
+
+  // Sole-copy loss then restore from stable storage.
+  dir.add_object(make_info(2, 4), 2);
+  dir.drop_copy(2, 2);  // sole copy may be dropped (the step before restore)
+  dir.restore_to(2, 1);
+  EXPECT_EQ(dir.owner(2), 1);
+  EXPECT_EQ(dir.holders(2), (std::vector<MachineId>{1}));
+
+  // Sole-copy loss without stable storage.
+  dir.add_object(make_info(3, 4), 2);
+  dir.drop_copy(3, 2);
+  dir.mark_lost(3);
+  EXPECT_TRUE(dir.lost(3));
+}
+
+// --- FaultyNetwork --------------------------------------------------------
+
+TEST(FaultyNetwork, PassThroughWhenHookNeverDrops) {
+  FaultyNetConfig cfg;
+  FaultyNetwork net(std::make_unique<IdealNet>(1e-3, 1e6), cfg,
+                    [](MachineId, MachineId) { return false; });
+  EXPECT_DOUBLE_EQ(net.schedule_transfer(0, 1, 1000, 0.0), 2e-3);
+  EXPECT_EQ(net.messages_dropped(), 0u);
+  EXPECT_EQ(net.message_retries(), 0u);
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.name(), "faulty(ideal)");
+}
+
+TEST(FaultyNetwork, RetransmitsWithExponentialBackoff) {
+  FaultyNetConfig cfg;
+  cfg.initial_retry_timeout = 1e-3;
+  cfg.max_retry_timeout = 64e-3;
+  cfg.max_send_attempts = 10;
+  int drops_left = 3;
+  FaultyNetwork net(std::make_unique<IdealNet>(0.0, 1e9), cfg,
+                    [&](MachineId, MachineId) { return drops_left-- > 0; });
+  // Three doomed attempts back off 1ms, 2ms, 4ms; the 4th delivers.
+  // Transfer time itself is ~0 (1 GB/s, zero latency).
+  const SimTime arrival = net.schedule_transfer(0, 1, 8, 0.0);
+  EXPECT_NEAR(arrival, 7e-3, 1e-6);
+  EXPECT_EQ(net.messages_dropped(), 3u);
+  EXPECT_EQ(net.message_retries(), 3u);
+}
+
+TEST(FaultyNetwork, AttemptCapDeliversTheLastTry) {
+  FaultyNetConfig cfg;
+  cfg.initial_retry_timeout = 1e-3;
+  cfg.max_send_attempts = 3;
+  int attempts = 0;
+  FaultyNetwork net(std::make_unique<IdealNet>(0.0, 1e9), cfg,
+                    [&](MachineId, MachineId) {
+                      ++attempts;
+                      return true;  // would drop everything forever
+                    });
+  const SimTime arrival = net.schedule_transfer(0, 1, 8, 0.0);
+  // Attempts 1 and 2 drop (backing off 1ms + 2ms); attempt 3 is forced
+  // through.  The hook is not consulted for the forced final attempt.
+  EXPECT_EQ(attempts, 2);
+  EXPECT_NEAR(arrival, 3e-3, 1e-6);
+  EXPECT_EQ(net.messages_dropped(), 2u);
+}
+
+TEST(FaultyNetwork, ResetClearsEverything) {
+  FaultyNetConfig cfg;
+  bool drop_once = true;
+  FaultyNetwork net(std::make_unique<IdealNet>(0.0, 1e9), cfg,
+                    [&](MachineId, MachineId) {
+                      const bool d = drop_once;
+                      drop_once = false;
+                      return d;
+                    });
+  net.schedule_transfer(0, 1, 100, 0.0);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  net.reset();
+  EXPECT_EQ(net.messages_dropped(), 0u);
+  EXPECT_EQ(net.message_retries(), 0u);
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+// --- CounterSet / fault_recovery_counters ---------------------------------
+
+TEST(CounterSet, PreservesOrderAndLooksUpByName) {
+  CounterSet c;
+  c.add("alpha", 3);
+  c.add("beta", 0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.name(0), "alpha");
+  EXPECT_EQ(c.value(0), 3u);
+  EXPECT_EQ(c.value("beta"), 0u);
+  EXPECT_EQ(c.value("missing"), 0u);  // absent counters read as zero
+}
+
+TEST(FtStats, CountersRoundTripFromRuntimeStats) {
+  RuntimeStats s;
+  s.machine_crashes = 2;
+  s.tasks_killed = 7;
+  s.tasks_requeued = 7;
+  s.messages_dropped = 13;
+  s.objects_rehomed = 4;
+  s.wasted_charged_work = 123.9;
+  s.detection_latency_total = 0.025;  // seconds -> 25000 us
+  const CounterSet c = fault_recovery_counters(s);
+  EXPECT_EQ(c.value("machine_crashes"), 2u);
+  EXPECT_EQ(c.value("tasks_killed"), 7u);
+  EXPECT_EQ(c.value("tasks_requeued"), 7u);
+  EXPECT_EQ(c.value("messages_dropped"), 13u);
+  EXPECT_EQ(c.value("objects_rehomed"), 4u);
+  EXPECT_EQ(c.value("wasted_charged_work"), 123u);
+  EXPECT_EQ(c.value("detection_latency_us"), 25000u);
+}
+
+}  // namespace
+}  // namespace jade
