@@ -12,16 +12,20 @@
 #include "jade/mach/presets.hpp"
 #include "jade/support/stats.hpp"
 
+#include "bench_trace.hpp"
+
 namespace {
 
 double run_factor(const jade::apps::SparseMatrix& a,
                   const jade::apps::SparseMatrix& expect, int machines,
-                  int block) {
+                  int block,
+                  const jade_bench::TraceRequest& trace = {}) {
   using namespace jade;
   using namespace jade::apps;
   RuntimeConfig cfg;
   cfg.engine = EngineKind::kSim;
   cfg.cluster = presets::ipsc860(machines);
+  jade_bench::apply_trace(trace, cfg);
   Runtime rt(std::move(cfg));
   if (block <= 1) {
     auto jm = upload_matrix(rt, a);
@@ -32,13 +36,15 @@ double run_factor(const jade::apps::SparseMatrix& a,
     rt.run([&](TaskContext& ctx) { factor_jade_blocked(ctx, jm); });
     if (download_blocked(rt, jm).cols != expect.cols) std::exit(1);
   }
+  jade_bench::write_trace(trace, rt);
   return rt.sim_duration();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jade::apps;
+  const jade_bench::TraceRequest trace = jade_bench::trace_request(argc, argv);
   const int n = 256;
   const auto a = make_spd(n, 5.0 / n, 7);
   auto expect = a;
@@ -51,8 +57,12 @@ int main() {
       {"machines", "per-column", "block=4", "block=16", "block=32"});
   for (int p : {1, 2, 4, 8, 16}) {
     std::vector<double> row{static_cast<double>(p)};
-    for (int block : {1, 4, 16, 32})
-      row.push_back(run_factor(a, expect, p, block));
+    for (int block : {1, 4, 16, 32}) {
+      // Traced representative cell: 8 machines, block=16 (the sweet spot).
+      const bool traced_run = p == 8 && block == 16;
+      row.push_back(run_factor(a, expect, p, block,
+                               traced_run ? trace : jade_bench::TraceRequest{}));
+    }
     table.add_row(row, 3);
   }
   table.print(std::cout);

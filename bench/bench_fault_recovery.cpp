@@ -23,6 +23,8 @@
 #include "jade/mach/presets.hpp"
 #include "jade/support/stats.hpp"
 
+#include "bench_trace.hpp"
+
 namespace {
 
 constexpr int kMachines = 8;
@@ -61,14 +63,18 @@ struct Run {
 
 Run run_lws(const jade::apps::WaterConfig& wc,
             const jade::apps::WaterState& initial,
-            const jade::apps::WaterState& expect, jade::FaultConfig fault) {
-  jade::Runtime rt(base_config(std::move(fault)));
+            const jade::apps::WaterState& expect, jade::FaultConfig fault,
+            const jade_bench::TraceRequest& trace = {}) {
+  jade::RuntimeConfig cfg = base_config(std::move(fault));
+  jade_bench::apply_trace(trace, cfg);
+  jade::Runtime rt(std::move(cfg));
   auto w = jade::apps::upload_water(rt, wc, initial);
   rt.run([&](jade::TaskContext& ctx) { jade::apps::water_run_jade(ctx, w); });
   if (jade::apps::download_water(rt, w).pos != expect.pos) {
     std::fprintf(stderr, "LWS result mismatch under fault injection\n");
     std::exit(1);
   }
+  jade_bench::write_trace(trace, rt);
   return {rt.sim_duration(), rt.stats()};
 }
 
@@ -89,7 +95,8 @@ double pct_over(double base, double x) { return 100.0 * (x - base) / base; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const jade_bench::TraceRequest trace = jade_bench::trace_request(argc, argv);
   std::cout << "=== Fault tolerance overhead: virtual seconds on mica/"
             << kMachines << ", result verified against serial ===\n";
 
@@ -109,8 +116,10 @@ int main() {
 
   const Run lws_off = run_lws(wc, initial, lws_expect, {});
   const Run lws_quiet = run_lws(wc, initial, lws_expect, quiet_fault());
-  const Run lws_crash =
-      run_lws(wc, initial, lws_expect, crashy_fault(lws_quiet.duration));
+  // The crash run is the traced representative: the exported JSON shows the
+  // ft.crash/ft.kill/ft.requeue instants alongside the re-executed tasks.
+  const Run lws_crash = run_lws(wc, initial, lws_expect,
+                                crashy_fault(lws_quiet.duration), trace);
 
   const Run chol_off = run_cholesky(a, chol_expect, {});
   const Run chol_quiet = run_cholesky(a, chol_expect, quiet_fault());

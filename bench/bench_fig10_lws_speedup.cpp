@@ -12,8 +12,9 @@
 #include "jade/support/stats.hpp"
 #include "lws_harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jade_bench;
+  const TraceRequest trace = trace_request(argc, argv);
   const auto wc = lws_config();
   const auto initial = jade::apps::make_water(wc);
   auto expect = initial;
@@ -31,9 +32,12 @@ int main() {
   for (int p : lws_machine_counts()) {
     std::vector<double> row{static_cast<double>(p)};
     for (const auto& platform : platforms) {
+      // Traced representative run: dash/16 (the best-scaling platform).
+      const bool traced_run = platform.name == "dash" && p == 16;
       const double tp =
           p == 1 ? t1[platform.name]
-                 : run_lws(wc, initial, expect, platform, p);
+                 : run_lws(wc, initial, expect, platform, p, {}, nullptr,
+                           traced_run ? trace : TraceRequest{});
       row.push_back(t1[platform.name] / tp);
     }
     table.add_row(row, 2);

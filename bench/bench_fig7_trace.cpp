@@ -5,20 +5,26 @@
 // on dynamic conflicts, and latency hiding.
 //
 // This harness runs exactly that scenario — the example matrix on a
-// simulated two-machine message-passing cluster — with the runtime's trace
-// log enabled, then prints the event counts that correspond to the figure's
-// panels.
+// simulated two-machine message-passing cluster — with structured tracing
+// (src/jade/obs) enabled.  The per-task schedule and the machine-occupancy
+// gantt are derived from the trace stream, and `--trace-out file.json` (or
+// JADE_TRACE=file.json) additionally exports the full trace as Chrome JSON.
 #include <iostream>
 #include <string>
 
 #include "jade/apps/cholesky.hpp"
-#include "jade/engine/sim_engine.hpp"
+#include "jade/engine/timeline.hpp"
 #include "jade/mach/presets.hpp"
+#include "jade/obs/chrome_trace.hpp"
+#include "jade/obs/timeline_view.hpp"
 #include "jade/support/log.hpp"
 
-int main() {
+#include "bench_trace.hpp"
+
+int main(int argc, char** argv) {
   using namespace jade;
   using namespace jade::apps;
+  const jade_bench::TraceRequest trace = jade_bench::trace_request(argc, argv);
 
   std::cout << "=== Figure 7: execution trace, sparse Cholesky on 2 "
                "message-passing machines ===\n";
@@ -35,7 +41,7 @@ int main() {
   RuntimeConfig cfg;
   cfg.engine = EngineKind::kSim;
   cfg.cluster = presets::hetero_workstations(2);
-  cfg.sched.record_timeline = true;
+  cfg.obs.trace = true;  // the schedule below is derived from the trace
   Runtime rt(std::move(cfg));
   auto jm = upload_matrix(rt, a);
   rt.run([&](TaskContext& ctx) { factor_jade(ctx, jm); });
@@ -48,18 +54,22 @@ int main() {
     return 1;
   }
 
-  auto* eng = dynamic_cast<SimEngine*>(&rt.engine());
+  const std::vector<obs::TraceEvent> events = rt.trace_events();
+  const std::vector<TaskTimeline> timeline = obs::timeline_from_trace(events);
   std::cout << "\n--- machine occupancy (cf. Figure 7's two machines) ---\n";
-  std::cout << render_gantt(eng->timeline(), 2, rt.sim_duration(), 64);
-  std::cout << "\n--- per-task schedule ---\n";
+  std::cout << render_gantt(timeline, 2, rt.sim_duration(), 64);
+  std::cout << "\n--- per-task schedule (derived from the trace stream) ---\n";
   std::cout << "task                 machine  created  dispatched  "
                "body-start  completed\n";
-  for (const auto& t : eng->timeline()) {
+  for (const auto& t : timeline) {
     if (t.task_id == 0) continue;  // root
     std::printf("%-20s %-8d %.5f  %.5f     %.5f     %.5f\n", t.name.c_str(),
                 t.machine, t.created, t.dispatched, t.body_start,
                 t.completed);
   }
+  std::cout << "\n--- trace event summary ---\n";
+  std::cout << obs::trace_text_summary(events);
+  jade_bench::write_trace(trace, rt);
 
   const auto& s = rt.stats();
   std::cout << "\n--- event summary (cf. Figure 7 panels) ---\n";

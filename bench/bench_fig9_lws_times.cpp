@@ -13,8 +13,9 @@
 #include "jade/support/stats.hpp"
 #include "lws_harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jade_bench;
+  const TraceRequest trace = trace_request(argc, argv);
   const auto wc = lws_config();
   const auto initial = jade::apps::make_water(wc);
   auto expect = initial;
@@ -29,7 +30,12 @@ int main() {
   for (int p : lws_machine_counts()) {
     std::vector<double> row{static_cast<double>(p)};
     for (const auto& platform : platforms) {
-      const double t = run_lws(wc, initial, expect, platform, p);
+      // The traced representative run: mica/8, the point closest to the
+      // paper's deployment (object motion, contention, and migration are all
+      // visible there).
+      const bool traced_run = platform.name == "mica" && p == 8;
+      const double t = run_lws(wc, initial, expect, platform, p, {}, nullptr,
+                               traced_run ? trace : TraceRequest{});
       if (platform.name == "mica" && p == 8) mica8 = t;
       row.push_back(t);
     }

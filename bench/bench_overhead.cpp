@@ -141,4 +141,38 @@ BENCHMARK(BM_GrainSizeEfficiency)
     ->Arg(1000000)
     ->Arg(10000000);
 
+/// The observability layer's price on the withonly hot path.  Arg(0) runs
+/// with tracing disabled (the default) and asserts the zero-cost contract:
+/// no recorder is attached and no event is ever buffered.  Arg(1) runs the
+/// identical workload with tracing on; comparing the two rows measures the
+/// per-task cost of emitting span/instant events into the ring.
+void BM_TracingOverhead(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  const int tasks = 1024;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    RuntimeConfig cfg;
+    cfg.obs.trace = traced;
+    Runtime rt(std::move(cfg));  // serial engine: pure withonly machinery
+    auto v = rt.alloc<double>(8, "v");
+    rt.run([&](TaskContext& ctx) {
+      for (int i = 0; i < tasks; ++i)
+        ctx.withonly([&](AccessDecl& d) { d.rd_wr(v); },
+                     [](TaskContext&) {});
+    });
+    if (!traced && rt.trace() != nullptr) {
+      state.SkipWithError("disabled-path violation: recorder attached");
+      return;
+    }
+    if (!traced && !rt.trace_events().empty()) {
+      state.SkipWithError("disabled-path violation: events recorded");
+      return;
+    }
+    if (traced) events = rt.trace_events().size();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+  state.counters["trace_events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -1,0 +1,64 @@
+// Shared --trace-out / JADE_TRACE toggle for the figure benches.
+//
+// Every bench accepts the same switch:
+//   bench_fig9_lws_times --trace-out trace.json
+//   JADE_TRACE=trace.json bench_fig9_lws_times
+// When set, the bench enables structured tracing (src/jade/obs) on one
+// representative run and exports it as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.  The flag wins over the
+// environment variable.  See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "jade/core/runtime.hpp"
+
+namespace jade_bench {
+
+struct TraceRequest {
+  std::string path;  ///< empty: tracing off
+  bool enabled() const { return !path.empty(); }
+};
+
+/// Parses `--trace-out <file>` / `--trace-out=<file>` from argv, falling
+/// back to the JADE_TRACE environment variable.
+inline TraceRequest trace_request(int argc, char** argv) {
+  TraceRequest req;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      req.path = argv[i + 1];
+      return req;
+    }
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      req.path = arg + 12;
+      return req;
+    }
+  }
+  if (const char* env = std::getenv("JADE_TRACE");
+      env != nullptr && env[0] != '\0')
+    req.path = env;
+  return req;
+}
+
+/// Turns the request into engine configuration (call before Runtime ctor).
+/// Only ever turns tracing on — a bench that traces unconditionally keeps
+/// tracing even when no export path was requested.
+inline void apply_trace(const TraceRequest& req, jade::RuntimeConfig& cfg) {
+  if (req.enabled()) cfg.obs.trace = true;
+}
+
+/// Exports the recorded trace and tells the user where it went.
+inline void write_trace(const TraceRequest& req, jade::Runtime& rt) {
+  if (!req.enabled()) return;
+  rt.write_chrome_trace(req.path);
+  std::fprintf(stderr,
+               "trace: wrote %s (load in chrome://tracing or "
+               "https://ui.perfetto.dev)\n",
+               req.path.c_str());
+}
+
+}  // namespace jade_bench

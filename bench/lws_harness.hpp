@@ -12,6 +12,8 @@
 #include "jade/apps/water.hpp"
 #include "jade/mach/presets.hpp"
 
+#include "bench_trace.hpp"
+
 namespace jade_bench {
 
 struct LwsPlatform {
@@ -37,17 +39,20 @@ inline jade::apps::WaterConfig lws_config(int molecules = 2197) {
 
 /// Runs LWS and returns virtual seconds; verifies against `expect`.
 /// `fault` arms the ft/ subsystem (message-passing platforms only); the
-/// run's full statistics land in `*stats_out` when given.
+/// run's full statistics land in `*stats_out` when given.  A non-empty
+/// `trace` traces the run and exports Chrome JSON to `trace.path`.
 inline double run_lws(const jade::apps::WaterConfig& wc,
                       const jade::apps::WaterState& initial,
                       const jade::apps::WaterState& expect,
                       const LwsPlatform& platform, int machines,
                       const jade::FaultConfig& fault = {},
-                      jade::RuntimeStats* stats_out = nullptr) {
+                      jade::RuntimeStats* stats_out = nullptr,
+                      const TraceRequest& trace = {}) {
   jade::RuntimeConfig cfg;
   cfg.engine = jade::EngineKind::kSim;
   cfg.cluster = platform.make(machines);
   cfg.fault = fault;
+  apply_trace(trace, cfg);
   jade::Runtime rt(std::move(cfg));
   auto w = jade::apps::upload_water(rt, wc, initial);
   rt.run([&](jade::TaskContext& ctx) { jade::apps::water_run_jade(ctx, w); });
@@ -58,6 +63,7 @@ inline double run_lws(const jade::apps::WaterConfig& wc,
     std::exit(1);
   }
   if (stats_out != nullptr) *stats_out = rt.stats();
+  write_trace(trace, rt);
   return rt.sim_duration();
 }
 

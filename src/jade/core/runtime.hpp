@@ -21,6 +21,7 @@
 
 #include <cstring>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -60,6 +61,10 @@ struct RuntimeConfig {
   /// Fault injection & recovery (SimEngine on message-passing platforms
   /// only; see docs/FAULT_TOLERANCE.md).  Disabled by default.
   FaultConfig fault;
+
+  /// Observability (src/jade/obs): structured tracing, Chrome-trace export.
+  /// Off by default and zero-cost when off; see docs/OBSERVABILITY.md.
+  ObsConfig obs;
 };
 
 class Runtime {
@@ -122,6 +127,25 @@ class Runtime {
 
   Engine& engine() { return *engine_; }
   const RuntimeConfig& config() const { return config_; }
+
+  // --- observability (src/jade/obs) ----------------------------------------
+
+  /// The metrics registry (always available; engines publish the canonical
+  /// counter set at the end of run()).
+  obs::MetricsRegistry& metrics() { return engine_->metrics(); }
+  const obs::MetricsRegistry& metrics() const { return engine_->metrics(); }
+
+  /// The trace recorder, or nullptr when config.obs.trace is off.
+  const obs::TraceRecorder* trace() const { return engine_->trace(); }
+
+  /// Snapshot of the recorded events (empty when tracing is off).
+  std::vector<obs::TraceEvent> trace_events() const;
+
+  /// Exports the recorded trace in Chrome trace-event JSON (load in
+  /// chrome://tracing or https://ui.perfetto.dev).  Throws ConfigError when
+  /// tracing was not enabled.
+  void write_chrome_trace(std::ostream& out) const;
+  void write_chrome_trace(const std::string& path) const;
 
  private:
   RuntimeConfig config_;

@@ -1,2 +1,46 @@
 // Engine is an interface; shared helpers live here.
 #include "jade/engine/engine.hpp"
+
+namespace jade {
+
+void Engine::enable_tracing(const ObsConfig& config) {
+  if (!config.trace) {
+    tracer_.detach();
+    recorder_.reset();
+    return;
+  }
+  recorder_ = std::make_unique<obs::TraceRecorder>(config.trace_capacity);
+  tracer_.attach(recorder_.get(), [this] { return trace_now(); });
+  tracer_.set_wall_clock(config.wall_clock);
+}
+
+void Engine::publish_runtime_stats() {
+  const RuntimeStats& s = stats_;
+  obs::MetricsRegistry& m = metrics_;
+  m.counter("engine.tasks_created").set(s.tasks_created);
+  m.counter("engine.tasks_inlined").set(s.tasks_inlined);
+  m.counter("engine.tasks_migrated").set(s.tasks_migrated);
+  m.counter("engine.throttle_suspensions").set(s.throttle_suspensions);
+  m.counter("net.messages").set(s.messages);
+  m.counter("net.bytes_sent").set(s.bytes_sent);
+  m.counter("store.object_moves").set(s.object_moves);
+  m.counter("store.object_copies").set(s.object_copies);
+  m.counter("store.invalidations").set(s.invalidations);
+  m.counter("store.scalars_converted").set(s.scalars_converted);
+  m.gauge("engine.total_charged_work").set(s.total_charged_work);
+  m.gauge("engine.finish_time").set(s.finish_time);
+  m.counter("ft.machine_crashes").set(s.machine_crashes);
+  m.counter("ft.tasks_killed").set(s.tasks_killed);
+  m.counter("ft.tasks_requeued").set(s.tasks_requeued);
+  m.counter("ft.messages_dropped").set(s.messages_dropped);
+  m.counter("ft.message_retries").set(s.message_retries);
+  m.counter("ft.heartbeats_sent").set(s.heartbeats_sent);
+  m.counter("ft.false_suspicions").set(s.false_suspicions);
+  m.counter("ft.objects_rehomed").set(s.objects_rehomed);
+  m.counter("ft.objects_restored").set(s.objects_restored);
+  m.counter("ft.objects_lost").set(s.objects_lost);
+  m.gauge("ft.wasted_charged_work").set(s.wasted_charged_work);
+  m.gauge("ft.detection_latency_total").set(s.detection_latency_total);
+}
+
+}  // namespace jade

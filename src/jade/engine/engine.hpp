@@ -17,13 +17,30 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "jade/core/access.hpp"
 #include "jade/core/object.hpp"
 #include "jade/core/queues.hpp"
 #include "jade/core/task.hpp"
+#include "jade/obs/metrics.hpp"
+#include "jade/obs/tracer.hpp"
 #include "jade/support/time.hpp"
 
 namespace jade {
+
+/// Observability configuration (src/jade/obs): structured tracing is off by
+/// default and zero-cost when off (a null sink pointer behind one branch).
+struct ObsConfig {
+  /// Record a structured event trace (export with Runtime::write_chrome_trace).
+  bool trace = false;
+  /// Ring-buffer capacity; when full the oldest events are dropped (and
+  /// counted — the exporter reports the loss).
+  std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+  /// Stamp events with wall-clock time too.  Off by default: wall clocks
+  /// make SimEngine exports non-deterministic.
+  bool wall_clock = false;
+};
 
 /// Counters every engine maintains (those that apply to it).
 struct RuntimeStats {
@@ -105,13 +122,38 @@ class Engine {
   virtual int machine_count() const = 0;
 
   /// Machine `task` is currently executing on (0 where machines don't
-  /// exist).
+  /// exist; the executing worker's id in ThreadEngine).
   virtual MachineId machine_of(TaskNode* task) const = 0;
 
   const RuntimeStats& stats() const { return stats_; }
 
+  // --- observability (src/jade/obs) ----------------------------------------
+
+  /// Installs the trace recorder and connects the tracer to this engine's
+  /// clock.  Engines with instrumented subcomponents (SimEngine: network,
+  /// directory) override to propagate the tracer.  Call before run().
+  virtual void enable_tracing(const ObsConfig& config);
+
+  obs::Tracer& tracer() { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The installed recorder, or nullptr when tracing is off.
+  const obs::TraceRecorder* trace() const { return recorder_.get(); }
+
  protected:
+  /// The tracer's clock: virtual time in SimEngine, wall/logical time in
+  /// the real engines.  Only consulted while tracing is enabled.
+  virtual SimTime trace_now() const { return 0; }
+
+  /// Publishes every RuntimeStats field into `metrics_` under the canonical
+  /// dotted names (docs/OBSERVABILITY.md), giving benches and tests one
+  /// uniform registry view.  Engines call this at the end of run().
+  void publish_runtime_stats();
+
   RuntimeStats stats_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
 };
 
 }  // namespace jade

@@ -31,11 +31,21 @@ const ObjectInfo& SerialEngine::object_info(ObjectId obj) const {
 void SerialEngine::run(std::function<void(TaskContext&)> root_body) {
   JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
   ran_ = true;
-  TaskContext ctx(this, serializer_.root());
+  TaskNode* root = serializer_.root();
+  if (tracer_.enabled()) {
+    tracer_.instant(obs::Subsystem::kEngine, "task.created", root->id(), 0, 0,
+                    root->name());
+    tracer_.span_begin(obs::Subsystem::kEngine, "task", root->id(), 0,
+                       root->name());
+  }
+  TaskContext ctx(this, root);
   root_body(ctx);
-  serializer_.complete_task(serializer_.root());
+  serializer_.complete_task(root);
+  tracer_.span_end(obs::Subsystem::kEngine, "task", root->id(), 0,
+                   root->charged_work);
   JADE_ASSERT_MSG(serializer_.outstanding() == 0,
                   "serial run left outstanding tasks");
+  publish_runtime_stats();
 }
 
 void SerialEngine::spawn(TaskNode* parent,
@@ -45,6 +55,9 @@ void SerialEngine::spawn(TaskNode* parent,
   TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
                                            std::move(name));
   ++stats_.tasks_created;
+  if (tracer_.enabled())
+    tracer_.instant(obs::Subsystem::kEngine, "task.created", task->id(), 0, 0,
+                    task->name());
   // Serial invariant: every earlier task has already completed, so nothing
   // can be blocking this one.
   JADE_ASSERT_MSG(task->state() == TaskState::kReady,
@@ -54,10 +67,15 @@ void SerialEngine::spawn(TaskNode* parent,
 
 void SerialEngine::execute(TaskNode* task) {
   serializer_.task_started(task);
+  if (tracer_.enabled())
+    tracer_.span_begin(obs::Subsystem::kEngine, "task", task->id(), 0,
+                       task->name());
   TaskContext ctx(this, task);
   task->body(ctx);
   task->body = nullptr;  // release captured state promptly
   serializer_.complete_task(task);
+  tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(), 0,
+                   task->charged_work);
 }
 
 void SerialEngine::with_cont(TaskNode* task,

@@ -44,6 +44,13 @@ class SerialEngine : public Engine, private SerializerListener {
   /// Exposed for white-box tests.
   Serializer& serializer() { return serializer_; }
 
+ protected:
+  /// Serial execution has no clock; events are ordered by a logical counter
+  /// (one tick per emitted event), which keeps exported traces deterministic.
+  SimTime trace_now() const override {
+    return static_cast<SimTime>(logical_time_++);
+  }
+
  private:
   void on_task_ready(TaskNode* /*task*/) override {}
   void on_task_unblocked(TaskNode* task) override;
@@ -54,6 +61,7 @@ class SerialEngine : public Engine, private SerializerListener {
   std::unordered_map<ObjectId, std::vector<std::byte>> buffers_;
   Serializer serializer_;
   bool ran_ = false;
+  mutable std::uint64_t logical_time_ = 0;
 };
 
 }  // namespace jade

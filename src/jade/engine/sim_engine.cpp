@@ -81,6 +81,19 @@ SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
     pending_recovery_.resize(machines_.size());
     recovery_waiters_.resize(machines_.size());
   }
+
+  queue_wait_hist_ = &metrics_.histogram("engine.task_queue_wait");
+  fetch_wait_hist_ = &metrics_.histogram("engine.fetch_wait");
+  exec_hist_ = &metrics_.histogram("engine.task_execution");
+}
+
+SimTime SimEngine::trace_now() const { return sim_.now(); }
+
+void SimEngine::enable_tracing(const ObsConfig& cfg) {
+  Engine::enable_tracing(cfg);
+  obs::Tracer* t = cfg.trace ? &tracer_ : nullptr;
+  network_->set_observer(t, cfg.trace ? &metrics_ : nullptr);
+  directory_.set_observer(t, [this] { return sim_.now(); });
 }
 
 SimEngine::~SimEngine() = default;
@@ -184,6 +197,24 @@ void SimEngine::try_dispatch() {
         m = free[static_cast<std::size_t>(task->placement)] > 0
                 ? task->placement
                 : -1;
+      } else if (tracer_.enabled()) {
+        // Tracing: also capture why — every candidate machine with its
+        // locality score, so a placement can be audited from the trace.
+        PlacementExplain explain;
+        m = pick_machine_for_task(directory_, st(task).objects, free,
+                                  locality, st(task).creator_machine,
+                                  &explain);
+        if (m >= 0) {
+          std::string detail = "chosen=" + std::to_string(explain.chosen);
+          for (const PlacementExplain::Candidate& c : explain.candidates) {
+            detail += " m" + std::to_string(c.machine) + ":bytes=" +
+                      std::to_string(c.resident_bytes) +
+                      ",free=" + std::to_string(c.free_contexts);
+          }
+          tracer_.instant(obs::Subsystem::kSched, "sched.place", task->id(),
+                          m, static_cast<double>(explain.candidates.size()),
+                          std::move(detail));
+        }
       } else {
         m = pick_machine_for_task(directory_, st(task).objects, free,
                                   locality, st(task).creator_machine);
@@ -206,6 +237,11 @@ void SimEngine::assign(TaskNode* task, MachineId m) {
   t.dispatched = sim_.now();
   task->assigned_machine = m;
   if (m != t.creator_machine) ++stats_.tasks_migrated;
+  queue_wait_hist_->observe(sim_.now() - t.created);
+  tracer_.instant(obs::Subsystem::kEngine, "task.dispatched", task->id(), m);
+  if (tracer_.enabled())
+    tracer_.span_begin(obs::Subsystem::kEngine, "task", task->id(), m,
+                       task->name());
   JADE_TRACE("t=" << sim_.now() << " dispatch " << task->name()
                   << " -> machine " << m << " (" << mach.desc.name << ")");
   t.process = sim_.spawn(task->name(), [this, task] { task_process(task); });
@@ -231,6 +267,7 @@ void SimEngine::task_process(TaskNode* task) {
           ready_at, transfer_object(t, rec->obj, t.machine, exclusive));
     }
     if (ready_at > sim_.now()) {
+      fetch_wait_hist_->observe(ready_at - sim_.now());
       t.wait = Wait::kFetch;
       sim_.resume_at(sim_.current(), ready_at);
       sim_.park();
@@ -240,6 +277,8 @@ void SimEngine::task_process(TaskNode* task) {
 
   occupy_runtime(t, cluster_.task_dispatch_overhead);
   t.body_start = sim_.now();
+  tracer_.instant(obs::Subsystem::kEngine, "task.body_start", task->id(),
+                  t.machine);
 
   TaskContext ctx(this, task);
   task->body(ctx);
@@ -256,6 +295,9 @@ void SimEngine::finish_task(TaskNode* task) {
                                      t.created, t.dispatched, t.body_start,
                                      sim_.now(), task->charged_work});
   }
+  exec_hist_->observe(sim_.now() - t.body_start);
+  tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(), t.machine,
+                   task->charged_work);
   task->body = nullptr;  // only now is a re-execution impossible
   t.snapshots.clear();
   if (ft_enabled()) {
@@ -404,6 +446,9 @@ void SimEngine::spawn(TaskNode* parent,
     if (req.add_immediate | req.add_deferred) t.objects.push_back(req.obj);
   task->engine_data = &t;
   ++stats_.tasks_created;
+  if (tracer_.enabled())
+    tracer_.instant(obs::Subsystem::kEngine, "task.created", task->id(),
+                    pt.machine, 0, task->name());
   post_serializer();
 
   if (sched_.throttle.enabled &&
@@ -415,10 +460,16 @@ void SimEngine::spawn(TaskNode* parent,
     ++stats_.throttle_suspensions;
     JADE_TRACE("t=" << sim_.now() << " throttle suspends " << parent->name()
                     << " (backlog=" << serializer_.backlog() << ")");
+    tracer_.instant(obs::Subsystem::kEngine, "throttle.suspend", parent->id(),
+                    pt.machine,
+                    static_cast<double>(serializer_.backlog()));
     throttled_.push_back(parent);
     release_context(pt);
     park_inactive(pt, Wait::kThrottle);
     reacquire_context(pt);
+    tracer_.instant(obs::Subsystem::kEngine, "throttle.resume", parent->id(),
+                    pt.machine,
+                    static_cast<double>(serializer_.backlog()));
   }
 }
 
@@ -465,6 +516,7 @@ void SimEngine::fetch_for(SimTask& t,
                         transfer_object(t, req.obj, t.machine, exclusive));
   }
   if (ready_at > sim_.now()) {
+    fetch_wait_hist_->observe(ready_at - sim_.now());
     t.wait = Wait::kFetch;
     sim_.resume_at(sim_.current(), ready_at);
     sim_.park();
@@ -507,6 +559,7 @@ std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
     const bool exclusive = (mode & kExclusiveBits) != 0;
     const SimTime at = transfer_object(t, obj, t.machine, exclusive);
     if (at > sim_.now()) {
+      fetch_wait_hist_->observe(at - sim_.now());
       t.wait = Wait::kFetch;
       sim_.resume_at(sim_.current(), at);
       sim_.park();
@@ -615,6 +668,12 @@ SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
     stats_.messages += 2;
     stats_.bytes_sent += request_bytes + payload;
     data_arr += maybe_convert(from, to);
+    if (tracer_.enabled()) {
+      tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
+                            from, "copy " + info.name);
+      tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
+                          obj, to, static_cast<double>(info.byte_size()));
+    }
     directory_.replicate_to(obj, to);
     ++stats_.object_copies;
     set_available_at(obj, to, data_arr);
@@ -637,6 +696,12 @@ SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
     data_arr += maybe_convert(from, to);
     avail = data_arr;
     ++stats_.object_moves;
+    if (tracer_.enabled()) {
+      tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
+                            from, "move " + info.name);
+      tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
+                          obj, to, static_cast<double>(info.byte_size()));
+    }
     JADE_TRACE("t=" << now << " move " << info.name << " " << from << "->"
                     << to << " arrives t=" << data_arr);
   }
@@ -676,9 +741,20 @@ void SimEngine::run(std::function<void(TaskContext&)> root_body) {
 
   rt.process = sim_.spawn("root", [this, body = std::move(root_body)] {
     ++active_tasks_;
-    TaskContext ctx(this, serializer_.root());
+    TaskNode* root = serializer_.root();
+    if (tracer_.enabled()) {
+      tracer_.instant(obs::Subsystem::kEngine, "task.created", root->id(), 0,
+                      0, root->name());
+      tracer_.instant(obs::Subsystem::kEngine, "task.dispatched", root->id(),
+                      0);
+      tracer_.span_begin(obs::Subsystem::kEngine, "task", root->id(), 0,
+                         root->name());
+      tracer_.instant(obs::Subsystem::kEngine, "task.body_start", root->id(),
+                      0);
+    }
+    TaskContext ctx(this, root);
     body(ctx);
-    finish_task(serializer_.root());
+    finish_task(root);
   });
 
   if (ft_enabled()) schedule_fault_events();
@@ -694,6 +770,7 @@ void SimEngine::run(std::function<void(TaskContext&)> root_body) {
   }
   for (std::size_t m = 0; m < machines_.size(); ++m)
     stats_.machine_busy_seconds[m] = machines_[m].busy_seconds;
+  publish_runtime_stats();
 }
 
 // --- fault injection & recovery --------------------------------------------
@@ -740,6 +817,8 @@ void SimEngine::detector_sweep() {
       // truth) and does not kill a live machine's work; the standing
       // suspicion clears when the next heartbeat arrives.
       ++stats_.false_suspicions;
+      tracer_.instant(obs::Subsystem::kFt, "ft.false_suspicion",
+                      static_cast<std::uint64_t>(suspect), suspect);
       continue;
     }
     recover_machine(suspect);
@@ -751,6 +830,8 @@ void SimEngine::handle_crash(MachineId m) {
   if (drained()) return;  // the program already finished
   injector_->record_crash(m, sim_.now());
   ++stats_.machine_crashes;
+  tracer_.instant(obs::Subsystem::kFt, "ft.crash",
+                  static_cast<std::uint64_t>(m), m);
   JADE_TRACE("t=" << sim_.now() << " CRASH machine " << m << " ("
                   << machines_[m].desc.name << ")");
   // The machine goes dark: no new work is ever placed on it.
@@ -791,6 +872,8 @@ void SimEngine::handle_crash(MachineId m) {
 void SimEngine::kill_task_attempt(TaskNode* task) {
   SimTask& t = st(task);
   ++stats_.tasks_killed;
+  tracer_.instant(obs::Subsystem::kFt, "ft.kill", task->id(), t.machine,
+                  task->charged_work - t.attempt_charge_base);
   JADE_TRACE("t=" << sim_.now() << " kill " << task->name() << " on machine "
                   << t.machine);
   // Undo the attempt's writes (reverse acquisition order) and its charge.
@@ -871,6 +954,9 @@ void SimEngine::recover_machine(MachineId m) {
   injector_->record_detected(m, sim_.now());
   stats_.detection_latency_total +=
       sim_.now() - injector_->health(m).crashed_at;
+  tracer_.instant(obs::Subsystem::kFt, "ft.recover",
+                  static_cast<std::uint64_t>(m), m,
+                  sim_.now() - injector_->health(m).crashed_at);
   JADE_TRACE("t=" << sim_.now() << " machine " << m
                   << " declared dead; recovering");
 
@@ -929,6 +1015,7 @@ void SimEngine::recover_machine(MachineId m) {
           "task '" + task->name() + "' is pinned to crashed machine " +
           std::to_string(m) + " and cannot be re-run elsewhere");
     ++stats_.tasks_requeued;
+    tracer_.instant(obs::Subsystem::kFt, "ft.requeue", task->id(), m);
     ready_.push_back(task);
   }
   pending.clear();

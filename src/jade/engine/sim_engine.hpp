@@ -56,6 +56,10 @@ class SimEngine : public Engine, private SerializerListener {
 
   void run(std::function<void(TaskContext&)> root_body) override;
 
+  /// Also attaches the tracer to the network model and object directory, so
+  /// one toggle lights up every subsystem.
+  void enable_tracing(const ObsConfig& cfg) override;
+
   void spawn(TaskNode* parent, const std::vector<AccessRequest>& requests,
              TaskContext::BodyFn body, std::string name,
              MachineId placement) override;
@@ -77,6 +81,11 @@ class SimEngine : public Engine, private SerializerListener {
 
   /// Per-task execution records (empty unless sched.record_timeline).
   const std::vector<TaskTimeline>& timeline() const { return timeline_; }
+
+ protected:
+  /// Trace timestamps are virtual time — the whole point of tracing a
+  /// deterministic simulation is a deterministic trace.
+  SimTime trace_now() const override;
 
  private:
   /// What a parked task process is waiting for (routes resumes).
@@ -238,6 +247,12 @@ class SimEngine : public Engine, private SerializerListener {
   /// (crashed, undetected) machine; recover_machine resumes them.
   std::vector<std::deque<TaskNode*>> recovery_waiters_;
   bool root_done_ = false;
+
+  /// Wait-time distributions (always registered; observe() is a couple of
+  /// adds, far below simulation noise, so they are not gated on tracing).
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* fetch_wait_hist_ = nullptr;
+  obs::Histogram* exec_hist_ = nullptr;
 
   MachineId next_home_ = 0;                ///< round-robin initial placement
   /// Started-but-incomplete tasks not parked in the throttle; when this

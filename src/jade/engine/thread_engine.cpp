@@ -61,7 +61,8 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
   }
   workers_.reserve(static_cast<std::size_t>(workers_requested_));
   for (int i = 0; i < workers_requested_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  serializer_.root()->assigned_machine = 0;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -87,7 +88,7 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
     if (!ready_.empty()) {
       TaskNode* task = ready_.front();
       ready_.pop_front();
-      execute(task, lock);
+      execute(task, lock, 0);
     } else {
       ++sleeping_threads_;
       if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
@@ -105,10 +106,11 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();
+  publish_runtime_stats();
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
-void ThreadEngine::worker_loop() {
+void ThreadEngine::worker_loop(int worker_id) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     ++sleeping_threads_;
@@ -120,7 +122,7 @@ void ThreadEngine::worker_loop() {
     if (stop_) return;
     TaskNode* task = ready_.front();
     ready_.pop_front();
-    execute(task, lock);
+    execute(task, lock, worker_id);
   }
 }
 
@@ -128,13 +130,28 @@ void ThreadEngine::ensure_spare_worker() {
   if (idle_workers_ > 0 || stop_) return;
   JADE_ASSERT_MSG(workers_.size() < 4096,
                   "runaway compensating-worker growth");
-  workers_.emplace_back([this] { worker_loop(); });
+  // A compensating worker stands in for the worker slot it replaces; its
+  // reported machine id stays within [0, machine_count()).
+  const int worker_id = static_cast<int>(workers_.size()) % workers_requested_;
+  workers_.emplace_back([this, worker_id] { worker_loop(worker_id); });
   ++total_threads_;
 }
 
+void ThreadEngine::enable_tracing(const ObsConfig& cfg) {
+  Engine::enable_tracing(cfg);
+  trace_epoch_ = std::chrono::steady_clock::now();
+}
+
 void ThreadEngine::execute(TaskNode* task,
-                           std::unique_lock<std::mutex>& lock) {
+                           std::unique_lock<std::mutex>& lock, int worker_id) {
   serializer_.task_started(task);
+  task->assigned_machine = worker_id;
+  if (tracer_.enabled()) {
+    tracer_.instant(obs::Subsystem::kEngine, "task.dispatched", task->id(),
+                    worker_id);
+    tracer_.span_begin(obs::Subsystem::kEngine, "task", task->id(), worker_id,
+                       task->name());
+  }
   JADE_TRACE("exec-start " << task->name());
   lock.unlock();
   TaskContext ctx(this, task);
@@ -162,6 +179,8 @@ void ThreadEngine::execute(TaskNode* task,
     return;
   }
   serializer_.complete_task(task);
+  tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(), worker_id,
+                   task->charged_work);
   JADE_TRACE("exec-done " << task->name() << " backlog=" << serializer_.backlog()
              << " ready=" << ready_.size());
   // Completion may have readied tasks (on_task_ready notified workers); it
@@ -174,9 +193,12 @@ void ThreadEngine::spawn(TaskNode* parent,
                          TaskContext::BodyFn body, std::string name,
                          MachineId /*placement*/) {
   std::unique_lock<std::mutex> lock(mu_);
-  serializer_.create_task(parent, requests, std::move(body),
-                          std::move(name));
+  TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
+                                           std::move(name));
   ++stats_.tasks_created;
+  if (tracer_.enabled())
+    tracer_.instant(obs::Subsystem::kEngine, "task.created", task->id(),
+                    machine_of(parent), 0, task->name());
 
   if (!throttle_.enabled) return;
   if (serializer_.backlog() <= throttle_.high_water) return;
@@ -186,6 +208,9 @@ void ThreadEngine::spawn(TaskNode* parent,
   // waiting here with nothing ready, the backlog can only drain through the
   // creators themselves — give up throttling rather than deadlock.
   ++stats_.throttle_suspensions;
+  tracer_.instant(obs::Subsystem::kEngine, "throttle.suspend", parent->id(),
+                  machine_of(parent),
+                  static_cast<double>(serializer_.backlog()));
   JADE_TRACE("throttle-enter " << parent->name()
              << " backlog=" << serializer_.backlog());
   while (serializer_.backlog() > throttle_.low_water) {
@@ -206,6 +231,9 @@ void ThreadEngine::spawn(TaskNode* parent,
     });
     --sleeping_threads_;
   }
+  tracer_.instant(obs::Subsystem::kEngine, "throttle.resume", parent->id(),
+                  machine_of(parent),
+                  static_cast<double>(serializer_.backlog()));
 }
 
 void ThreadEngine::with_cont(TaskNode* task,

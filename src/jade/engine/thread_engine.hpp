@@ -12,6 +12,7 @@
 // paper's "legally inline any task without risking deadlock".
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -47,16 +48,35 @@ class ThreadEngine : public Engine, private SerializerListener {
                            std::uint8_t mode) override;
   void charge(TaskNode* task, double units) override;
   int machine_count() const override { return workers_requested_; }
-  MachineId machine_of(TaskNode*) const override { return 0; }
+  /// The worker the task is (or was last) executing on; 0 for the root task
+  /// and for tasks not yet picked up.  Compensating workers report the id of
+  /// the worker slot they stand in for, keeping the result in
+  /// [0, machine_count()).
+  MachineId machine_of(TaskNode* task) const override {
+    return task->assigned_machine >= 0 ? task->assigned_machine : 0;
+  }
+
+  void enable_tracing(const ObsConfig& cfg) override;
+
+ protected:
+  /// Wall seconds since tracing was enabled (there is no virtual clock on
+  /// real hardware); traces are therefore not run-to-run deterministic.
+  SimTime trace_now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         trace_epoch_)
+        .count();
+  }
 
  private:
   void on_task_ready(TaskNode* task) override;
   void on_task_unblocked(TaskNode* task) override;
 
-  void worker_loop();
+  void worker_loop(int worker_id);
   /// Runs one task to completion; called with `lock` held, releases it while
-  /// the body executes.
-  void execute(TaskNode* task, std::unique_lock<std::mutex>& lock);
+  /// the body executes.  `worker_id` identifies the executing thread's
+  /// machine slot (0 = the root/drain thread).
+  void execute(TaskNode* task, std::unique_lock<std::mutex>& lock,
+               int worker_id);
   /// Blocks the calling task until on_task_unblocked fires for it.
   void wait_unblocked(TaskNode* task, std::unique_lock<std::mutex>& lock);
   /// Called (with the lock held) before a task blocks mid-body: if no idle
@@ -99,6 +119,7 @@ class ThreadEngine : public Engine, private SerializerListener {
   int sleeping_threads_ = 0;
   bool stop_ = false;
   bool ran_ = false;
+  std::chrono::steady_clock::time_point trace_epoch_{};
   /// First exception that escaped a task body (or a spec violation raised
   /// inside one); rethrown from run() after the pool shuts down.
   std::exception_ptr first_error_;

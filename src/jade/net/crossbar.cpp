@@ -13,8 +13,8 @@ CrossbarNet::CrossbarNet(int machines, CrossbarConfig config)
   JADE_ASSERT(machines > 0);
 }
 
-SimTime CrossbarNet::schedule_transfer(MachineId from, MachineId to,
-                                       std::size_t bytes, SimTime now) {
+SimTime CrossbarNet::transfer_impl(MachineId from, MachineId to,
+                                   std::size_t bytes, SimTime now) {
   JADE_ASSERT(from >= 0 && static_cast<std::size_t>(from) <
                                send_busy_until_.size());
   JADE_ASSERT(to >= 0 &&

@@ -25,9 +25,11 @@ class CrossbarNet : public NetworkModel {
   CrossbarNet(int machines, CrossbarConfig config = {});
 
   std::string name() const override { return "crossbar"; }
-  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
-                            SimTime now) override;
   void reset() override;
+
+ protected:
+  SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
+                        SimTime now) override;
 
  private:
   CrossbarConfig config_;

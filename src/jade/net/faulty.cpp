@@ -22,8 +22,23 @@ std::string FaultyNetwork::name() const {
   return "faulty(" + inner_->name() + ")";
 }
 
-SimTime FaultyNetwork::schedule_transfer(MachineId from, MachineId to,
-                                         std::size_t bytes, SimTime now) {
+void FaultyNetwork::set_observer(obs::Tracer* tracer,
+                                 obs::MetricsRegistry* metrics) {
+  // Forward only to the inner model (per-attempt spans); the base wrapper's
+  // tracer stays null so the decorated delivery is not double-spanned.
+  inner_->set_observer(tracer, metrics);
+  fault_tracer_ = tracer;
+  if (metrics != nullptr) {
+    drop_counter_ = &metrics->counter("net.messages_dropped");
+    retx_counter_ = &metrics->counter("net.message_retries");
+  } else {
+    drop_counter_ = nullptr;
+    retx_counter_ = nullptr;
+  }
+}
+
+SimTime FaultyNetwork::transfer_impl(MachineId from, MachineId to,
+                                     std::size_t bytes, SimTime now) {
   SimTime send_at = now;
   SimTime rto = config_.initial_retry_timeout;
   for (int attempt = 1;; ++attempt) {
@@ -39,6 +54,17 @@ SimTime FaultyNetwork::schedule_transfer(MachineId from, MachineId to,
     }
     ++messages_dropped_;
     ++message_retries_;
+    if (drop_counter_ != nullptr) drop_counter_->add(1);
+    if (retx_counter_ != nullptr) retx_counter_->add(1);
+    if (fault_tracer_ != nullptr && fault_tracer_->enabled()) {
+      const std::string link = std::to_string(from) + "->" + std::to_string(to);
+      fault_tracer_->instant_at(send_at, obs::Subsystem::kNet, "net.drop",
+                                static_cast<std::uint64_t>(attempt), from,
+                                static_cast<double>(bytes), link);
+      fault_tracer_->instant_at(send_at + rto, obs::Subsystem::kNet, "net.retx",
+                                static_cast<std::uint64_t>(attempt), from,
+                                static_cast<double>(bytes), link);
+    }
     // The sender times out waiting for the ack and retransmits; the doomed
     // attempt already occupied the medium inside `inner_`.
     send_at = send_at + rto;

@@ -39,14 +39,23 @@ class FaultyNetwork : public NetworkModel {
                 DropHook should_drop);
 
   std::string name() const override;
-  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
-                            SimTime now) override;
   void reset() override;
+
+  /// Observability is delegated to the inner model: the per-attempt "net.xfer"
+  /// spans come from `inner_` (each doomed attempt occupied the medium and is
+  /// worth a span of its own), while this wrapper emits only "net.drop" /
+  /// "net.retx" instants through its own pointer.  The base-class tracer stays
+  /// null so the wrapper does not add a duplicate whole-delivery span.
+  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) override;
 
   NetworkModel& inner() { return *inner_; }
 
   std::uint64_t messages_dropped() const { return messages_dropped_; }
   std::uint64_t message_retries() const { return message_retries_; }
+
+ protected:
+  SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
+                        SimTime now) override;
 
  private:
   std::unique_ptr<NetworkModel> inner_;
@@ -54,6 +63,9 @@ class FaultyNetwork : public NetworkModel {
   DropHook should_drop_;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t message_retries_ = 0;
+  obs::Tracer* fault_tracer_ = nullptr;
+  obs::Counter* drop_counter_ = nullptr;
+  obs::Counter* retx_counter_ = nullptr;
 };
 
 }  // namespace jade

@@ -19,8 +19,8 @@ int HypercubeNet::hop_count(MachineId from, MachineId to) {
                        static_cast<unsigned>(to));
 }
 
-SimTime HypercubeNet::schedule_transfer(MachineId from, MachineId to,
-                                        std::size_t bytes, SimTime now) {
+SimTime HypercubeNet::transfer_impl(MachineId from, MachineId to,
+                                    std::size_t bytes, SimTime now) {
   JADE_ASSERT(from >= 0 && static_cast<std::size_t>(from) <
                                send_busy_until_.size());
   JADE_ASSERT(to >= 0 &&

@@ -30,11 +30,13 @@ class HypercubeNet : public NetworkModel {
   HypercubeNet(int machines, HypercubeConfig config = {});
 
   std::string name() const override { return "hypercube"; }
-  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
-                            SimTime now) override;
   void reset() override;
 
   static int hop_count(MachineId from, MachineId to);
+
+ protected:
+  SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
+                        SimTime now) override;
 
  private:
   HypercubeConfig config_;

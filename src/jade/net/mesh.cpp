@@ -22,8 +22,8 @@ int MeshNet::hop_count(MachineId from, MachineId to) const {
   return std::abs(fx - tx) + std::abs(fy - ty);
 }
 
-SimTime MeshNet::schedule_transfer(MachineId from, MachineId to,
-                                   std::size_t bytes, SimTime now) {
+SimTime MeshNet::transfer_impl(MachineId from, MachineId to,
+                               std::size_t bytes, SimTime now) {
   JADE_ASSERT(from >= 0 && static_cast<std::size_t>(from) <
                                send_busy_until_.size());
   JADE_ASSERT(to >= 0 &&

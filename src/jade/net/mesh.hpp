@@ -24,12 +24,14 @@ class MeshNet : public NetworkModel {
   explicit MeshNet(int machines, MeshConfig config = {});
 
   std::string name() const override { return "mesh"; }
-  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
-                            SimTime now) override;
   void reset() override;
 
   int width() const { return width_; }
   int hop_count(MachineId from, MachineId to) const;
+
+ protected:
+  SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
+                        SimTime now) override;
 
  private:
   MeshConfig config_;

@@ -9,8 +9,8 @@ IdealNet::IdealNet(SimTime latency, double bytes_per_second)
   JADE_ASSERT(bytes_per_second > 0);
 }
 
-SimTime IdealNet::schedule_transfer(MachineId from, MachineId to,
-                                    std::size_t bytes, SimTime now) {
+SimTime IdealNet::transfer_impl(MachineId from, MachineId to,
+                                std::size_t bytes, SimTime now) {
   if (from == to) return now;
   const SimTime transmit = static_cast<SimTime>(bytes) / bandwidth_;
   record(bytes, transmit);

@@ -17,6 +17,8 @@
 #include <memory>
 #include <string>
 
+#include "jade/obs/metrics.hpp"
+#include "jade/obs/tracer.hpp"
 #include "jade/support/stats.hpp"
 #include "jade/support/time.hpp"
 
@@ -37,12 +39,39 @@ class NetworkModel {
 
   virtual std::string name() const = 0;
 
-  /// Schedules a transfer and returns its arrival time.  Must be called with
-  /// non-decreasing... no: calls may arrive out of time order from different
-  /// machines' perspectives; models only assume `now` is the current global
-  /// virtual time (the simulator guarantees it is).
-  virtual SimTime schedule_transfer(MachineId from, MachineId to,
-                                    std::size_t bytes, SimTime now) = 0;
+  /// Schedules a transfer and returns its arrival time.  Calls may arrive
+  /// out of time order from different machines' perspectives; models only
+  /// assume `now` is the current global virtual time (the simulator
+  /// guarantees it is).
+  ///
+  /// Template method: the model-specific timing lives in transfer_impl();
+  /// this wrapper emits one "net.xfer" trace span per message (begin at the
+  /// send, end at the arrival) and feeds the message-latency histogram when
+  /// an observer is attached.
+  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
+                            SimTime now) {
+    const SimTime arrival = transfer_impl(from, to, bytes, now);
+    if (tracer_ != nullptr && tracer_->enabled() && from != to) {
+      const std::uint64_t id = next_trace_msg_id_++;
+      tracer_->span_begin_at(now, obs::Subsystem::kNet, "net.xfer", id, from,
+                             std::to_string(from) + "->" +
+                                 std::to_string(to));
+      tracer_->span_end_at(arrival, obs::Subsystem::kNet, "net.xfer", id, to,
+                           static_cast<double>(bytes));
+    }
+    if (latency_hist_ != nullptr && from != to)
+      latency_hist_->observe(arrival - now);
+    return arrival;
+  }
+
+  /// Attaches (or detaches, with nulls) the observability layer.  Wrapper
+  /// models (FaultyNetwork) override to propagate to the wrapped model.
+  virtual void set_observer(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    latency_hist_ =
+        metrics ? &metrics->histogram("net.message_latency") : nullptr;
+  }
 
   /// Drops all contention state and counters (between benchmark repetitions).
   virtual void reset() = 0;
@@ -50,6 +79,10 @@ class NetworkModel {
   const NetworkStats& stats() const { return stats_; }
 
  protected:
+  /// Model-specific timing: when does the message arrive?
+  virtual SimTime transfer_impl(MachineId from, MachineId to,
+                                std::size_t bytes, SimTime now) = 0;
+
   void record(std::size_t bytes, SimTime occupancy) {
     ++stats_.messages;
     stats_.bytes += bytes;
@@ -57,6 +90,9 @@ class NetworkModel {
   }
 
   NetworkStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+  std::uint64_t next_trace_msg_id_ = 0;
 };
 
 /// Contention-free network: every transfer costs latency + bytes/bandwidth,
@@ -66,9 +102,11 @@ class IdealNet : public NetworkModel {
   IdealNet(SimTime latency, double bytes_per_second);
 
   std::string name() const override { return "ideal"; }
-  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
-                            SimTime now) override;
   void reset() override { stats_.reset(); }
+
+ protected:
+  SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
+                        SimTime now) override;
 
  private:
   SimTime latency_;

@@ -6,8 +6,8 @@ namespace jade {
 
 SharedBusNet::SharedBusNet(SharedBusConfig config) : config_(config) {}
 
-SimTime SharedBusNet::schedule_transfer(MachineId from, MachineId to,
-                                        std::size_t bytes, SimTime now) {
+SimTime SharedBusNet::transfer_impl(MachineId from, MachineId to,
+                                    std::size_t bytes, SimTime now) {
   if (from == to) return now;  // local delivery bypasses the wire
   const SimTime start = std::max(now, busy_until_);
   const SimTime occupancy = config_.per_message_overhead +

@@ -27,12 +27,14 @@ class SharedBusNet : public NetworkModel {
   explicit SharedBusNet(SharedBusConfig config = {});
 
   std::string name() const override { return "shared-bus"; }
-  SimTime schedule_transfer(MachineId from, MachineId to, std::size_t bytes,
-                            SimTime now) override;
   void reset() override;
 
   /// Virtual time until which the medium is occupied (exposed for tests).
   SimTime busy_until() const { return busy_until_; }
+
+ protected:
+  SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
+                        SimTime now) override;
 
  private:
   SharedBusConfig config_;

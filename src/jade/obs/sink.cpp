@@ -1,0 +1,60 @@
+#include "jade/obs/sink.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade::obs {
+
+const char* subsystem_name(Subsystem cat) {
+  switch (cat) {
+    case Subsystem::kEngine: return "engine";
+    case Subsystem::kNet: return "net";
+    case Subsystem::kStore: return "store";
+    case Subsystem::kSched: return "sched";
+    case Subsystem::kFt: return "ft";
+    case Subsystem::kApp: return "app";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  JADE_ASSERT_MSG(capacity >= 1, "TraceRecorder capacity must be >= 1");
+}
+
+void TraceRecorder::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = next_seq_++;
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  // seq keeps counting: a cleared recorder still orders later events after
+  // earlier ones, and `recorded()` stays a lifetime total.
+}
+
+}  // namespace jade::obs

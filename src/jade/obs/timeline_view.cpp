@@ -1,0 +1,39 @@
+#include "jade/obs/timeline_view.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace jade::obs {
+
+std::vector<TaskTimeline> timeline_from_trace(
+    std::span<const TraceEvent> events) {
+  struct Partial {
+    SimTime created = 0;
+    SimTime dispatched = 0;
+    SimTime body_start = 0;
+    std::string name;
+  };
+  std::unordered_map<std::uint64_t, Partial> open;
+  std::vector<TaskTimeline> out;
+  for (const TraceEvent& ev : events) {
+    if (ev.cat != Subsystem::kEngine) continue;
+    if (std::strcmp(ev.name, "task.created") == 0) {
+      Partial& p = open[ev.id];
+      p.created = ev.ts;
+      p.name = ev.detail;
+    } else if (std::strcmp(ev.name, "task.dispatched") == 0) {
+      open[ev.id].dispatched = ev.ts;  // last attempt wins (ft re-dispatch)
+    } else if (std::strcmp(ev.name, "task.body_start") == 0) {
+      open[ev.id].body_start = ev.ts;
+    } else if (ev.kind == EventKind::kSpanEnd &&
+               std::strcmp(ev.name, "task") == 0) {
+      const Partial& p = open[ev.id];
+      out.push_back(TaskTimeline{ev.id, p.name, ev.machine, p.created,
+                                 p.dispatched, p.body_start, ev.ts,
+                                 ev.value});
+    }
+  }
+  return out;
+}
+
+}  // namespace jade::obs

@@ -1,0 +1,26 @@
+// Trace-derived task timelines.
+//
+// Rebuilds the per-task TaskTimeline records (engine/timeline.hpp) from the
+// engine-category trace events, so the Figure 7 Gantt tooling and the
+// structured trace share one source of truth: "task.created" /
+// "task.dispatched" / "task.body_start" instants plus the "task" span end.
+// A task killed by fault injection and re-dispatched contributes its *last*
+// attempt's dispatch/body-start times — the same thing the in-engine
+// recorder captures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "jade/engine/timeline.hpp"
+#include "jade/obs/event.hpp"
+
+namespace jade::obs {
+
+/// One TaskTimeline per completed "task" span, in completion order (the
+/// order the in-engine recorder appends).  Events of other categories are
+/// ignored, so the full mixed stream can be passed directly.
+std::vector<TaskTimeline> timeline_from_trace(
+    std::span<const TraceEvent> events);
+
+}  // namespace jade::obs

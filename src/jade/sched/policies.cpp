@@ -7,17 +7,24 @@ namespace jade {
 MachineId pick_machine_for_task(const ObjectDirectory& dir,
                                 std::span<const ObjectId> objects,
                                 std::span<const int> free_contexts,
-                                bool locality, MachineId creator) {
+                                bool locality, MachineId creator,
+                                PlacementExplain* explain) {
   MachineId best = -1;
   std::size_t best_bytes = 0;
   int best_free = 0;
   bool best_is_creator = false;
+  if (explain != nullptr) {
+    explain->candidates.clear();
+    explain->chosen = -1;
+  }
 
   for (MachineId m = 0; m < static_cast<MachineId>(free_contexts.size());
        ++m) {
     if (free_contexts[m] <= 0) continue;
     const std::size_t bytes =
         locality ? dir.bytes_present(objects, m) : 0;
+    if (explain != nullptr)
+      explain->candidates.push_back({m, bytes, free_contexts[m]});
     // The creator preference is part of the locality heuristic (tasks reuse
     // objects their creator touched); with locality off it is pure load
     // balancing.
@@ -43,6 +50,7 @@ MachineId pick_machine_for_task(const ObjectDirectory& dir,
       best_is_creator = is_creator;
     }
   }
+  if (explain != nullptr) explain->chosen = best;
   return best;
 }
 

@@ -43,6 +43,19 @@ struct SchedPolicy {
   ThrottleConfig throttle;
 };
 
+/// Why a placement decision went the way it did: every machine that had a
+/// free context, with the locality-score inputs the heuristic compared.
+/// Filled only when a caller asks (tracing); the hot path passes nullptr.
+struct PlacementExplain {
+  struct Candidate {
+    MachineId machine = -1;
+    std::size_t resident_bytes = 0;  ///< declared-object bytes already on it
+    int free_contexts = 0;
+  };
+  std::vector<Candidate> candidates;  ///< machine-index order
+  MachineId chosen = -1;
+};
+
 /// Picks the machine to run a ready task on, among machines with free
 /// contexts, or -1 if none qualifies.
 ///
@@ -50,10 +63,13 @@ struct SchedPolicy {
 /// declared objects wins; ties prefer the creating machine, then more free
 /// contexts, then the lowest index (deterministic).  With locality off:
 /// most free contexts (pure load balancing), ties to lowest index.
+///
+/// `explain`, when non-null, receives the full candidate set and the choice.
 MachineId pick_machine_for_task(const ObjectDirectory& dir,
                                 std::span<const ObjectId> objects,
                                 std::span<const int> free_contexts,
-                                bool locality, MachineId creator);
+                                bool locality, MachineId creator,
+                                PlacementExplain* explain = nullptr);
 
 /// Picks which of several ready tasks an idle machine should take: with
 /// locality on, the task with the most resident bytes on `machine`; ties

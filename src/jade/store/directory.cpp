@@ -1,6 +1,7 @@
 #include "jade/store/directory.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "jade/support/error.hpp"
 
@@ -11,6 +12,19 @@ ObjectDirectory::ObjectDirectory(int machines) {
                   "directory supports 1..64 machines");
   stores_.reserve(static_cast<std::size_t>(machines));
   for (int m = 0; m < machines; ++m) stores_.emplace_back(m);
+}
+
+void ObjectDirectory::set_observer(obs::Tracer* tracer,
+                                   std::function<SimTime()> clock) {
+  tracer_ = tracer;
+  clock_ = std::move(clock);
+}
+
+void ObjectDirectory::emit(const char* name, ObjectId obj, MachineId machine,
+                           double value) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  const SimTime ts = clock_ ? clock_() : 0;
+  tracer_->instant_at(ts, obs::Subsystem::kStore, name, obj, machine, value);
 }
 
 LocalStore& ObjectDirectory::store(MachineId m) {
@@ -82,6 +96,7 @@ void ObjectDirectory::replicate_to(ObjectId obj, MachineId m) {
                   "replicating to a machine that already holds a copy");
   e.copies |= 1ULL << m;
   store(m).insert(obj, e.bytes);
+  emit("store.replicate", obj, m, static_cast<double>(e.bytes));
 }
 
 int ObjectDirectory::move_to(ObjectId obj, MachineId m) {
@@ -90,12 +105,16 @@ int ObjectDirectory::move_to(ObjectId obj, MachineId m) {
   for (int h = 0; h < machine_count(); ++h) {
     if (h == m || !((e.copies >> h) & 1ULL)) continue;
     store(h).evict(obj, e.bytes);
-    if (h != e.owner) ++invalidated;  // the owner's copy travels, not dies
+    if (h != e.owner) {
+      ++invalidated;  // the owner's copy travels, not dies
+      emit("store.invalidate", obj, h, static_cast<double>(e.bytes));
+    }
   }
   if (!((e.copies >> m) & 1ULL)) store(m).insert(obj, e.bytes);
   e.copies = 1ULL << m;
   e.owner = m;
   ++e.version;
+  emit("store.move", obj, m, static_cast<double>(e.bytes));
   return invalidated;
 }
 
@@ -140,6 +159,7 @@ void ObjectDirectory::set_owner(ObjectId obj, MachineId m) {
   JADE_ASSERT(e.owner != m);
   e.owner = m;
   ++e.version;
+  emit("store.rehome", obj, m, static_cast<double>(e.bytes));
 }
 
 void ObjectDirectory::restore_to(ObjectId obj, MachineId m) {
@@ -150,12 +170,14 @@ void ObjectDirectory::restore_to(ObjectId obj, MachineId m) {
   e.owner = m;
   ++e.version;
   store(m).insert(obj, e.bytes);
+  emit("store.restore", obj, m, static_cast<double>(e.bytes));
 }
 
 void ObjectDirectory::mark_lost(ObjectId obj) {
   Entry& e = entry(obj);
   JADE_ASSERT(e.copies == 0);
   e.lost = true;
+  emit("store.lost", obj, -1, static_cast<double>(e.bytes));
 }
 
 bool ObjectDirectory::lost(ObjectId obj) const { return entry(obj).lost; }

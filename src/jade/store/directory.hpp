@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "jade/core/object.hpp"
+#include "jade/obs/tracer.hpp"
 #include "jade/store/local_store.hpp"
 #include "jade/support/time.hpp"
 
@@ -25,6 +27,11 @@ namespace jade {
 class ObjectDirectory {
  public:
   explicit ObjectDirectory(int machines);
+
+  /// Attaches the trace emitter (null detaches).  Directory mutations emit
+  /// kStore instants stamped with `clock()` — the directory has no notion of
+  /// time itself, so the owning engine supplies its clock.
+  void set_observer(obs::Tracer* tracer, std::function<SimTime()> clock);
 
   int machine_count() const { return static_cast<int>(stores_.size()); }
   LocalStore& store(MachineId m);
@@ -100,9 +107,12 @@ class ObjectDirectory {
 
   Entry& entry(ObjectId obj);
   const Entry& entry(ObjectId obj) const;
+  void emit(const char* name, ObjectId obj, MachineId machine, double value);
 
   std::vector<LocalStore> stores_;
   std::vector<Entry> entries_;  ///< indexed by ObjectId - 1
+  obs::Tracer* tracer_ = nullptr;
+  std::function<SimTime()> clock_;
 };
 
 }  // namespace jade

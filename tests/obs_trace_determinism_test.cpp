@@ -1,0 +1,151 @@
+// Determinism and equivalence contracts of the trace stream.
+//
+// 1. Two SimEngine runs of the same program on the same cluster export
+//    byte-identical Chrome JSON — also with the fault layer armed and
+//    crashing machines, since fault injection is seeded (PR 1).
+// 2. The trace-derived task timeline (obs::timeline_from_trace) matches the
+//    legacy in-engine recorder (SchedPolicy::record_timeline) field for
+//    field, so the Gantt tooling can consume either source.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "jade/apps/cholesky.hpp"
+#include "jade/core/runtime.hpp"
+#include "jade/engine/sim_engine.hpp"
+#include "jade/mach/presets.hpp"
+#include "jade/obs/chrome_trace.hpp"
+#include "jade/obs/timeline_view.hpp"
+
+namespace jade {
+namespace {
+
+RuntimeConfig sim_config(int machines, bool record_timeline = false) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  cfg.cluster = presets::ipsc860(machines);
+  cfg.obs.trace = true;
+  cfg.sched.record_timeline = record_timeline;
+  return cfg;
+}
+
+/// A workload that exercises engine, store, and network events: the paper's
+/// sparse Cholesky example, which migrates tasks and moves/copies objects.
+void run_cholesky(Runtime& rt) {
+  const auto a = apps::paper_example_matrix();
+  auto jm = apps::upload_matrix(rt, a);
+  rt.run([&](TaskContext& ctx) { apps::factor_jade(ctx, jm); });
+  (void)apps::download_matrix(rt, jm);
+}
+
+std::string export_trace(Runtime& rt) {
+  std::ostringstream os;
+  rt.write_chrome_trace(os);
+  return os.str();
+}
+
+TEST(TraceDeterminism, SameRunExportsByteIdenticalJson) {
+  std::string first, second;
+  {
+    Runtime rt(sim_config(4));
+    run_cholesky(rt);
+    first = export_trace(rt);
+  }
+  {
+    Runtime rt(sim_config(4));
+    run_cholesky(rt);
+    second = export_trace(rt);
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceDeterminism, ByteIdenticalUnderSeededFaultInjection) {
+  auto faulty_config = [] {
+    RuntimeConfig cfg = sim_config(4);
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 0xdecaf;
+    // Explicit crash mid-factorization (the fault-free run takes ~3.3 ms of
+    // virtual time), plus message loss: recovery and retransmission both
+    // land in the trace, and both must replay identically.
+    cfg.fault.crashes = {{1, 1e-3}};
+    cfg.fault.drop_probability = 0.05;
+    return cfg;
+  };
+  std::string first, second;
+  {
+    Runtime rt(faulty_config());
+    run_cholesky(rt);
+    first = export_trace(rt);
+  }
+  {
+    Runtime rt(faulty_config());
+    run_cholesky(rt);
+    second = export_trace(rt);
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The fault layer actually fired: its events are in the export.
+  EXPECT_NE(first.find("\"cat\":\"ft\""), std::string::npos);
+}
+
+TEST(TraceDeterminism, StreamCoversEngineNetAndStore) {
+  Runtime rt(sim_config(4));
+  run_cholesky(rt);
+  const std::string json = export_trace(rt);
+  EXPECT_NE(json.find("\"cat\":\"engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"net\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"store\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"sched\""), std::string::npos);
+}
+
+TEST(TimelineEquivalence, TraceDerivedMatchesLegacyRecorder) {
+  Runtime rt(sim_config(4, /*record_timeline=*/true));
+  run_cholesky(rt);
+
+  auto* eng = dynamic_cast<SimEngine*>(&rt.engine());
+  ASSERT_NE(eng, nullptr);
+  const std::vector<TaskTimeline>& legacy = eng->timeline();
+  const std::vector<TaskTimeline> derived =
+      obs::timeline_from_trace(rt.trace_events());
+
+  ASSERT_FALSE(legacy.empty());
+  ASSERT_EQ(derived.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    SCOPED_TRACE("task index " + std::to_string(i));
+    EXPECT_EQ(derived[i].task_id, legacy[i].task_id);
+    EXPECT_EQ(derived[i].name, legacy[i].name);
+    EXPECT_EQ(derived[i].machine, legacy[i].machine);
+    EXPECT_DOUBLE_EQ(derived[i].created, legacy[i].created);
+    EXPECT_DOUBLE_EQ(derived[i].dispatched, legacy[i].dispatched);
+    EXPECT_DOUBLE_EQ(derived[i].body_start, legacy[i].body_start);
+    EXPECT_DOUBLE_EQ(derived[i].completed, legacy[i].completed);
+    EXPECT_DOUBLE_EQ(derived[i].charged_work, legacy[i].charged_work);
+  }
+}
+
+TEST(TimelineEquivalence, HoldsUnderFaultRedispatch) {
+  RuntimeConfig cfg = sim_config(4, /*record_timeline=*/true);
+  cfg.fault.enabled = true;
+  cfg.fault.seed = 0xbead;
+  cfg.fault.crashes = {{2, 1e-3}};
+  Runtime rt(std::move(cfg));
+  run_cholesky(rt);
+
+  auto* eng = dynamic_cast<SimEngine*>(&rt.engine());
+  ASSERT_NE(eng, nullptr);
+  const std::vector<TaskTimeline>& legacy = eng->timeline();
+  const std::vector<TaskTimeline> derived =
+      obs::timeline_from_trace(rt.trace_events());
+  ASSERT_EQ(derived.size(), legacy.size());
+  // Re-dispatched tasks keep the *last* attempt in both views.
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(derived[i].task_id, legacy[i].task_id);
+    EXPECT_DOUBLE_EQ(derived[i].dispatched, legacy[i].dispatched);
+    EXPECT_DOUBLE_EQ(derived[i].body_start, legacy[i].body_start);
+    EXPECT_DOUBLE_EQ(derived[i].completed, legacy[i].completed);
+  }
+}
+
+}  // namespace
+}  // namespace jade
