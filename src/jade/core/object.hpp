@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
 
 #include "jade/types/type_desc.hpp"
@@ -68,7 +69,10 @@ struct ObjectInfo {
   std::size_t byte_size() const { return type.byte_size(); }
 };
 
-/// Dense registry of shared-object metadata; engines embed one.
+/// Dense registry of shared-object metadata; engines embed one.  Stored in
+/// a deque so `info()` references stay valid while other threads allocate
+/// (ThreadEngine tasks may allocate mid-run; callers synchronize `add`, but
+/// references previously handed out must never move).
 class ObjectTable {
  public:
   ObjectId add(TypeDescriptor type, std::string name);
@@ -77,7 +81,7 @@ class ObjectTable {
   std::size_t count() const { return infos_.size(); }
 
  private:
-  std::vector<ObjectInfo> infos_;
+  std::deque<ObjectInfo> infos_;
   ObjectId next_id_ = 1;
 };
 

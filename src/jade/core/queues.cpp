@@ -7,8 +7,9 @@
 namespace jade {
 
 DeclRecord* TaskNode::find_record(ObjectId obj) {
-  auto it = records_.find(obj);
-  return it == records_.end() ? nullptr : it->second.get();
+  for (DeclRecord* rec : ordered_records_)
+    if (rec->obj == obj) return rec;
+  return nullptr;
 }
 
 Serializer::Serializer(SerializerListener* listener, bool enforce_hierarchy)
@@ -26,6 +27,12 @@ Serializer::~Serializer() = default;
 
 Serializer::ObjectQueue& Serializer::queue_for(ObjectId obj) {
   return queues_[obj];
+}
+
+DeclRecord* Serializer::new_record(TaskNode* task) {
+  if (task->inline_used_ < TaskNode::kInlineRecords)
+    return &task->inline_records_[task->inline_used_++];
+  return &record_arena_.emplace_back();
 }
 
 void Serializer::check_coverage(TaskNode* parent,
@@ -73,8 +80,10 @@ TaskNode* Serializer::create_task(TaskNode* parent,
     if (bits == 0) continue;
     if (enforce_hierarchy_ && !parent->is_root())
       check_coverage(parent, req);
+    JADE_ASSERT_MSG(task->find_record(req.obj) == nullptr,
+                    "duplicate declaration for one object in one withonly");
 
-    auto rec = std::make_unique<DeclRecord>();
+    DeclRecord* rec = new_record(task);
     rec->task = task;
     rec->obj = req.obj;
     rec->immediate = req.add_immediate;
@@ -83,12 +92,11 @@ TaskNode* Serializer::create_task(TaskNode* parent,
     ObjectQueue& q = queue_for(req.obj);
     DeclRecord* parent_rec = parent->find_record(req.obj);
     if (parent_rec != nullptr && parent_rec->linked()) {
-      link_before(q, parent_rec, rec.get());
+      link_before(q, parent_rec, rec);
     } else {
-      link_back(q, rec.get());
+      link_back(q, rec);
     }
-    task->ordered_records_.push_back(rec.get());
-    task->records_.emplace(req.obj, std::move(rec));
+    task->ordered_records_.push_back(rec);
   }
 
   // Determine which immediate records are not yet enabled.
@@ -299,6 +307,15 @@ void Serializer::reevaluate(ObjectQueue& q) {
   std::vector<TaskNode*> now_unblocked;
   for (DeclRecord* p = q.records.front(); p != nullptr;
        p = q.records.next_of(p)) {
+    // Once the scanned prefix holds a write — or both a read and a commute —
+    // every remaining waiter conflicts with it (see access::conflicts), so
+    // the scan can stop.  This keeps retirement O(changed prefix) instead of
+    // O(queue length): a deep chain of writers on one object costs O(1) per
+    // completion rather than a full-queue walk.
+    if ((prior & access::kWrite) ||
+        ((prior & access::kRead) && (prior & access::kCommute))) {
+      break;
+    }
     if (p->counted && !access::conflicts(prior, p->wait_bits)) {
       set_counted(q, p, false);
       TaskNode* t = p->task;

@@ -24,7 +24,9 @@
 // (the engines) serialize calls with their own lock or handoff discipline.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -81,11 +83,14 @@ class TaskNode {
   bool is_root() const { return parent_ == nullptr; }
   TaskState state() const { return state_; }
 
-  /// The record this task holds for `obj`, or nullptr.
+  /// The record this task holds for `obj`, or nullptr.  Most tasks declare
+  /// a handful of objects, so this is a linear scan of an inline array —
+  /// faster than a hash probe at the sizes that occur in practice, and free
+  /// of per-record node allocations.
   DeclRecord* find_record(ObjectId obj);
 
   /// Number of records (for tests/benches).
-  std::size_t record_count() const { return records_.size(); }
+  std::size_t record_count() const { return ordered_records_.size(); }
 
   /// Records in declaration order — deterministic, unlike map order, which
   /// matters wherever iteration order affects simulated timing.
@@ -112,13 +117,20 @@ class TaskNode {
  private:
   friend class Serializer;
 
+  /// Declarations at or below this count live inline in the TaskNode (no
+  /// allocation at all); beyond it they come from the serializer's arena.
+  /// 8 covers the overwhelming majority of tasks in the paper's workloads
+  /// (Cholesky external updates declare 4 objects).
+  static constexpr std::size_t kInlineRecords = 8;
+
   std::uint64_t id_ = 0;
   std::string name_;
   TaskNode* parent_ = nullptr;
   TaskState state_ = TaskState::kPending;
   std::uint32_t start_pending_ = 0;  ///< immediate records not yet enabled
   std::uint32_t block_pending_ = 0;  ///< records a running task waits on
-  std::unordered_map<ObjectId, std::unique_ptr<DeclRecord>> records_;
+  std::array<DeclRecord, kInlineRecords> inline_records_;
+  std::uint32_t inline_used_ = 0;
   std::vector<DeclRecord*> ordered_records_;
 };
 
@@ -239,10 +251,21 @@ class Serializer {
 
   void check_coverage(TaskNode* parent, const AccessRequest& req) const;
 
+  /// Hands out the task's next DeclRecord: an inline TaskNode slot while
+  /// they last, then a fresh arena slot.  Either way the address is stable
+  /// for the serializer's lifetime (TaskNodes are heap-pinned, the arena is
+  /// a deque), which the intrusive queue links require.
+  DeclRecord* new_record(TaskNode* task);
+
   SerializerListener* listener_;
   bool enforce_hierarchy_;
   TaskNode* root_;
   std::vector<std::unique_ptr<TaskNode>> tasks_;
+  /// Overflow DeclRecords for tasks declaring more than kInlineRecords
+  /// objects.  Records are bump-allocated and live until the serializer
+  /// dies, matching the TaskNode lifetime policy (completed records are
+  /// unlinked, so dead records cost memory, never time).
+  std::deque<DeclRecord> record_arena_;
   std::unordered_map<ObjectId, ObjectQueue> queues_;
   std::uint64_t next_task_id_ = 1;
   std::uint64_t outstanding_ = 0;

@@ -48,6 +48,12 @@ struct RuntimeStats {
   std::uint64_t tasks_inlined = 0;   ///< executed in the creator (throttling)
   std::uint64_t tasks_migrated = 0;  ///< executed off the creating machine
   std::uint64_t throttle_suspensions = 0;
+  std::uint64_t throttle_giveups = 0;  ///< creator resumed to avoid deadlock
+
+  // --- work-stealing dispatch (ThreadEngine) -------------------------------
+  std::uint64_t tasks_stolen = 0;      ///< executed off the enabling thread
+  std::uint64_t worker_parks = 0;      ///< times a thread went to sleep idle
+  std::uint64_t compensating_workers = 0;  ///< threads spawned for blockers
 
   std::uint64_t messages = 0;        ///< simulated network messages
   std::uint64_t bytes_sent = 0;

@@ -1,5 +1,8 @@
 #include "jade/engine/thread_engine.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "jade/support/error.hpp"
 #include "jade/support/log.hpp"
 
@@ -11,46 +14,286 @@ namespace {
 struct EngineAborting {};
 }  // namespace
 
+thread_local ThreadEngine* ThreadEngine::tls_engine_ = nullptr;
+thread_local ThreadEngine::ThreadSlot* ThreadEngine::tls_slot_ = nullptr;
+
+ThreadEngine::TlsBinding::TlsBinding(ThreadEngine* engine, ThreadSlot* slot)
+    : prev_engine_(tls_engine_), prev_slot_(tls_slot_) {
+  tls_engine_ = engine;
+  tls_slot_ = slot;
+}
+
+ThreadEngine::TlsBinding::~TlsBinding() {
+  tls_engine_ = prev_engine_;
+  tls_slot_ = prev_slot_;
+}
+
 ThreadEngine::ThreadEngine(int workers, ThrottleConfig throttle,
                            bool enforce_hierarchy)
     : workers_requested_(workers),
       throttle_(throttle),
       serializer_(this, enforce_hierarchy) {
   JADE_ASSERT_MSG(workers >= 1, "ThreadEngine needs at least one worker");
+  // Pre-sized so publishing a slot is a single release store of slot_count_
+  // (stealers scan the prefix without locking).
+  slots_.resize(kMaxSlots);
 }
 
 ThreadEngine::~ThreadEngine() {
+  stop_.store(true, std::memory_order_seq_cst);
+  unpark_all();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    state_cv_.notify_all();
   }
-  work_cv_.notify_all();
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
 }
 
+// --- objects ---------------------------------------------------------------
+// None of these touch mu_: object metadata has its own mutex and the byte
+// buffers are behind the BufferTable's shard locks.
+
 ObjectId ThreadEngine::allocate(TypeDescriptor type, std::string name,
                                 MachineId /*home*/) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const ObjectId id = objects_.add(std::move(type), std::move(name));
-  buffers_[id].assign(objects_.info(id).byte_size(), std::byte{0});
+  ObjectId id;
+  std::size_t size;
+  {
+    std::lock_guard<std::mutex> lock(objects_mu_);
+    id = objects_.add(std::move(type), std::move(name));
+    size = objects_.info(id).byte_size();
+  }
+  buffers_.create(id, size);
   return id;
 }
 
 void ThreadEngine::put_bytes(ObjectId obj, std::span<const std::byte> data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& buf = buffers_.at(obj);
-  JADE_ASSERT(data.size() == buf.size());
-  std::copy(data.begin(), data.end(), buf.begin());
+  buffers_.put(obj, data);
 }
 
 std::vector<std::byte> ThreadEngine::get_bytes(ObjectId obj) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return buffers_.at(obj);
+  // BufferTable::get copies after dropping its shard lock; a host-side
+  // readback of a large object never stalls the schedulers.
+  return buffers_.get(obj);
 }
 
 const ObjectInfo& ThreadEngine::object_info(ObjectId obj) const {
+  std::lock_guard<std::mutex> lock(objects_mu_);
+  // Deque-backed table: the reference survives the unlock and any number of
+  // concurrent allocations.
   return objects_.info(obj);
+}
+
+// --- slots and parking -----------------------------------------------------
+
+ThreadEngine::ThreadSlot* ThreadEngine::add_slot(MachineId machine) {
+  const int idx = slot_count_.load(std::memory_order_relaxed);
+  JADE_ASSERT_MSG(idx < kMaxSlots, "runaway compensating-worker growth");
+  slots_[static_cast<std::size_t>(idx)] =
+      std::make_unique<ThreadSlot>(idx, machine);
+  ThreadSlot* slot = slots_[static_cast<std::size_t>(idx)].get();
+  slot_count_.store(idx + 1, std::memory_order_release);
+  return slot;
+}
+
+void ThreadEngine::wake_one() {
+  // seq_cst pairs with the idle thread's (register, then re-check
+  // ready_count_) sequence: either we see it registered here, or it sees
+  // our ready_count_ increment there.  Zero idle threads is the hot case
+  // and costs one load.
+  if (idle_count_.load(std::memory_order_seq_cst) == 0) return;
+  ThreadSlot* victim = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (!idle_stack_.empty()) {
+      victim = idle_stack_.back();
+      idle_stack_.pop_back();
+      idle_count_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+  if (victim) victim->parker.unpark();
+}
+
+void ThreadEngine::unpark_all() {
+  std::vector<ThreadSlot*> grabbed;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    grabbed.swap(idle_stack_);
+    idle_count_.store(0, std::memory_order_seq_cst);
+  }
+  for (ThreadSlot* slot : grabbed) slot->parker.unpark();
+}
+
+bool ThreadEngine::idle_cancel(ThreadSlot* slot) {
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  auto it = std::find(idle_stack_.begin(), idle_stack_.end(), slot);
+  if (it == idle_stack_.end()) return false;
+  idle_stack_.erase(it);
+  idle_count_.fetch_sub(1, std::memory_order_seq_cst);
+  return true;
+}
+
+void ThreadEngine::maybe_notify_all_asleep_locked() {
+  if (throttle_waiters_ > 0 &&
+      sleeping_threads_.load(std::memory_order_seq_cst) >=
+          total_threads_.load(std::memory_order_seq_cst) &&
+      ready_count_.load(std::memory_order_seq_cst) == 0)
+    state_cv_.notify_all();
+}
+
+void ThreadEngine::notify_if_all_asleep() {
+  if (sleeping_threads_.load(std::memory_order_seq_cst) >=
+          total_threads_.load(std::memory_order_seq_cst) &&
+      ready_count_.load(std::memory_order_seq_cst) == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    maybe_notify_all_asleep_locked();
+  }
+}
+
+void ThreadEngine::idle_park(ThreadSlot* slot,
+                             bool (ThreadEngine::*extra_wake)()) {
+  // Register first, re-check after: a producer either finds us on the idle
+  // stack (and unparks us) or published its work before our re-check.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_stack_.push_back(slot);
+    idle_count_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
+  bool wake_now = stop_.load(std::memory_order_seq_cst) ||
+                  ready_count_.load(std::memory_order_seq_cst) > 0;
+  if (!wake_now && extra_wake) {
+    std::lock_guard<std::mutex> lock(mu_);
+    wake_now = (this->*extra_wake)();
+  }
+  if (wake_now && idle_cancel(slot)) {
+    sleeping_threads_.fetch_sub(1, std::memory_order_seq_cst);
+    return;
+  }
+  // Either nothing to do, or a producer already claimed us and an unpark is
+  // in flight — park consumes it and we rescan immediately.
+  if (!wake_now) notify_if_all_asleep();
+  ++slot->parks;
+  slot->parker.park();
+  sleeping_threads_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// --- dispatch --------------------------------------------------------------
+
+void ThreadEngine::on_task_ready(TaskNode* task) {
+  // Called with mu_ held, from inside a serializer call this engine made —
+  // always on a bound engine thread.  The task lands in that thread's own
+  // deque (LIFO locality for dependence chains); one idle thread, if any,
+  // is woken to steal.
+  ThreadSlot* slot = tls_slot_;
+  JADE_ASSERT_MSG(tls_engine_ == this && slot != nullptr,
+                  "serializer callback on an unbound thread");
+  slot->deque.push(task);
+  slot->max_queue_depth =
+      std::max(slot->max_queue_depth, slot->deque.size_estimate());
+  ready_count_.fetch_add(1, std::memory_order_seq_cst);
+  if (slot->local_grants > 0) {
+    --slot->local_grants;  // the pushing thread will pop this one itself
+    return;
+  }
+  wake_one();
+}
+
+void ThreadEngine::on_task_unblocked(TaskNode* task) {
+  unblocked_.insert(task);
+  if (cv_waiters_ > 0) state_cv_.notify_all();
+}
+
+TaskNode* ThreadEngine::find_task(ThreadSlot* self) {
+  if (std::optional<TaskNode*> task = self->deque.pop()) {
+    ready_count_.fetch_sub(1, std::memory_order_seq_cst);
+    return *task;
+  }
+  const int n = slot_count_.load(std::memory_order_acquire);
+  // Two sweeps: ready_count_ > 0 after a failed sweep means an enqueue or a
+  // hand-off is in flight; one yield-and-retry usually catches it.  Still
+  // nothing → caller parks (its registered re-check closes the race).
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (int k = 1; k < n; ++k) {
+      ThreadSlot* victim = slots_[static_cast<std::size_t>(
+                                      (self->index + k) % n)]
+                               .get();
+      if (std::optional<TaskNode*> task = victim->deque.steal()) {
+        ready_count_.fetch_sub(1, std::memory_order_seq_cst);
+        ++self->stolen;
+        if (tracer_.enabled())
+          tracer_.instant(obs::Subsystem::kEngine, "steal", (*task)->id(),
+                          self->machine, victim->machine);
+        return *task;
+      }
+    }
+    if (ready_count_.load(std::memory_order_seq_cst) <= 0) break;
+    std::this_thread::yield();
+  }
+  return nullptr;
+}
+
+bool ThreadEngine::spin_for_work(ThreadSlot* slot) {
+  (void)slot;
+  constexpr int kIdleSpins = 32;
+  for (int i = 0; i < kIdleSpins; ++i) {
+    if (stop_.load(std::memory_order_acquire) ||
+        ready_count_.load(std::memory_order_seq_cst) > 0)
+      return true;
+    std::this_thread::yield();
+  }
+  return false;
+}
+
+void ThreadEngine::worker_loop(ThreadSlot* slot) {
+  TlsBinding bind(this, slot);
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (TaskNode* task = find_task(slot)) {
+      execute(task, slot);
+      continue;
+    }
+    if (spin_for_work(slot)) continue;
+    idle_park(slot, nullptr);
+  }
+}
+
+void ThreadEngine::ensure_spare_worker() {
+  if (idle_count_.load(std::memory_order_seq_cst) > 0 ||
+      stop_.load(std::memory_order_relaxed))
+    return;
+  // A compensating worker stands in for the worker slot it replaces; its
+  // reported machine id stays within [0, machine_count()).
+  const MachineId machine =
+      static_cast<MachineId>(workers_.size()) % workers_requested_;
+  ThreadSlot* slot = add_slot(machine);
+  ++stats_.compensating_workers;
+  total_threads_.fetch_add(1, std::memory_order_seq_cst);
+  workers_.emplace_back([this, slot] { worker_loop(slot); });
+}
+
+void ThreadEngine::record_error(std::exception_ptr err) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = err;
+    if (cv_waiters_ > 0) state_cv_.notify_all();
+  }
+  unpark_all();  // the drain thread re-checks first_error_ before parking
+}
+
+void ThreadEngine::release_commute_tokens_locked(TaskNode* task) {
+  auto held = commute_held_.find(task);
+  if (held == commute_held_.end()) return;
+  for (ObjectId obj : held->second) commute_holder_.erase(obj);
+  commute_held_.erase(held);
+}
+
+bool ThreadEngine::drain_should_exit() {
+  return serializer_.outstanding() == 0 || first_error_ != nullptr;
+}
+
+void ThreadEngine::enable_tracing(const ObsConfig& cfg) {
+  Engine::enable_tracing(cfg);
+  trace_epoch_ = std::chrono::steady_clock::now();
 }
 
 void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
@@ -59,101 +302,104 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
     JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
     ran_ = true;
   }
+  ThreadSlot* root_slot = add_slot(0);
+  total_threads_.store(workers_requested_ + 1, std::memory_order_seq_cst);
   workers_.reserve(static_cast<std::size_t>(workers_requested_));
-  for (int i = 0; i < workers_requested_; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  for (int i = 0; i < workers_requested_; ++i) {
+    ThreadSlot* slot = add_slot(i);
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
   serializer_.root()->assigned_machine = 0;
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    total_threads_ = workers_requested_ + 1;
-  }
-  // The caller's thread is the original task (Figure 7(a)).
+  // The caller's thread is the original task (Figure 7(a)); afterwards it
+  // drains the pool as one more stealing worker.
   bool root_failed = false;
-  try {
-    TaskContext ctx(this, serializer_.root());
-    root_body(ctx);
-  } catch (const EngineAborting&) {
-    root_failed = true;
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!first_error_) first_error_ = std::current_exception();
-    root_failed = true;
-  }
-
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!root_failed) serializer_.complete_task(serializer_.root());
-  // Drain: help execute ready tasks rather than idling.
-  while (serializer_.outstanding() > 0 && !first_error_) {
-    if (!ready_.empty()) {
-      TaskNode* task = ready_.front();
-      ready_.pop_front();
-      execute(task, lock, 0);
-    } else {
-      ++sleeping_threads_;
-      if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
-      state_cv_.wait(lock, [this] {
-        return serializer_.outstanding() == 0 || !ready_.empty() ||
-               first_error_ != nullptr;
-      });
-      --sleeping_threads_;
+  {
+    TlsBinding bind(this, root_slot);
+    try {
+      TaskContext ctx(this, serializer_.root());
+      root_body(ctx);
+    } catch (const EngineAborting&) {
+      root_failed = true;
+    } catch (...) {
+      record_error(std::current_exception());
+      root_failed = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // The root never passes through execute(): return any commute tokens
+      // its body took, or commuting tasks would wait on them forever.
+      release_commute_tokens_locked(serializer_.root());
+      if (!root_failed) serializer_.complete_task(serializer_.root());
+      if (cv_waiters_ > 0) state_cv_.notify_all();
+    }
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (drain_should_exit()) break;
+      }
+      if (TaskNode* task = find_task(root_slot)) {
+        execute(task, root_slot);
+        continue;
+      }
+      idle_park(root_slot, &ThreadEngine::drain_should_exit);
     }
   }
-  stop_ = true;
-  lock.unlock();
-  work_cv_.notify_all();
-  state_cv_.notify_all();
+  stop_.store(true, std::memory_order_seq_cst);
+  unpark_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cv_waiters_ > 0) state_cv_.notify_all();
+  }
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();
+
+  // Fold the per-thread stat cells now that every owner thread is joined.
+  // Compensating workers aggregate into the machine slot they stood in for.
+  const int nslots = slot_count_.load(std::memory_order_acquire);
+  std::vector<std::uint64_t> executed(
+      static_cast<std::size_t>(workers_requested_), 0);
+  std::vector<std::uint64_t> stolen(executed.size(), 0);
+  std::vector<std::size_t> depth(executed.size(), 0);
+  for (int i = 0; i < nslots; ++i) {
+    ThreadSlot* s = slots_[static_cast<std::size_t>(i)].get();
+    stats_.total_charged_work += s->charged;
+    stats_.tasks_stolen += s->stolen;
+    stats_.worker_parks += s->parks;
+    const auto m = static_cast<std::size_t>(s->machine);
+    executed[m] += s->executed;
+    stolen[m] += s->stolen;
+    depth[m] = std::max(depth[m], s->max_queue_depth);
+  }
+  for (std::size_t m = 0; m < executed.size(); ++m) {
+    const std::string prefix = "engine.worker" + std::to_string(m);
+    metrics_.counter(prefix + ".executed").set(executed[m]);
+    metrics_.counter(prefix + ".stolen").set(stolen[m]);
+    metrics_.gauge(prefix + ".max_queue_depth")
+        .set(static_cast<double>(depth[m]));
+  }
   publish_runtime_stats();
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
-void ThreadEngine::worker_loop(int worker_id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    ++sleeping_threads_;
-    ++idle_workers_;
-    if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
-    work_cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
-    --idle_workers_;
-    --sleeping_threads_;
-    if (stop_) return;
-    TaskNode* task = ready_.front();
-    ready_.pop_front();
-    execute(task, lock, worker_id);
+void ThreadEngine::execute(TaskNode* task, ThreadSlot* slot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    serializer_.task_started(task);
+    // Starting a task shrinks the backlog; suspended creators watch it.
+    if (throttle_waiters_ > 0 &&
+        serializer_.backlog() <= throttle_.low_water)
+      state_cv_.notify_all();
   }
-}
-
-void ThreadEngine::ensure_spare_worker() {
-  if (idle_workers_ > 0 || stop_) return;
-  JADE_ASSERT_MSG(workers_.size() < 4096,
-                  "runaway compensating-worker growth");
-  // A compensating worker stands in for the worker slot it replaces; its
-  // reported machine id stays within [0, machine_count()).
-  const int worker_id = static_cast<int>(workers_.size()) % workers_requested_;
-  workers_.emplace_back([this, worker_id] { worker_loop(worker_id); });
-  ++total_threads_;
-}
-
-void ThreadEngine::enable_tracing(const ObsConfig& cfg) {
-  Engine::enable_tracing(cfg);
-  trace_epoch_ = std::chrono::steady_clock::now();
-}
-
-void ThreadEngine::execute(TaskNode* task,
-                           std::unique_lock<std::mutex>& lock, int worker_id) {
-  serializer_.task_started(task);
-  task->assigned_machine = worker_id;
+  task->assigned_machine = slot->machine;
   if (tracer_.enabled()) {
     tracer_.instant(obs::Subsystem::kEngine, "task.dispatched", task->id(),
-                    worker_id);
-    tracer_.span_begin(obs::Subsystem::kEngine, "task", task->id(), worker_id,
-                       task->name());
+                    slot->machine);
+    tracer_.span_begin(obs::Subsystem::kEngine, "task", task->id(),
+                       slot->machine, task->name());
   }
   JADE_TRACE("exec-start " << task->name());
-  lock.unlock();
   TaskContext ctx(this, task);
   bool failed = false;
   try {
@@ -161,32 +407,38 @@ void ThreadEngine::execute(TaskNode* task,
   } catch (const EngineAborting&) {
     failed = true;  // unwound because another task already failed
   } catch (...) {
-    lock.lock();
-    if (!first_error_) first_error_ = std::current_exception();
-    lock.unlock();
+    record_error(std::current_exception());
     failed = true;
   }
   task->body = nullptr;
-  lock.lock();
-  if (auto held = commute_held_.find(task); held != commute_held_.end()) {
-    for (ObjectId obj : held->second) commute_holder_.erase(obj);
-    commute_held_.erase(held);
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    release_commute_tokens_locked(task);
+    if (!failed) {
+      // Completion retires the task's records; newly enabled tasks land in
+      // this thread's deque via on_task_ready, which wakes a stealer for
+      // each — except the first, which this thread pops itself on the next
+      // find_task (see ThreadSlot::local_grants).
+      slot->local_grants = 1;
+      serializer_.complete_task(task);
+      slot->local_grants = 0;
+      drained = serializer_.outstanding() == 0;
+    }
+    // Blocked tasks (commute token, dependency waits) re-check their
+    // predicates; skipped entirely when nothing is blocked.
+    if (cv_waiters_ > 0) state_cv_.notify_all();
   }
-  if (failed) {
-    // Leave the task incomplete; run() aborts on first_error_.
-    state_cv_.notify_all();
-    work_cv_.notify_all();
-    return;
-  }
-  serializer_.complete_task(task);
-  tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(), worker_id,
+  if (drained) unpark_all();  // the drain thread may be parked
+  if (failed) return;         // leave incomplete; run() aborts on first_error_
+  ++slot->executed;
+  tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(), slot->machine,
                    task->charged_work);
-  JADE_TRACE("exec-done " << task->name() << " backlog=" << serializer_.backlog()
-             << " ready=" << ready_.size());
-  // Completion may have readied tasks (on_task_ready notified workers); it
-  // also may unblock throttled creators or the draining root.
-  state_cv_.notify_all();
+  JADE_TRACE("exec-done " << task->name()
+             << " backlog=" << slot->deque.size_estimate());
 }
+
+// --- TaskContext backend ---------------------------------------------------
 
 void ThreadEngine::spawn(TaskNode* parent,
                          const std::vector<AccessRequest>& requests,
@@ -196,17 +448,18 @@ void ThreadEngine::spawn(TaskNode* parent,
   TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
                                            std::move(name));
   ++stats_.tasks_created;
+  const bool throttle_needed =
+      throttle_.enabled && serializer_.backlog() > throttle_.high_water;
+  if (!throttle_needed) lock.unlock();
   if (tracer_.enabled())
     tracer_.instant(obs::Subsystem::kEngine, "task.created", task->id(),
                     machine_of(parent), 0, task->name());
+  if (!throttle_needed) return;
 
-  if (!throttle_.enabled) return;
-  if (serializer_.backlog() <= throttle_.high_water) return;
-  // Too much exploited concurrency: make the creator help until the backlog
-  // drains (inlining ready tasks is deadlock-free under serial semantics —
-  // a task never waits on a later task).  If every running task ends up
-  // waiting here with nothing ready, the backlog can only drain through the
-  // creators themselves — give up throttling rather than deadlock.
+  // Too much exploited concurrency: suspend the creator until the backlog
+  // drains (Section 3.3).  If every other thread ends up asleep with
+  // nothing ready, the backlog can only drain through the creators
+  // themselves — give up throttling rather than deadlock.
   ++stats_.throttle_suspensions;
   tracer_.instant(obs::Subsystem::kEngine, "throttle.suspend", parent->id(),
                   machine_of(parent),
@@ -215,21 +468,33 @@ void ThreadEngine::spawn(TaskNode* parent,
              << " backlog=" << serializer_.backlog());
   while (serializer_.backlog() > throttle_.low_water) {
     if (first_error_) throw EngineAborting{};
-    if (sleeping_threads_ + 1 >= total_threads_ && ready_.empty()) {
-      // Every other thread is parked with nothing ready: the backlog can
-      // only drain through this creator, so it must keep creating.
+    if (sleeping_threads_.load(std::memory_order_seq_cst) + 1 >=
+            total_threads_.load(std::memory_order_seq_cst) &&
+        ready_count_.load(std::memory_order_seq_cst) == 0) {
+      // Every other thread is asleep with nothing ready: only this creator
+      // can make progress, so it must keep creating.
+      ++stats_.throttle_giveups;
+      tracer_.instant(obs::Subsystem::kEngine, "throttle.giveup",
+                      parent->id(), machine_of(parent),
+                      static_cast<double>(serializer_.backlog()));
       JADE_TRACE("throttle-giveup " << parent->name());
       return;
     }
     ensure_spare_worker();
-    ++sleeping_threads_;
-    if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
+    ++cv_waiters_;
+    ++throttle_waiters_;
+    sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
+    maybe_notify_all_asleep_locked();
     state_cv_.wait(lock, [this] {
       return serializer_.backlog() <= throttle_.low_water ||
              first_error_ != nullptr ||
-             (sleeping_threads_ >= total_threads_ && ready_.empty());
+             (sleeping_threads_.load(std::memory_order_seq_cst) >=
+                  total_threads_.load(std::memory_order_seq_cst) &&
+              ready_count_.load(std::memory_order_seq_cst) == 0);
     });
-    --sleeping_threads_;
+    sleeping_threads_.fetch_sub(1, std::memory_order_seq_cst);
+    --cv_waiters_;
+    --throttle_waiters_;
   }
   tracer_.instant(obs::Subsystem::kEngine, "throttle.resume", parent->id(),
                   machine_of(parent),
@@ -252,42 +517,48 @@ void ThreadEngine::with_cont(TaskNode* task,
     }
   }
   if (must_block) wait_unblocked(task, lock);
-  // Retirements may have readied successors and woken throttled creators.
-  state_cv_.notify_all();
+  // A returned commute token (or retired rights) may unblock waiters.
+  if (cv_waiters_ > 0) state_cv_.notify_all();
 }
 
 std::byte* ThreadEngine::acquire_bytes(TaskNode* task, ObjectId obj,
                                        std::uint8_t mode) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const bool must_block = serializer_.acquire(task, obj, mode);
-  if (must_block) wait_unblocked(task, lock);
-  if (mode & access::kCommute) {
-    // Commuters run in any order but touch the object exclusively; sleep
-    // until the holder completes (or retires via no_cm).  Note: a task
-    // holding a commute accessor must not block on a deferred conversion,
-    // or holder and waiter could form a cycle the serial order does not
-    // rank (see DESIGN.md).
-    for (;;) {
-      auto it = commute_holder_.find(obj);
-      if (it == commute_holder_.end()) {
-        commute_holder_.emplace(obj, task);
-        commute_held_[task].push_back(obj);
-        break;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool must_block = serializer_.acquire(task, obj, mode);
+    if (must_block) wait_unblocked(task, lock);
+    if (mode & access::kCommute) {
+      // Commuters run in any order but touch the object exclusively; sleep
+      // until the holder completes (or retires via no_cm).  Note: a task
+      // holding a commute accessor must not block on a deferred conversion,
+      // or holder and waiter could form a cycle the serial order does not
+      // rank (see DESIGN.md).
+      for (;;) {
+        auto it = commute_holder_.find(obj);
+        if (it == commute_holder_.end()) {
+          commute_holder_.emplace(obj, task);
+          commute_held_[task].push_back(obj);
+          break;
+        }
+        if (it->second == task) break;
+        if (first_error_) throw EngineAborting{};
+        ensure_spare_worker();
+        ++cv_waiters_;
+        sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
+        maybe_notify_all_asleep_locked();
+        state_cv_.wait(lock, [&] {
+          auto h = commute_holder_.find(obj);
+          return h == commute_holder_.end() || h->second == task ||
+                 first_error_ != nullptr;
+        });
+        sleeping_threads_.fetch_sub(1, std::memory_order_seq_cst);
+        --cv_waiters_;
       }
-      if (it->second == task) break;
-      if (first_error_) throw EngineAborting{};
-      ensure_spare_worker();
-      ++sleeping_threads_;
-      if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
-      state_cv_.wait(lock, [&] {
-        auto h = commute_holder_.find(obj);
-        return h == commute_holder_.end() || h->second == task ||
-               first_error_ != nullptr;
-      });
-      --sleeping_threads_;
     }
   }
-  return buffers_.at(obj).data();
+  // Global→local translation is pure buffer-table work: by the time the
+  // serial order admits the access, the pointer is immutable.
+  return buffers_.data(obj);
 }
 
 void ThreadEngine::wait_unblocked(TaskNode* task,
@@ -298,33 +569,29 @@ void ThreadEngine::wait_unblocked(TaskNode* task,
   // the unblock always arrives (or the run aborts on first_error_).
   JADE_TRACE("unblk-enter " << task->name());
   ensure_spare_worker();
-  ++sleeping_threads_;
-  if (sleeping_threads_ >= total_threads_) state_cv_.notify_all();
+  ++cv_waiters_;
+  sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
+  maybe_notify_all_asleep_locked();
   state_cv_.wait(lock, [this, task] {
     return unblocked_.contains(task) || first_error_ != nullptr;
   });
-  --sleeping_threads_;
+  sleeping_threads_.fetch_sub(1, std::memory_order_seq_cst);
+  --cv_waiters_;
   if (!unblocked_.contains(task)) throw EngineAborting{};
   unblocked_.erase(task);
   JADE_TRACE("unblk-exit " << task->name());
 }
 
 void ThreadEngine::charge(TaskNode* task, double units) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // No lock: the executing thread owns the running task's accounting and
+  // its slot's stat cell; the global total is folded at the end of run().
   task->charged_work += units;
-  stats_.total_charged_work += units;
-}
-
-void ThreadEngine::on_task_ready(TaskNode* task) {
-  // Called with mu_ held (from within a serializer call we made).
-  ready_.push_back(task);
-  work_cv_.notify_one();
-  state_cv_.notify_all();  // helpers in throttle/drain loops watch ready_
-}
-
-void ThreadEngine::on_task_unblocked(TaskNode* task) {
-  unblocked_.insert(task);
-  state_cv_.notify_all();
+  if (tls_engine_ == this && tls_slot_ != nullptr) {
+    tls_slot_->charged += units;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.total_charged_work += units;
+  }
 }
 
 }  // namespace jade

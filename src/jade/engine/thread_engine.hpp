@@ -2,27 +2,45 @@
 //
 // Models the paper's SGI 4D/240S / DASH implementation: the hardware (here,
 // the host's cache-coherent memory) provides the shared address space, so
-// the runtime "only needs to synchronize the computation" (Section 1).  A
-// pool of worker threads executes ready tasks; all serializer state is
-// protected by one engine mutex — Jade targets coarse-grain tasks, so the
-// lock is uncontended by design (Section 8 discusses the grain-size limit).
+// the runtime "only needs to synchronize the computation" (Section 1).
+//
+// The execution path is decomposed so the one global mutex guards only what
+// is global by contract — the Serializer, which is single-threaded by
+// design — and nothing else (docs/PERFORMANCE.md spells out the hierarchy):
+//
+//   * Ready-task dispatch runs through per-thread Chase–Lev work-stealing
+//     deques (support/work_steal_deque.hpp).  A task enabled by thread T is
+//     pushed to T's own deque and executed LIFO for locality; idle threads
+//     steal FIFO.  Wakeups are targeted — a producer unparks exactly one
+//     idle thread (support/parker.hpp) instead of broadcasting.
+//   * Object bytes live in a sharded BufferTable (engine/buffer_table.hpp)
+//     with stable per-object allocations, so data access (acquire_bytes)
+//     and host I/O (put_bytes/get_bytes) never contend with scheduling.
+//   * charge() is two plain writes: the running task is owned by its
+//     executing thread, and the global total folds per-thread cells into
+//     RuntimeStats at the end of run().
 //
 // Throttling (Section 3.3): when too many tasks are outstanding, the
-// creating task executes ready tasks inline instead of creating more — the
-// paper's "legally inline any task without risking deadlock".
+// creating task suspends until the backlog drains — with the paper's
+// deadlock escape (when every other thread is asleep with nothing ready,
+// the creator gives up throttling, since only it can make progress).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "jade/engine/buffer_table.hpp"
 #include "jade/engine/engine.hpp"
 #include "jade/sched/policies.hpp"
+#include "jade/support/parker.hpp"
+#include "jade/support/work_steal_deque.hpp"
 
 namespace jade {
 
@@ -68,34 +86,121 @@ class ThreadEngine : public Engine, private SerializerListener {
   }
 
  private:
+  /// Everything one engine thread owns: its ready deque, its parking spot,
+  /// and stat cells only that thread writes (folded into RuntimeStats and
+  /// the metrics registry when run() ends).  Slot 0 is the root/drain
+  /// thread; 1..workers are the pool; later slots are compensating workers.
+  struct ThreadSlot {
+    ThreadSlot(int index, MachineId machine) : index(index), machine(machine) {}
+
+    const int index;          ///< dense per-thread index into slots_
+    const MachineId machine;  ///< reported machine id, in [0, machine_count)
+    WorkStealDeque<TaskNode*> deque;
+    Parker parker;
+
+    /// Set (under mu_) around complete_task: the completing thread is about
+    /// to call find_task, so the first task its completion enables needs no
+    /// wakeup — it will be popped locally.  Without this, every step of a
+    /// dependence chain wakes a stealer that migrates the chain, and two
+    /// threads ping-pong it with a futex round-trip per task.
+    std::uint32_t local_grants = 0;
+
+    // Owner-thread-only cells (no sharing until the post-join fold).
+    double charged = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t parks = 0;
+    std::size_t max_queue_depth = 0;
+  };
+
+  /// RAII binding of the calling thread to (engine, slot): serializer
+  /// callbacks and charge() route through these thread-locals.  Saved and
+  /// restored so a task body that runs a nested Runtime behaves.
+  class TlsBinding {
+   public:
+    TlsBinding(ThreadEngine* engine, ThreadSlot* slot);
+    ~TlsBinding();
+
+   private:
+    ThreadEngine* prev_engine_;
+    ThreadSlot* prev_slot_;
+  };
+
   void on_task_ready(TaskNode* task) override;
   void on_task_unblocked(TaskNode* task) override;
 
-  void worker_loop(int worker_id);
-  /// Runs one task to completion; called with `lock` held, releases it while
-  /// the body executes.  `worker_id` identifies the executing thread's
-  /// machine slot (0 = the root/drain thread).
-  void execute(TaskNode* task, std::unique_lock<std::mutex>& lock,
-               int worker_id);
-  /// Blocks the calling task until on_task_unblocked fires for it.
+  void worker_loop(ThreadSlot* slot);
+  /// Runs one ready task to completion on `slot`'s thread.  Takes mu_ only
+  /// around the serializer transitions; the body runs with no lock held.
+  void execute(TaskNode* task, ThreadSlot* slot);
+  /// Pops the thread's own deque, then tries to steal; nullptr when no task
+  /// could be obtained (the caller decides whether to park).
+  TaskNode* find_task(ThreadSlot* self);
+  /// Bounded yield-spin between an empty find_task and parking: returns
+  /// true as soon as work appears (or stop), false when the budget runs out
+  /// and the caller should park.  While spinning the thread is not idle, so
+  /// producers skip the futex wake — in a producer-limited phase this
+  /// replaces a park/unpark round-trip per task with a scheduler yield,
+  /// which also hands the core back to the producer on small machines.
+  bool spin_for_work(ThreadSlot* slot);
+  /// Parks `slot` until a producer wakes it.  Registers in the idle set
+  /// first and re-checks for work (and `extra_wake`, when given) after
+  /// registering, so a concurrent producer cannot be missed.
+  void idle_park(ThreadSlot* slot, bool (ThreadEngine::*extra_wake)());
+  /// Removes `slot` from the idle set; false when a producer already
+  /// claimed it (an unpark is in flight and must be consumed).
+  bool idle_cancel(ThreadSlot* slot);
+  /// Unparks one idle thread, if any (the targeted-wake fast path).
+  void wake_one();
+  /// Unparks every idle thread (stop, first error, graph drained).
+  void unpark_all();
+  /// Rare-edge notifier: when every engine thread is now asleep with
+  /// nothing ready, blocked-in-body threads (throttle waiters) must
+  /// re-evaluate their give-up predicate.
+  void notify_if_all_asleep();
+  /// Same check, for callers already holding mu_.
+  void maybe_notify_all_asleep_locked();
+  /// Drain-thread wake condition, checked under mu_ after idle
+  /// registration: the run is over or failing.
+  bool drain_should_exit();
+
+  /// Blocks the calling task until on_task_unblocked fires for it; called
+  /// with mu_ held.
   void wait_unblocked(TaskNode* task, std::unique_lock<std::mutex>& lock);
-  /// Called (with the lock held) before a task blocks mid-body: if no idle
-  /// worker remains, spawns a compensating worker so ready tasks always
+  /// Called (with mu_ held) before a task blocks mid-body: if no idle
+  /// thread remains, spawns a compensating worker so ready tasks always
   /// have an empty-stack executor.  Tasks are never executed inline on a
   /// blocked task's stack — inlining lets a helped task block on a task
   /// buried beneath it on the same stack, a deadlock no wakeup can fix.
   void ensure_spare_worker();
+  /// Records the first failure, wakes every waiter/parked thread.
+  void record_error(std::exception_ptr err);
+  /// Returns every commute token `task` still holds (mu_ held).  Called at
+  /// task completion — including the root's, which never passes through
+  /// execute() but may have taken tokens in its body.
+  void release_commute_tokens_locked(TaskNode* task);
+
+  /// Registers the next ThreadSlot (single-threaded at run() start, under
+  /// mu_ afterwards) and publishes it to stealing threads.
+  ThreadSlot* add_slot(MachineId machine);
+
+  static constexpr int kMaxSlots = 4097;  ///< 4096 workers + the root thread
+
+  /// The calling thread's binding, installed by TlsBinding.  Engine-tagged
+  /// so a nested Runtime inside a task body cannot misroute callbacks.
+  static thread_local ThreadEngine* tls_engine_;
+  static thread_local ThreadSlot* tls_slot_;
 
   const int workers_requested_;
   const ThrottleConfig throttle_;
 
+  // --- serializer domain: guarded by mu_ -----------------------------------
+  // mu_ serializes all Serializer calls (single-threaded by contract) plus
+  // the blocked-task coordination that is driven by serializer callbacks:
+  // unblock delivery, commute-token ownership, throttle waits, first_error_.
   std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers: ready task or stop
   std::condition_variable state_cv_;  ///< blocked tasks / throttled creators
-  ObjectTable objects_;
-  std::unordered_map<ObjectId, std::vector<std::byte>> buffers_;
   Serializer serializer_;
-  std::deque<TaskNode*> ready_;
   std::unordered_set<TaskNode*> unblocked_;
   /// Commuting-update exclusivity (Section 4.3 extension): commuters may
   /// execute in any order but their accesses are mutually exclusive.  A
@@ -104,25 +209,51 @@ class ThreadEngine : public Engine, private SerializerListener {
   /// so in a consistent global order (as with any lock).
   std::unordered_map<ObjectId, TaskNode*> commute_holder_;
   std::unordered_map<TaskNode*, std::vector<ObjectId>> commute_held_;
+  /// Threads currently waiting on state_cv_; notifications are skipped
+  /// entirely when zero, so unblocked hot paths never broadcast.
+  int cv_waiters_ = 0;
+  /// Creators currently suspended in the throttle loop (subset of
+  /// cv_waiters_); task_started only notifies when one exists.
+  int throttle_waiters_ = 0;
   std::vector<std::thread> workers_;
-  /// Worker threads + the root thread, once run() starts (grows when
-  /// compensating workers are spawned).
-  int total_threads_ = 0;
-  /// Workers currently idle in worker_loop (empty stack, ready to execute).
-  int idle_workers_ = 0;
-  /// Threads currently blocked in any engine wait (idle workers, throttle
-  /// sleeps, dependency waits).  When every thread would be asleep with
-  /// nothing ready, a throttled creator is the only progress source and
-  /// must give up throttling instead of sleeping (see spawn()).  Nested
-  /// helping makes per-*task* counts wrong — a helped task sleeping on the
-  /// root's stack also parks the root — so this counts *threads*.
-  int sleeping_threads_ = 0;
-  bool stop_ = false;
   bool ran_ = false;
-  std::chrono::steady_clock::time_point trace_epoch_{};
   /// First exception that escaped a task body (or a spec violation raised
   /// inside one); rethrown from run() after the pool shuts down.
   std::exception_ptr first_error_;
+
+  // --- object domain: independent of scheduling ----------------------------
+  mutable std::mutex objects_mu_;  ///< ObjectTable structure only
+  ObjectTable objects_;
+  BufferTable buffers_;  ///< internally sharded
+
+  // --- dispatch domain: lock-free deques + a small idle-set mutex ----------
+  /// Per-thread slots, created at run() start and by ensure_spare_worker.
+  /// The array is pre-sized so slot publication is a single release store
+  /// of slot_count_; stealing threads scan [0, slot_count_).
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;
+  std::atomic<int> slot_count_{0};
+  /// Ready tasks across all deques.  The single global fact the dispatch
+  /// path maintains; parking and the throttle give-up predicate need it.
+  std::atomic<std::int64_t> ready_count_{0};
+  /// Idle (parked or about-to-park) threads, popped by producers for
+  /// targeted wakes.  idle_mu_ is a leaf lock: acquired with or without
+  /// mu_, never the other way around.
+  std::mutex idle_mu_;
+  std::vector<ThreadSlot*> idle_stack_;
+  std::atomic<int> idle_count_{0};
+  /// Threads asleep in any engine wait (parked idle, throttle sleeps,
+  /// dependency waits).  When every thread would be asleep with nothing
+  /// ready, a throttled creator is the only progress source and must give
+  /// up throttling instead of sleeping (see spawn()).  Nested helping
+  /// makes per-*task* counts wrong — a helped task sleeping on the root's
+  /// stack also parks the root — so this counts *threads*.
+  std::atomic<int> sleeping_threads_{0};
+  /// Worker threads + the root thread, once run() starts (grows when
+  /// compensating workers are spawned).
+  std::atomic<int> total_threads_{0};
+  std::atomic<bool> stop_{false};
+
+  std::chrono::steady_clock::time_point trace_epoch_{};
 };
 
 }  // namespace jade

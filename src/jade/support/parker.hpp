@@ -1,0 +1,44 @@
+// Parker — one thread's private parking spot.
+//
+// The ThreadEngine gives every worker its own Parker so a producer with new
+// work wakes exactly one chosen sleeper (pop an idle worker, unpark it)
+// instead of broadcasting on a shared condition variable and stampeding the
+// whole pool — the classic eventcount/parking-lot discipline of modern task
+// runtimes.
+//
+// Tokens don't accumulate: any number of unpark() calls before a park()
+// satisfy exactly one park().  That is the right semantics for "there may
+// be work for you": the woken thread rescans the deques regardless of how
+// many times it was nudged.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace jade {
+
+class Parker {
+ public:
+  /// Blocks until a token is available (possibly already), then consumes it.
+  void park() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return token_; });
+    token_ = false;
+  }
+
+  /// Deposits the token and wakes the parked thread, if any.
+  void unpark() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      token_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool token_ = false;
+};
+
+}  // namespace jade

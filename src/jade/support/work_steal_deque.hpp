@@ -1,0 +1,148 @@
+// Chase–Lev work-stealing deque (SPAA '05), in the acquire/release
+// formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP '13).
+//
+// One owner thread pushes and pops at the bottom; any number of thief
+// threads steal from the top.  The owner's path is a handful of relaxed
+// atomics per operation; thieves pay one CAS.  This is the per-worker ready
+// queue of the ThreadEngine: tasks a worker creates (or that completing a
+// task enables) land in that worker's own deque and are executed LIFO for
+// locality, while idle workers steal the oldest entries FIFO — the order a
+// shared queue would have dispatched them in.
+//
+// Memory-model notes:
+//   * Elements live in atomic cells so a thief's read of a slot the owner
+//     is concurrently recycling is a benign relaxed load (its value is
+//     discarded when the top CAS fails), not a data race.
+//   * The PPoPP '13 version uses standalone seq_cst fences; here the fences
+//     are folded into seq_cst operations on top_/bottom_ themselves, which
+//     ThreadSanitizer models precisely (standalone fences it does not).
+//   * Retired ring buffers are kept until destruction: a thief may still be
+//     reading a stale buffer pointer, and at one retired array per doubling
+//     the total waste is bounded by ~2x the live buffer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+template <typename T>
+class WorkStealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WorkStealDeque elements are copied through atomic cells");
+
+ public:
+  explicit WorkStealDeque(std::size_t initial_capacity = 64) {
+    JADE_ASSERT_MSG((initial_capacity & (initial_capacity - 1)) == 0,
+                    "deque capacity must be a power of two");
+    buffer_.store(new Ring(initial_capacity), std::memory_order_relaxed);
+  }
+
+  ~WorkStealDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    // retired_ buffers delete themselves via unique_ptr.
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Owner only: append at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) a = grow(b, t);
+    a->put(b, item);
+    bottom_.store(b + 1, std::memory_order_seq_cst);  // release + fence
+  }
+
+  /// Owner only: take the newest entry (LIFO), or nothing when empty.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);  // publish before top read
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // deque was empty; restore
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T item = a->get(b);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief got it
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: take the oldest entry (FIFO), or nothing when empty or a
+  /// race was lost (callers treat both as "try elsewhere").
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return std::nullopt;
+    Ring* a = buffer_.load(std::memory_order_acquire);
+    T item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return std::nullopt;  // lost to the owner or another thief
+    return item;
+  }
+
+  /// Racy size estimate (exact when only the owner is active).
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty() const { return size_estimate() == 0; }
+
+ private:
+  /// Power-of-two ring of atomic cells.  Cells are relaxed: ordering comes
+  /// from top_/bottom_, and a stale read is discarded by a failing CAS.
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          cells(std::make_unique<std::atomic<T>[]>(cap)) {}
+
+    T get(std::int64_t i) const {
+      return cells[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      cells[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  /// Owner only: double the ring, copying live entries [t, b).
+  Ring* grow(std::int64_t b, std::int64_t t) {
+    Ring* old = buffer_.load(std::memory_order_relaxed);
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Ring>> retired_;  ///< owner-only mutation
+};
+
+}  // namespace jade

@@ -1,14 +1,20 @@
-// Unit tests for the support module: intrusive list, RNG, stats, errors.
+// Unit tests for the support module: intrusive list, RNG, stats, errors,
+// work-stealing deque, parker.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "jade/support/error.hpp"
 #include "jade/support/intrusive_list.hpp"
+#include "jade/support/parker.hpp"
 #include "jade/support/rng.hpp"
 #include "jade/support/stats.hpp"
+#include "jade/support/work_steal_deque.hpp"
 
 namespace jade {
 namespace {
@@ -225,6 +231,111 @@ TEST(Errors, HierarchyPreserved) {
 TEST(FormatDouble, FixedPrecision) {
   EXPECT_EQ(format_double(1.5, 3), "1.500");
   EXPECT_EQ(format_double(-0.25, 2), "-0.25");
+}
+
+TEST(WorkStealDeque, OwnerPopsLifoThievesStealFifo) {
+  WorkStealDeque<int> d(4);
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.pop().has_value());
+  EXPECT_FALSE(d.steal().has_value());
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.size_estimate(), 3u);
+  auto oldest = d.steal();
+  ASSERT_TRUE(oldest.has_value());
+  EXPECT_EQ(*oldest, 1);
+  auto newest = d.pop();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(*newest, 3);
+  EXPECT_EQ(*d.pop(), 2);
+  EXPECT_FALSE(d.pop().has_value());
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(WorkStealDeque, GrowsPastInitialCapacityPreservingOrder) {
+  WorkStealDeque<int> d(4);
+  constexpr int kItems = 100;
+  for (int i = 0; i < kItems; ++i) d.push(i);
+  EXPECT_EQ(d.size_estimate(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems / 2; ++i) EXPECT_EQ(*d.steal(), i);
+  for (int i = kItems - 1; i >= kItems / 2; --i) EXPECT_EQ(*d.pop(), i);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WorkStealDeque, ConcurrentThievesReceiveEachItemExactlyOnce) {
+  // Owner pushes (and sometimes pops) while thieves steal; every item must
+  // be delivered to exactly one taker.  Exactly-once shows up as both the
+  // count and the sum matching; a double delivery would overshoot, a lost
+  // item can only hang (bounded by the gtest harness, not a timer here).
+  WorkStealDeque<int> d;
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 2;
+  std::atomic<bool> go{false};
+  std::atomic<long long> sum{0};
+  std::atomic<int> taken{0};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (taken.load(std::memory_order_acquire) < kItems) {
+        if (std::optional<int> v = d.steal()) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          taken.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (int i = 1; i <= kItems; ++i) {
+    d.push(i);
+    if (i % 3 == 0) {
+      if (std::optional<int> v = d.pop()) {
+        sum.fetch_add(*v, std::memory_order_relaxed);
+        taken.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+  while (taken.load(std::memory_order_acquire) < kItems) {
+    if (std::optional<int> v = d.pop()) {
+      sum.fetch_add(*v, std::memory_order_relaxed);
+      taken.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (std::thread& t : thieves) t.join();
+  EXPECT_EQ(taken.load(), kItems);
+  EXPECT_EQ(sum.load(),
+            static_cast<long long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(Parker, UnparkBeforeParkSatisfiesIt) {
+  Parker p;
+  p.unpark();
+  p.park();  // consumes the banked token without blocking
+}
+
+TEST(Parker, TokensDoNotAccumulate) {
+  Parker p;
+  p.unpark();
+  p.unpark();
+  p.unpark();
+  p.park();  // three unparks banked exactly one token
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    p.park();
+    woke.store(true, std::memory_order_release);
+  });
+  // No token is available, so the thread cannot have returned from park()
+  // regardless of scheduling; only the unpark below releases it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load(std::memory_order_acquire));
+  p.unpark();
+  t.join();
+  EXPECT_TRUE(woke.load(std::memory_order_acquire));
 }
 
 }  // namespace
