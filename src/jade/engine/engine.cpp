@@ -27,6 +27,12 @@ void Engine::publish_runtime_stats() {
   m.counter("engine.compensating_workers").set(s.compensating_workers);
   m.counter("net.messages").set(s.messages);
   m.counter("net.bytes_sent").set(s.bytes_sent);
+  m.counter("net.payload_bytes").set(s.payload_bytes);
+  m.counter("comm.requests_combined").set(s.requests_combined);
+  m.counter("comm.replicas_reused").set(s.replicas_reused);
+  m.counter("comm.invalidations_coalesced").set(s.invalidations_coalesced);
+  m.counter("comm.conversions_cached").set(s.conversions_cached);
+  m.counter("comm.bytes_avoided").set(s.bytes_avoided);
   m.counter("store.object_moves").set(s.object_moves);
   m.counter("store.object_copies").set(s.object_copies);
   m.counter("store.invalidations").set(s.invalidations);

@@ -57,10 +57,19 @@ struct RuntimeStats {
 
   std::uint64_t messages = 0;        ///< simulated network messages
   std::uint64_t bytes_sent = 0;
+  std::uint64_t payload_bytes = 0;   ///< object-data bytes (bytes_sent minus
+                                     ///< control traffic)
   std::uint64_t object_moves = 0;    ///< exclusive transfers (write access)
   std::uint64_t object_copies = 0;   ///< replications (read access)
   std::uint64_t invalidations = 0;
   std::uint64_t scalars_converted = 0;  ///< heterogeneous format conversion
+
+  // --- communication-protocol optimizations (SimEngine, CommConfig) --------
+  std::uint64_t requests_combined = 0;  ///< requests that rode a shared fetch
+  std::uint64_t replicas_reused = 0;    ///< stale replicas revalidated in place
+  std::uint64_t invalidations_coalesced = 0;  ///< unicasts folded into mcasts
+  std::uint64_t conversions_cached = 0;  ///< cross-endian conversions skipped
+  std::uint64_t bytes_avoided = 0;       ///< wire bytes the optimizations saved
 
   double total_charged_work = 0;     ///< sum of charge() units
   SimTime finish_time = 0;           ///< virtual completion time (SimEngine)

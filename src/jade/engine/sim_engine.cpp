@@ -1,6 +1,7 @@
 #include "jade/engine/sim_engine.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "jade/ft/recovery.hpp"
 #include "jade/support/error.hpp"
@@ -17,6 +18,8 @@ enum class MsgKind : std::uint8_t {
   kObjectRequest = 1,   ///< please send object X (move or copy)
   kObjectData = 2,      ///< header preceding an object payload
   kInvalidate = 3,      ///< drop your replica of object X
+  kObjectGrant = 4,     ///< access granted, no payload: the requester's
+                        ///< replica is current (revalidation / upgrade)
 };
 
 /// Encodes a control message exactly as the transport would (the typed
@@ -33,6 +36,34 @@ std::size_t control_message_size(MsgKind kind, ObjectId obj, MachineId from,
   w.put_u64(payload);
   return std::max(w.size(), floor);
 }
+
+/// A combined request for several objects held by one owner: one header,
+/// then the object-id list.
+std::size_t batch_request_size(std::span<const ObjectId> objs,
+                               MachineId requester, MachineId owner,
+                               std::size_t floor) {
+  WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgKind::kObjectRequest));
+  w.put_u32(static_cast<std::uint32_t>(objs.size()));
+  w.put_u32(static_cast<std::uint32_t>(requester));
+  w.put_u32(static_cast<std::uint32_t>(owner));
+  for (ObjectId o : objs) w.put_u64(o);
+  return std::max(w.size(), floor);
+}
+
+/// A coalesced invalidation: one control message naming every holder that
+/// must drop its replica (the topology fans it out as a multicast).
+std::size_t invalidate_message_size(ObjectId obj, MachineId from,
+                                    std::span<const MachineId> targets,
+                                    std::size_t floor) {
+  WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgKind::kInvalidate));
+  w.put_u64(obj);
+  w.put_u32(static_cast<std::uint32_t>(from));
+  w.put_u32(static_cast<std::uint32_t>(targets.size()));
+  for (MachineId t : targets) w.put_u32(static_cast<std::uint32_t>(t));
+  return std::max(w.size(), floor);
+}
 }  // namespace
 
 SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
@@ -46,6 +77,9 @@ SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
   cluster_.validate();
   if (sched_.contexts_per_machine < 1)
     throw ConfigError("contexts_per_machine must be >= 1");
+  // With replica reuse on, a dropped-but-current replica is as good as a
+  // present one for the locality heuristics.
+  directory_.set_reuse_scoring(sched_.comm.reuse_replicas);
   machines_.reserve(cluster_.machines.size());
   for (const MachineDesc& desc : cluster_.machines) {
     Machine m;
@@ -124,6 +158,9 @@ ObjectId SimEngine::allocate(TypeDescriptor type, std::string name,
 void SimEngine::put_bytes(ObjectId obj, std::span<const std::byte> data) {
   JADE_ASSERT(data.size() == objects_.info(obj).byte_size());
   std::copy(data.begin(), data.end(), directory_.data(obj));
+  // A host write starts a new data version (invalidates conversion cache
+  // entries and any stale-replica reuse from a previous state).
+  directory_.mark_dirty(obj);
 }
 
 std::vector<std::byte> SimEngine::get_bytes(ObjectId obj) {
@@ -258,21 +295,22 @@ void SimEngine::task_process(TaskNode* task) {
   // Prefetch: move/copy every object named by an immediate right to this
   // machine; all transfers go out at once so their latencies overlap
   // (and overlap other tasks' execution — latency hiding, Figure 7(f)).
+  // Deferred read declarations ride along as non-blocking hints: their
+  // payloads are resident (or in flight) before the task's first with-cont,
+  // but task start does not wait for them.
   if (!cluster_.shared_memory()) {
-    SimTime ready_at = sim_.now();
+    std::vector<FetchItem> items;
     for (const DeclRecord* rec : task->ordered_records()) {
-      if (rec->immediate == 0) continue;
-      const bool exclusive = (rec->immediate & kExclusiveBits) != 0;
-      ready_at = std::max(
-          ready_at, transfer_object(t, rec->obj, t.machine, exclusive));
+      if (rec->immediate != 0) {
+        items.push_back(
+            {rec->obj, (rec->immediate & kExclusiveBits) != 0, true});
+      } else if (sched_.comm.prefetch_deferred &&
+                 (rec->deferred & access::kRead) &&
+                 (rec->deferred & kExclusiveBits) == 0) {
+        items.push_back({rec->obj, false, false});
+      }
     }
-    if (ready_at > sim_.now()) {
-      fetch_wait_hist_->observe(ready_at - sim_.now());
-      t.wait = Wait::kFetch;
-      sim_.resume_at(sim_.current(), ready_at);
-      sim_.park();
-      t.wait = Wait::kNone;
-    }
+    park_until_fetched(t, fetch_objects(t, std::move(items)));
   }
 
   occupy_runtime(t, cluster_.task_dispatch_overhead);
@@ -506,22 +544,23 @@ void SimEngine::with_cont(TaskNode* task,
 void SimEngine::fetch_for(SimTask& t,
                           const std::vector<AccessRequest>& reqs) {
   if (cluster_.shared_memory()) return;
-  SimTime ready_at = sim_.now();
+  std::vector<FetchItem> items;
   for (const AccessRequest& req : reqs) {
     if (req.add_immediate == 0) continue;
     DeclRecord* rec = t.node->find_record(req.obj);
     if (rec == nullptr || rec->immediate == 0) continue;
-    const bool exclusive = (rec->immediate & kExclusiveBits) != 0;
-    ready_at = std::max(ready_at,
-                        transfer_object(t, req.obj, t.machine, exclusive));
+    items.push_back({req.obj, (rec->immediate & kExclusiveBits) != 0, true});
   }
-  if (ready_at > sim_.now()) {
-    fetch_wait_hist_->observe(ready_at - sim_.now());
-    t.wait = Wait::kFetch;
-    sim_.resume_at(sim_.current(), ready_at);
-    sim_.park();
-    t.wait = Wait::kNone;
-  }
+  park_until_fetched(t, fetch_objects(t, std::move(items)));
+}
+
+void SimEngine::park_until_fetched(SimTask& t, SimTime ready_at) {
+  if (ready_at <= sim_.now()) return;
+  fetch_wait_hist_->observe(ready_at - sim_.now());
+  t.wait = Wait::kFetch;
+  sim_.resume_at(sim_.current(), ready_at);
+  sim_.park();
+  t.wait = Wait::kNone;
 }
 
 std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
@@ -557,14 +596,7 @@ std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
   // residence (cheap when it is still here).
   if (!cluster_.shared_memory()) {
     const bool exclusive = (mode & kExclusiveBits) != 0;
-    const SimTime at = transfer_object(t, obj, t.machine, exclusive);
-    if (at > sim_.now()) {
-      fetch_wait_hist_->observe(at - sim_.now());
-      t.wait = Wait::kFetch;
-      sim_.resume_at(sim_.current(), at);
-      sim_.park();
-      t.wait = Wait::kNone;
-    }
+    park_until_fetched(t, transfer_object(t, obj, t.machine, exclusive));
   }
   // Snapshot before handing out a mutable pointer: if a crash kills this
   // attempt mid-write, the pre-image is restored and the re-execution sees
@@ -573,6 +605,11 @@ std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
   // object *with its predecessors' updates applied*.
   if (ft_enabled() && st(task).restartable && (mode & kExclusiveBits))
     maybe_snapshot(st(task), obj);
+  // The write makes every other copy stale: drop replicas that raced in via
+  // prefetch and open a new data version (after the snapshot, so a killed
+  // attempt restores the pre-write version).
+  if (!cluster_.shared_memory() && (mode & kExclusiveBits))
+    first_write_invalidate(st(task), obj);
   return directory_.data(obj);
 }
 
@@ -591,12 +628,96 @@ MachineId SimEngine::machine_of(TaskNode* task) const {
 // --- object motion ---------------------------------------------------------
 
 SimTime SimEngine::available_at(ObjectId obj, MachineId m) const {
-  auto it = available_at_.find(obj * 64 + static_cast<std::uint64_t>(m));
+  auto it =
+      available_at_.find(obj * kMaxMachines + static_cast<std::uint64_t>(m));
   return it == available_at_.end() ? 0 : it->second;
 }
 
 void SimEngine::set_available_at(ObjectId obj, MachineId m, SimTime at) {
-  available_at_[obj * 64 + static_cast<std::uint64_t>(m)] = at;
+  available_at_[obj * kMaxMachines + static_cast<std::uint64_t>(m)] = at;
+}
+
+SimTime SimEngine::conversion_cost(ObjectId obj, MachineId src,
+                                   MachineId dst) {
+  // Heterogeneous format conversion: when the byte orders differ we really
+  // run the per-scalar conversion (twice: sender->wire, wire->receiver; the
+  // two swaps compose to the identity on the host's canonical buffer, but
+  // the work and the code path are real) and charge its time.  The sender
+  // caches the converted image per data version, so repeated cross-endian
+  // transfers of clean data convert once.
+  const ObjectInfo& info = objects_.info(obj);
+  const Endian se = machines_[src].desc.endian;
+  const Endian de = machines_[dst].desc.endian;
+  if (se == de || info.type.order_invariant()) return 0;
+  if (sched_.comm.cache_conversions) {
+    auto it = converted_cache_.find(obj);
+    if (it != converted_cache_.end() &&
+        it->second == directory_.data_version(obj)) {
+      ++stats_.conversions_cached;
+      return 0;
+    }
+  }
+  std::span<std::byte> data{directory_.data(obj), info.byte_size()};
+  const std::size_t n = convert_representation(data, info.type,
+                                               Endian::kLittle, Endian::kBig);
+  convert_representation(data, info.type, Endian::kBig, Endian::kLittle);
+  stats_.scalars_converted += n;
+  if (sched_.comm.cache_conversions)
+    converted_cache_[obj] = directory_.data_version(obj);
+  return static_cast<SimTime>(n) * cluster_.conversion_seconds_per_scalar;
+}
+
+void SimEngine::send_invalidations(ObjectId obj, MachineId from,
+                                   const std::vector<MachineId>& targets,
+                                   SimTime now) {
+  // Fire-and-forget — the serializer already guarantees no earlier reader
+  // is still active on any target.
+  if (targets.empty()) return;
+  stats_.invalidations += targets.size();
+  if (sched_.comm.coalesce_invalidations && targets.size() > 1) {
+    const std::size_t bytes = invalidate_message_size(
+        obj, from, targets, cluster_.control_message_bytes);
+    network_->schedule_multicast(from, targets, bytes, now);
+    stats_.messages += 1;
+    stats_.bytes_sent += bytes;
+    stats_.invalidations_coalesced += targets.size() - 1;
+    std::size_t naive = 0;
+    for (MachineId h : targets)
+      naive += control_message_size(MsgKind::kInvalidate, obj, from, h, 0,
+                                    cluster_.control_message_bytes);
+    if (naive > bytes) stats_.bytes_avoided += naive - bytes;
+  } else {
+    for (MachineId h : targets) {
+      const std::size_t bytes =
+          control_message_size(MsgKind::kInvalidate, obj, from, h, 0,
+                               cluster_.control_message_bytes);
+      network_->schedule_transfer(from, h, bytes, now);
+      ++stats_.messages;
+      stats_.bytes_sent += bytes;
+    }
+  }
+}
+
+void SimEngine::first_write_invalidate(SimTask& t, ObjectId obj) {
+  const MachineId m = t.machine;
+  std::vector<MachineId> dropped;
+  if (!directory_.sole_holder(obj, m)) {
+    // Replicas appeared between the exclusive transfer and this write
+    // (another task's deferred-read prefetch raced in); drop them before
+    // the write makes them stale.
+    dropped = directory_.invalidate_replicas(obj);
+  }
+  const bool first =
+      std::find(t.dirtied.begin(), t.dirtied.end(), obj) == t.dirtied.end();
+  if (first) {
+    directory_.mark_dirty(obj);
+    t.dirtied.push_back(obj);
+  } else if (!dropped.empty()) {
+    // A replica copied between two of this attempt's writes holds a torn
+    // image; advance the version again so it can never revalidate.
+    directory_.mark_dirty(obj);
+  }
+  send_invalidations(obj, m, dropped, sim_.now());
 }
 
 SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
@@ -629,8 +750,8 @@ SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
   const SimTime now = sim_.now();
   const ObjectInfo& info = objects_.info(obj);
   const MachineId from = directory_.owner(obj);
-  // The object travels behind a data header; requests and invalidations are
-  // standalone control messages.
+  // The object travels behind a data header; requests, grants, and
+  // invalidations are standalone control messages.
   const std::size_t payload =
       info.byte_size() +
       control_message_size(MsgKind::kObjectData, obj, from, to,
@@ -638,27 +759,41 @@ SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
   const std::size_t request_bytes =
       control_message_size(MsgKind::kObjectRequest, obj, to, from, 0,
                            cluster_.control_message_bytes);
-
-  // Heterogeneous format conversion: when the byte orders differ we really
-  // run the per-scalar conversion (twice: sender->wire, wire->receiver; the
-  // two swaps compose to the identity on the host's canonical buffer, but
-  // the work and the code path are real) and charge its time.
-  auto maybe_convert = [&](MachineId src, MachineId dst) -> SimTime {
-    const Endian se = machines_[src].desc.endian;
-    const Endian de = machines_[dst].desc.endian;
-    if (se == de || info.type.order_invariant()) return 0;
-    std::span<std::byte> data{directory_.data(obj), info.byte_size()};
-    const std::size_t n =
-        convert_representation(data, info.type, Endian::kLittle,
-                               Endian::kBig);
-    convert_representation(data, info.type, Endian::kBig, Endian::kLittle);
-    stats_.scalars_converted += n;
-    return static_cast<SimTime>(n) * cluster_.conversion_seconds_per_scalar;
-  };
+  const std::size_t grant_bytes =
+      control_message_size(MsgKind::kObjectGrant, obj, from, to, 0,
+                           cluster_.control_message_bytes);
 
   if (!exclusive) {
-    if (directory_.present(obj, to))
-      return std::max(now, available_at(obj, to));
+    if (directory_.present(obj, to)) {
+      const SimTime avail = available_at(obj, to);
+      // An earlier request's payload is still in flight; this reader shares
+      // it instead of issuing its own.
+      if (avail > now) ++stats_.requests_combined;
+      return std::max(now, avail);
+    }
+    if (sched_.comm.reuse_replicas && directory_.reusable(obj, to)) {
+      // Revalidation: the dropped replica still matches the current data
+      // version, so a control round-trip re-admits it — no payload.
+      const SimTime req_arr =
+          network_->schedule_transfer(to, from, request_bytes, now);
+      const SimTime grant_arr =
+          network_->schedule_transfer(from, to, grant_bytes, req_arr);
+      stats_.messages += 2;
+      stats_.bytes_sent += request_bytes + grant_bytes;
+      ++stats_.replicas_reused;
+      stats_.bytes_avoided += info.byte_size();
+      if (tracer_.enabled()) {
+        tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
+                              from, "revalidate " + info.name);
+        tracer_.span_end_at(grant_arr, obs::Subsystem::kStore, "store.fetch",
+                            obj, to, static_cast<double>(info.byte_size()));
+      }
+      directory_.revalidate_to(obj, to);
+      set_available_at(obj, to, grant_arr);
+      JADE_TRACE("t=" << now << " revalidate " << info.name << " on " << to
+                      << " granted t=" << grant_arr);
+      return grant_arr;
+    }
     // Copy: request to the owner, data back; the owner keeps its version so
     // machines read concurrently (object replication, Section 5).
     const SimTime req_arr =
@@ -667,7 +802,8 @@ SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
                                                    req_arr);
     stats_.messages += 2;
     stats_.bytes_sent += request_bytes + payload;
-    data_arr += maybe_convert(from, to);
+    stats_.payload_bytes += info.byte_size();
+    data_arr += conversion_cost(obj, from, to);
     if (tracer_.enabled()) {
       tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
                             from, "copy " + info.name);
@@ -683,41 +819,245 @@ SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
   }
 
   // Exclusive (write/commute) access: the object *moves*; every other copy
-  // is deallocated (Figure 7(c)).  Invalidations are fire-and-forget — the
-  // serializer already guarantees no earlier reader is still active.
+  // is deallocated (Figure 7(c)).
   SimTime avail = std::max(now, available_at(obj, to));
   if (from != to) {
-    const SimTime req_arr =
-        network_->schedule_transfer(to, from, request_bytes, now);
-    SimTime data_arr = network_->schedule_transfer(from, to, payload,
-                                                   req_arr);
-    stats_.messages += 2;
-    stats_.bytes_sent += request_bytes + payload;
-    data_arr += maybe_convert(from, to);
-    avail = data_arr;
-    ++stats_.object_moves;
-    if (tracer_.enabled()) {
-      tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
-                            from, "move " + info.name);
-      tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
-                          obj, to, static_cast<double>(info.byte_size()));
+    if (sched_.comm.reuse_replicas &&
+        (directory_.present(obj, to) || directory_.reusable(obj, to))) {
+      // Upgrade in place: the destination already holds (or can revalidate)
+      // the current bytes, so only ownership travels — request and grant,
+      // no payload move.
+      const SimTime req_arr =
+          network_->schedule_transfer(to, from, request_bytes, now);
+      const SimTime grant_arr =
+          network_->schedule_transfer(from, to, grant_bytes, req_arr);
+      stats_.messages += 2;
+      stats_.bytes_sent += request_bytes + grant_bytes;
+      ++stats_.replicas_reused;
+      stats_.bytes_avoided += info.byte_size();
+      if (!directory_.present(obj, to)) directory_.revalidate_to(obj, to);
+      avail = std::max(avail, grant_arr);
+      if (tracer_.enabled()) {
+        tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
+                              from, "upgrade " + info.name);
+        tracer_.span_end_at(avail, obs::Subsystem::kStore, "store.fetch",
+                            obj, to, static_cast<double>(info.byte_size()));
+      }
+      JADE_TRACE("t=" << now << " upgrade " << info.name << " in place on "
+                      << to << " granted t=" << grant_arr);
+    } else {
+      const SimTime req_arr =
+          network_->schedule_transfer(to, from, request_bytes, now);
+      SimTime data_arr = network_->schedule_transfer(from, to, payload,
+                                                     req_arr);
+      stats_.messages += 2;
+      stats_.bytes_sent += request_bytes + payload;
+      stats_.payload_bytes += info.byte_size();
+      data_arr += conversion_cost(obj, from, to);
+      avail = data_arr;
+      ++stats_.object_moves;
+      if (tracer_.enabled()) {
+        tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
+                              from, "move " + info.name);
+        tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
+                            obj, to, static_cast<double>(info.byte_size()));
+      }
+      JADE_TRACE("t=" << now << " move " << info.name << " " << from << "->"
+                      << to << " arrives t=" << data_arr);
     }
-    JADE_TRACE("t=" << now << " move " << info.name << " " << from << "->"
-                    << to << " arrives t=" << data_arr);
   }
-  for (MachineId h : directory_.holders(obj)) {
-    if (h == to || h == from) continue;
-    const std::size_t inval_bytes =
-        control_message_size(MsgKind::kInvalidate, obj, from, h, 0,
-                             cluster_.control_message_bytes);
-    network_->schedule_transfer(from, h, inval_bytes, now);
-    ++stats_.messages;
-    stats_.bytes_sent += inval_bytes;
-    ++stats_.invalidations;
-  }
+  std::vector<MachineId> targets;
+  for (MachineId h : directory_.holders(obj))
+    if (h != to && h != from) targets.push_back(h);
+  send_invalidations(obj, from, targets, now);
   directory_.move_to(obj, to);
   set_available_at(obj, to, avail);
   return avail;
+}
+
+SimTime SimEngine::fetch_objects(SimTask& t, std::vector<FetchItem> items) {
+  if (cluster_.shared_memory() || items.empty()) return sim_.now();
+
+  if (ft_enabled()) {
+    // Wait until every blocking item's owner is up (or a local replica
+    // satisfies its read).  Waking from one park can find another item's
+    // owner newly crashed, so loop until a full pass makes no park.
+    bool parked = true;
+    while (parked) {
+      parked = false;
+      for (const FetchItem& item : items) {
+        if (!item.blocking) continue;
+        if (directory_.lost(item.obj))
+          throw UnrecoverableError(
+              "object " + std::to_string(item.obj) + " ('" +
+              objects_.info(item.obj).name +
+              "') is unrecoverable: its only copy died with machine " +
+              std::to_string(directory_.owner(item.obj)) +
+              " and stable storage is disabled");
+        const MachineId owner = directory_.owner(item.obj);
+        if (injector_->machine_up(owner)) continue;
+        if (!item.exclusive && directory_.present(item.obj, t.machine))
+          continue;
+        JADE_TRACE("t=" << sim_.now() << " " << t.node->name()
+                        << " waits for recovery of obj " << item.obj
+                        << " (owner " << owner << " is down)");
+        recovery_waiters_[static_cast<std::size_t>(owner)].push_back(t.node);
+        park_inactive(t, Wait::kRecovery);
+        parked = true;
+        break;
+      }
+    }
+    // Prefetch hints are best-effort: drop the ones recovery would have to
+    // wait for.
+    std::erase_if(items, [this](const FetchItem& item) {
+      if (item.blocking) return false;
+      return directory_.lost(item.obj) ||
+             !injector_->machine_up(directory_.owner(item.obj));
+    });
+  }
+
+  // Everything from here is synchronous (scheduling only; no time passes),
+  // so the classification below cannot be invalidated by a concurrent event.
+  const MachineId to = t.machine;
+  SimTime ready = sim_.now();
+
+  if (!sched_.comm.combine_requests) {
+    for (const FetchItem& item : items) {
+      const SimTime at = transfer_object(t, item.obj, to, item.exclusive);
+      if (item.blocking) ready = std::max(ready, at);
+    }
+    return ready;
+  }
+
+  // Group the items that need a round-trip to a remote owner; everything
+  // else (already present for a read, or owned here) resolves locally.
+  // std::map keys the batches in machine order — deterministic.
+  std::map<MachineId, std::vector<FetchItem>> batches;
+  for (const FetchItem& item : items) {
+    const MachineId from = directory_.owner(item.obj);
+    const bool local =
+        from == to || (!item.exclusive && directory_.present(item.obj, to));
+    if (local) {
+      const SimTime at = transfer_object(t, item.obj, to, item.exclusive);
+      if (item.blocking) ready = std::max(ready, at);
+    } else {
+      batches[from].push_back(item);
+    }
+  }
+
+  for (auto& [from, batch] : batches) {
+    SimTime at;
+    if (batch.size() == 1) {
+      at = transfer_object(t, batch.front().obj, to, batch.front().exclusive);
+    } else {
+      at = fetch_batch(t, from, batch);
+    }
+    for (const FetchItem& item : batch)
+      if (item.blocking) ready = std::max(ready, at);
+  }
+  return ready;
+}
+
+SimTime SimEngine::fetch_batch(SimTask& t, MachineId from,
+                               const std::vector<FetchItem>& batch) {
+  const SimTime now = sim_.now();
+  const MachineId to = t.machine;
+  const std::size_t floor = cluster_.control_message_bytes;
+
+  // Classify each item once: a reusable (or, for an upgrade, present)
+  // replica is served by the grant alone; the rest ride the reply payload.
+  std::vector<ObjectId> objs;
+  std::vector<bool> reuse;
+  std::size_t total_payload = 0;
+  std::size_t naive_control = 0;
+  objs.reserve(batch.size());
+  reuse.reserve(batch.size());
+  for (const FetchItem& item : batch) {
+    const ObjectInfo& info = objects_.info(item.obj);
+    objs.push_back(item.obj);
+    const bool r =
+        sched_.comm.reuse_replicas &&
+        (directory_.reusable(item.obj, to) ||
+         (item.exclusive && directory_.present(item.obj, to)));
+    reuse.push_back(r);
+    if (!r) total_payload += info.byte_size();
+    // What the per-object protocol would have spent on control traffic.
+    naive_control +=
+        control_message_size(MsgKind::kObjectRequest, item.obj, to, from, 0,
+                             floor) +
+        control_message_size(MsgKind::kObjectData, item.obj, from, to,
+                             info.byte_size(), floor);
+  }
+
+  const std::size_t request_bytes = batch_request_size(objs, to, from, floor);
+  const std::size_t reply_header = control_message_size(
+      total_payload == 0 ? MsgKind::kObjectGrant : MsgKind::kObjectData,
+      objs.front(), from, to, total_payload, floor);
+  const std::size_t reply_bytes = reply_header + total_payload;
+
+  const SimTime req_arr =
+      network_->schedule_transfer(to, from, request_bytes, now);
+  SimTime data_arr =
+      network_->schedule_transfer(from, to, reply_bytes, req_arr);
+  stats_.messages += 2;
+  stats_.bytes_sent += request_bytes + reply_bytes;
+  stats_.payload_bytes += total_payload;
+  stats_.requests_combined += batch.size() - 1;
+  const std::size_t batched_control = request_bytes + reply_header;
+  if (naive_control > batched_control)
+    stats_.bytes_avoided += naive_control - batched_control;
+
+  // The sender converts every payload-carrying member before the reply
+  // goes out; the conversions serialize into the batch's arrival.
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (!reuse[i]) data_arr += conversion_cost(batch[i].obj, from, to);
+
+  SimTime last = data_arr;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const FetchItem& item = batch[i];
+    const ObjectInfo& info = objects_.info(item.obj);
+    const char* verb = item.exclusive ? (reuse[i] ? "upgrade " : "move ")
+                                      : (reuse[i] ? "revalidate " : "copy ");
+    if (tracer_.enabled()) {
+      tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch",
+                            item.obj, from, verb + info.name);
+      tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
+                          item.obj, to,
+                          static_cast<double>(info.byte_size()));
+    }
+    // A payload already in flight to this machine may arrive after the
+    // batch's grant; the object is usable only once both have landed.
+    const SimTime avail = std::max(data_arr, available_at(item.obj, to));
+    if (!item.exclusive) {
+      if (reuse[i]) {
+        directory_.revalidate_to(item.obj, to);
+        ++stats_.replicas_reused;
+        stats_.bytes_avoided += info.byte_size();
+      } else {
+        directory_.replicate_to(item.obj, to);
+        ++stats_.object_copies;
+      }
+    } else {
+      if (reuse[i]) {
+        if (!directory_.present(item.obj, to))
+          directory_.revalidate_to(item.obj, to);
+        ++stats_.replicas_reused;
+        stats_.bytes_avoided += info.byte_size();
+      } else {
+        ++stats_.object_moves;
+      }
+      std::vector<MachineId> targets;
+      for (MachineId h : directory_.holders(item.obj))
+        if (h != to && h != from) targets.push_back(h);
+      send_invalidations(item.obj, from, targets, now);
+      directory_.move_to(item.obj, to);
+    }
+    set_available_at(item.obj, to, avail);
+    last = std::max(last, avail);
+    JADE_TRACE("t=" << now << " batch " << verb << info.name << " " << from
+                    << "->" << to << " arrives t=" << avail);
+  }
+  return last;
 }
 
 // --- run -------------------------------------------------------------------
@@ -876,12 +1216,16 @@ void SimEngine::kill_task_attempt(TaskNode* task) {
                   task->charged_work - t.attempt_charge_base);
   JADE_TRACE("t=" << sim_.now() << " kill " << task->name() << " on machine "
                   << t.machine);
-  // Undo the attempt's writes (reverse acquisition order) and its charge.
+  // Undo the attempt's writes (reverse acquisition order), the data-version
+  // bumps they opened, and the charge.  Clearing `dirtied` makes the re-run
+  // bump again from the restored version; nothing can have recorded a
+  // reusable replica at the doomed version (it was dropped, not copied).
   for (auto it = t.snapshots.rbegin(); it != t.snapshots.rend(); ++it) {
-    std::copy(it->second.begin(), it->second.end(),
-              directory_.data(it->first));
+    std::copy(it->bytes.begin(), it->bytes.end(), directory_.data(it->obj));
+    directory_.set_data_version(it->obj, it->data_version);
   }
   t.snapshots.clear();
+  t.dirtied.clear();
   const double wasted = task->charged_work - t.attempt_charge_base;
   stats_.wasted_charged_work += wasted;
   task->charged_work = t.attempt_charge_base;
@@ -999,9 +1343,10 @@ void SimEngine::recover_machine(MachineId m) {
     }
   }
 
-  // Forget cached availability on the dead machine (keys are obj*64 + m).
+  // Forget cached availability on the dead machine (keys are
+  // obj*kMaxMachines + m).
   for (auto it = available_at_.begin(); it != available_at_.end();) {
-    if (static_cast<MachineId>(it->first % 64) == m)
+    if (static_cast<MachineId>(it->first % kMaxMachines) == m)
       it = available_at_.erase(it);
     else
       ++it;
@@ -1030,11 +1375,12 @@ void SimEngine::recover_machine(MachineId m) {
 }
 
 void SimEngine::maybe_snapshot(SimTask& t, ObjectId obj) {
-  for (const auto& [id, bytes] : t.snapshots)
-    if (id == obj) return;  // first write wins; later acquires are no-ops
+  for (const SimTask::Snapshot& s : t.snapshots)
+    if (s.obj == obj) return;  // first write wins; later acquires are no-ops
   auto view = directory_.data_view(obj);
-  t.snapshots.emplace_back(
-      obj, std::vector<std::byte>(view.begin(), view.end()));
+  t.snapshots.push_back(SimTask::Snapshot{
+      obj, directory_.data_version(obj),
+      std::vector<std::byte>(view.begin(), view.end())});
 }
 
 }  // namespace jade

@@ -117,8 +117,18 @@ class SimEngine : public Engine, private SerializerListener {
     /// charged_work at attempt start; a killed attempt rolls back to it.
     double attempt_charge_base = 0;
     /// Pre-write images of objects this attempt acquired with wr/cm rights,
-    /// in acquisition order; restored in reverse on kill.
-    std::vector<std::pair<ObjectId, std::vector<std::byte>>> snapshots;
+    /// in acquisition order; restored in reverse on kill.  The data version
+    /// captured alongside is restored too, so a stale replica can never
+    /// revalidate against a version a killed attempt created.
+    struct Snapshot {
+      ObjectId obj;
+      std::uint64_t data_version;
+      std::vector<std::byte> bytes;
+    };
+    std::vector<Snapshot> snapshots;
+    /// Objects whose data version this attempt bumped (first write); cleared
+    /// on kill so the re-run bumps again from the restored version.
+    std::vector<ObjectId> dirtied;
     // timeline capture (when sched.record_timeline)
     SimTime created = 0;
     SimTime dispatched = 0;
@@ -182,6 +192,45 @@ class SimEngine : public Engine, private SerializerListener {
   SimTime transfer_object(SimTask& t, ObjectId obj, MachineId m,
                           bool exclusive);
 
+  /// One object of a task's fetch set.
+  struct FetchItem {
+    ObjectId obj;
+    bool exclusive;  ///< move (write/commute rights) rather than copy
+    bool blocking;   ///< the task cannot start until it arrives; false for
+                     ///< deferred-read prefetch hints
+  };
+
+  /// Fetches a whole set of objects to `t.machine`, combining items owned by
+  /// the same remote machine into one batched request/reply when
+  /// comm.combine_requests is on.  Returns when the last *blocking* item is
+  /// available (prefetch hints ride along without gating task start).
+  SimTime fetch_objects(SimTask& t, std::vector<FetchItem> items);
+
+  /// One batched request to owner `from` covering every item in `batch`
+  /// (none satisfiable locally); the reply carries only the payloads that
+  /// replica revalidation cannot serve.
+  SimTime fetch_batch(SimTask& t, MachineId from,
+                      const std::vector<FetchItem>& batch);
+
+  /// Parks the current task process until `ready_at` (no-op if reached).
+  void park_until_fetched(SimTask& t, SimTime ready_at);
+
+  /// Invalidation fan-out for `obj`: one multicast control message when
+  /// comm.coalesce_invalidations is on and there is more than one target,
+  /// per-target unicasts otherwise.
+  void send_invalidations(ObjectId obj, MachineId from,
+                          const std::vector<MachineId>& targets, SimTime now);
+
+  /// Virtual seconds of heterogeneous format conversion for moving `obj`
+  /// between `src` and `dst`; really performs the per-scalar swaps on a
+  /// cache miss, costs nothing when the cached converted image is current.
+  SimTime conversion_cost(ObjectId obj, MachineId src, MachineId dst);
+
+  /// Exclusive acquire of `obj` by `t`: drops replicas that raced in since
+  /// the exclusive transfer (deferred-read prefetch) and bumps the object's
+  /// data version (once per attempt) so dropped copies cannot revalidate.
+  void first_write_invalidate(SimTask& t, ObjectId obj);
+
   /// Fetches every object in `reqs` that carries immediate rights; parks
   /// until all have arrived.
   void fetch_for(SimTask& t, const std::vector<AccessRequest>& reqs);
@@ -233,6 +282,9 @@ class SimEngine : public Engine, private SerializerListener {
   std::unordered_map<ObjectId, TaskNode*> commute_holder_;
   std::unordered_map<ObjectId, std::deque<TaskNode*>> commute_waiters_;
   std::unordered_map<std::uint64_t, SimTime> available_at_;
+  /// Data version of each object's cached cross-endian converted image; a
+  /// transfer whose entry matches the current version skips the conversion.
+  std::unordered_map<ObjectId, std::uint64_t> converted_cache_;
   std::vector<TaskTimeline> timeline_;
 
   // fault tolerance (all empty/null when FaultConfig.enabled is false)

@@ -29,10 +29,11 @@ std::unique_ptr<NetworkModel> ClusterConfig::make_network() const {
 void ClusterConfig::validate() const {
   if (machines.empty())
     throw ConfigError("cluster '" + name + "' has no machines");
-  if (machines.size() > 64)
+  if (machines.size() > static_cast<std::size_t>(kMaxMachines))
     throw ConfigError(
-        "cluster '" + name +
-        "' has more than 64 machines (directory uses 64-bit replica masks)");
+        "cluster '" + name + "' has more than " +
+        std::to_string(kMaxMachines) +
+        " machines (directory uses 64-bit replica masks)");
   for (const MachineDesc& m : machines)
     if (m.ops_per_second <= 0)
       throw ConfigError("machine '" + m.name +

@@ -36,6 +36,31 @@ SimTime CrossbarNet::transfer_impl(MachineId from, MachineId to,
   return arrive;
 }
 
+SimTime CrossbarNet::multicast_impl(MachineId from,
+                                    std::span<const MachineId> tos,
+                                    std::size_t bytes, SimTime now) {
+  JADE_ASSERT(from >= 0 &&
+              static_cast<std::size_t>(from) < send_busy_until_.size());
+  const SimTime transmit =
+      static_cast<SimTime>(bytes) / config_.bytes_per_second;
+  const SimTime occupancy = config_.per_message_overhead + transmit;
+  const SimTime send_start = std::max(now, send_busy_until_[from]);
+  const SimTime send_done = send_start + occupancy;
+  send_busy_until_[from] = send_done;
+
+  SimTime last = now;
+  for (MachineId to : tos) {
+    JADE_ASSERT(to >= 0 && to != from &&
+                static_cast<std::size_t>(to) < recv_busy_until_.size());
+    const SimTime arrive = std::max(send_done + config_.latency,
+                                    recv_busy_until_[to]);
+    recv_busy_until_[to] = arrive;
+    last = std::max(last, arrive);
+  }
+  record(bytes, occupancy);
+  return last;
+}
+
 void CrossbarNet::reset() {
   std::fill(send_busy_until_.begin(), send_busy_until_.end(), 0.0);
   std::fill(recv_busy_until_.begin(), recv_busy_until_.end(), 0.0);

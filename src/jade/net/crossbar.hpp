@@ -31,6 +31,11 @@ class CrossbarNet : public NetworkModel {
   SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
                         SimTime now) override;
 
+  /// The switch replicates a multicast to every output port: the sender NIC
+  /// pays one message occupancy; each receiver NIC drains its own copy.
+  SimTime multicast_impl(MachineId from, std::span<const MachineId> tos,
+                         std::size_t bytes, SimTime now) override;
+
  private:
   CrossbarConfig config_;
   std::vector<SimTime> send_busy_until_;

@@ -72,6 +72,19 @@ SimTime FaultyNetwork::transfer_impl(MachineId from, MachineId to,
   }
 }
 
+SimTime FaultyNetwork::multicast_impl(MachineId from,
+                                      std::span<const MachineId> tos,
+                                      std::size_t bytes, SimTime now) {
+  // Per-destination reliable unicasts: each destination's retransmission
+  // stream is independent, and the drop hook is consulted in `tos` order so
+  // the seeded drop stream is consumed deterministically.
+  SimTime last = now;
+  for (MachineId to : tos) {
+    last = std::max(last, transfer_impl(from, to, bytes, now));
+  }
+  return last;
+}
+
 void FaultyNetwork::reset() {
   inner_->reset();
   stats_.reset();

@@ -57,6 +57,12 @@ class FaultyNetwork : public NetworkModel {
   SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
                         SimTime now) override;
 
+  /// A lossy transport cannot ack a broadcast as one unit, so a multicast
+  /// decomposes into per-destination reliable unicasts, in `tos` order —
+  /// each consumes drop-stream randomness exactly as a plain send would.
+  SimTime multicast_impl(MachineId from, std::span<const MachineId> tos,
+                         std::size_t bytes, SimTime now) override;
+
  private:
   std::unique_ptr<NetworkModel> inner_;
   FaultyNetConfig config_;

@@ -38,6 +38,12 @@ class HypercubeNet : public NetworkModel {
   SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
                         SimTime now) override;
 
+  /// Spanning-tree multicast along disjoint cube edges: the sender NIC pays
+  /// startup + transmit once; each destination then pays its own route
+  /// latency and receiver-NIC occupancy.
+  SimTime multicast_impl(MachineId from, std::span<const MachineId> tos,
+                         std::size_t bytes, SimTime now) override;
+
  private:
   HypercubeConfig config_;
   std::vector<SimTime> send_busy_until_;

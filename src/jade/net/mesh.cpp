@@ -45,6 +45,30 @@ SimTime MeshNet::transfer_impl(MachineId from, MachineId to,
   return arrive;
 }
 
+SimTime MeshNet::multicast_impl(MachineId from,
+                                std::span<const MachineId> tos,
+                                std::size_t bytes, SimTime now) {
+  JADE_ASSERT(from >= 0 &&
+              static_cast<std::size_t>(from) < send_busy_until_.size());
+  const SimTime transmit =
+      static_cast<SimTime>(bytes) / config_.bytes_per_second;
+  const SimTime send_start = std::max(now, send_busy_until_[from]);
+  const SimTime send_done = send_start + config_.startup + transmit;
+  send_busy_until_[from] = send_done;
+
+  SimTime last = now;
+  for (MachineId to : tos) {
+    JADE_ASSERT(to >= 0 && to != from &&
+                static_cast<std::size_t>(to) < recv_busy_until_.size());
+    const SimTime route = config_.per_hop * hop_count(from, to);
+    const SimTime arrive = std::max(send_done + route, recv_busy_until_[to]);
+    recv_busy_until_[to] = arrive;
+    last = std::max(last, arrive);
+  }
+  record(bytes, config_.startup + transmit);
+  return last;
+}
+
 void MeshNet::reset() {
   std::fill(send_busy_until_.begin(), send_busy_until_.end(), 0.0);
   std::fill(recv_busy_until_.begin(), recv_busy_until_.end(), 0.0);

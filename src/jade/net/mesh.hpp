@@ -33,6 +33,11 @@ class MeshNet : public NetworkModel {
   SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
                         SimTime now) override;
 
+  /// Dimension-order multicast: the sender NIC pays startup + transmit
+  /// once; each destination pays its own XY route and receiver NIC.
+  SimTime multicast_impl(MachineId from, std::span<const MachineId> tos,
+                         std::size_t bytes, SimTime now) override;
+
  private:
   MeshConfig config_;
   int width_;

@@ -12,9 +12,11 @@
 // emerge rather than being baked in.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "jade/obs/metrics.hpp"
@@ -64,6 +66,29 @@ class NetworkModel {
     return arrival;
   }
 
+  /// Schedules one logical control message from `from` to every machine in
+  /// `tos` (ascending, duplicate-free, `from` excluded) and returns the last
+  /// arrival — the coalesced-invalidation primitive.  The base
+  /// implementation degenerates to per-destination unicasts; topology models
+  /// override multicast_impl to exploit their medium (a shared bus carries
+  /// one broadcast frame, switched fabrics pay the sender NIC once).  Emits
+  /// a single "net.mcast" span covering the whole fan-out.
+  SimTime schedule_multicast(MachineId from, std::span<const MachineId> tos,
+                             std::size_t bytes, SimTime now) {
+    if (tos.empty()) return now;
+    const SimTime last = multicast_impl(from, tos, bytes, now);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const std::uint64_t id = next_trace_msg_id_++;
+      tracer_->span_begin_at(now, obs::Subsystem::kNet, "net.mcast", id, from,
+                             std::to_string(from) + "->*" +
+                                 std::to_string(tos.size()));
+      tracer_->span_end_at(last, obs::Subsystem::kNet, "net.mcast", id,
+                           tos.back(), static_cast<double>(bytes));
+    }
+    if (latency_hist_ != nullptr) latency_hist_->observe(last - now);
+    return last;
+  }
+
   /// Attaches (or detaches, with nulls) the observability layer.  Wrapper
   /// models (FaultyNetwork) override to propagate to the wrapped model.
   virtual void set_observer(obs::Tracer* tracer,
@@ -82,6 +107,17 @@ class NetworkModel {
   /// Model-specific timing: when does the message arrive?
   virtual SimTime transfer_impl(MachineId from, MachineId to,
                                 std::size_t bytes, SimTime now) = 0;
+
+  /// Model-specific multicast timing; the default sends one unicast per
+  /// destination (correct for any model, optimal for none).
+  virtual SimTime multicast_impl(MachineId from,
+                                 std::span<const MachineId> tos,
+                                 std::size_t bytes, SimTime now) {
+    SimTime last = now;
+    for (MachineId to : tos)
+      last = std::max(last, transfer_impl(from, to, bytes, now));
+    return last;
+  }
 
   void record(std::size_t bytes, SimTime occupancy) {
     ++stats_.messages;

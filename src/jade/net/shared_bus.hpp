@@ -36,6 +36,11 @@ class SharedBusNet : public NetworkModel {
   SimTime transfer_impl(MachineId from, MachineId to, std::size_t bytes,
                         SimTime now) override;
 
+  /// Ethernet is a broadcast medium: one frame occupies the wire once and
+  /// every listener hears it, so a multicast costs the same as one unicast.
+  SimTime multicast_impl(MachineId from, std::span<const MachineId> tos,
+                         std::size_t bytes, SimTime now) override;
+
  private:
   SharedBusConfig config_;
   SimTime busy_until_ = 0;

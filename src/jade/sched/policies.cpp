@@ -22,7 +22,7 @@ MachineId pick_machine_for_task(const ObjectDirectory& dir,
        ++m) {
     if (free_contexts[m] <= 0) continue;
     const std::size_t bytes =
-        locality ? dir.bytes_present(objects, m) : 0;
+        locality ? dir.bytes_scoreable(objects, m) : 0;
     if (explain != nullptr)
       explain->candidates.push_back({m, bytes, free_contexts[m]});
     // The creator preference is part of the locality heuristic (tasks reuse
@@ -61,9 +61,9 @@ std::size_t pick_task_for_machine(
   if (object_lists.empty()) return std::numeric_limits<std::size_t>::max();
   if (!locality) return 0;
   std::size_t best = 0;
-  std::size_t best_bytes = dir.bytes_present(object_lists[0], machine);
+  std::size_t best_bytes = dir.bytes_scoreable(object_lists[0], machine);
   for (std::size_t i = 1; i < object_lists.size(); ++i) {
-    const std::size_t bytes = dir.bytes_present(object_lists[i], machine);
+    const std::size_t bytes = dir.bytes_scoreable(object_lists[i], machine);
     if (bytes > best_bytes) {  // strict: FIFO wins ties
       best = i;
       best_bytes = bytes;

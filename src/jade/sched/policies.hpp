@@ -32,6 +32,30 @@ struct ThrottleConfig {
   std::uint64_t low_water = 256;
 };
 
+/// Communication-protocol optimizations (SimEngine data-movement path).
+/// Each flag gates one payload- or message-saving mechanism; all default on.
+/// bench_comm_protocol measures the all-off ("legacy") protocol against the
+/// defaults.  Every mechanism preserves serial semantics and determinism.
+struct CommConfig {
+  /// Concurrent readers of the same remote object share one payload
+  /// transfer, and a task's multi-object fetch travels as one batched
+  /// request per owner machine.
+  bool combine_requests = true;
+  /// A machine whose dropped replica still matches the object's data
+  /// version revalidates it with a control round-trip instead of re-paying
+  /// the payload transfer.
+  bool reuse_replicas = true;
+  /// A writer invalidating n>1 replica holders sends one multicast control
+  /// message instead of n unicasts.
+  bool coalesce_invalidations = true;
+  /// Cache the byte-swapped representation per (object, data version) so
+  /// repeated cross-endian transfers of clean data convert once.
+  bool cache_conversions = true;
+  /// Issue transfers for deferred read declarations at dispatch, so the
+  /// payload is resident (or in flight) before the task's first with_cont.
+  bool prefetch_deferred = true;
+};
+
 struct SchedPolicy {
   /// Resident task slots per machine; >1 lets object fetches for one task
   /// overlap execution of another (latency hiding).
@@ -41,6 +65,7 @@ struct SchedPolicy {
   /// Record a per-task TaskTimeline (SimEngine; see engine/timeline.hpp).
   bool record_timeline = false;
   ThrottleConfig throttle;
+  CommConfig comm;
 };
 
 /// Why a placement decision went the way it did: every machine that had a

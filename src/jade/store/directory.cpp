@@ -1,15 +1,24 @@
 #include "jade/store/directory.hpp"
 
 #include <bit>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "jade/support/error.hpp"
 
 namespace jade {
 
+// Entry::copies holds one bit per machine; a wider cluster would silently
+// shift holder bits off the end.
+static_assert(kMaxMachines <= std::numeric_limits<std::uint64_t>::digits,
+              "ObjectDirectory's copy bitmask cannot cover kMaxMachines");
+
 ObjectDirectory::ObjectDirectory(int machines) {
-  JADE_ASSERT_MSG(machines >= 1 && machines <= 64,
-                  "directory supports 1..64 machines");
+  if (machines < 1 || machines > kMaxMachines)
+    throw ConfigError("directory supports 1.." + std::to_string(kMaxMachines) +
+                      " machines (64-bit replica masks), got " +
+                      std::to_string(machines));
   stores_.reserve(static_cast<std::size_t>(machines));
   for (int m = 0; m < machines; ++m) stores_.emplace_back(m);
 }
@@ -47,6 +56,7 @@ void ObjectDirectory::add_object(const ObjectInfo& info, MachineId home) {
   e.owner = home;
   e.copies = 1ULL << home;
   e.buffer.assign(e.bytes, std::byte{0});
+  e.last_seen.assign(static_cast<std::size_t>(machine_count()), kNeverSeen);
   entries_.push_back(std::move(e));
   store(home).insert(info.id, info.byte_size());
 }
@@ -90,6 +100,48 @@ std::uint64_t ObjectDirectory::version(ObjectId obj) const {
   return entry(obj).version;
 }
 
+std::uint64_t ObjectDirectory::data_version(ObjectId obj) const {
+  return entry(obj).data_version;
+}
+
+void ObjectDirectory::mark_dirty(ObjectId obj) { ++entry(obj).data_version; }
+
+void ObjectDirectory::set_data_version(ObjectId obj, std::uint64_t v) {
+  entry(obj).data_version = v;
+}
+
+void ObjectDirectory::note_drop(Entry& e, MachineId m) {
+  e.last_seen[static_cast<std::size_t>(m)] = e.data_version;
+}
+
+std::vector<MachineId> ObjectDirectory::invalidate_replicas(ObjectId obj) {
+  Entry& e = entry(obj);
+  std::vector<MachineId> dropped;
+  for (int h = 0; h < machine_count(); ++h) {
+    if (h == e.owner || !((e.copies >> h) & 1ULL)) continue;
+    note_drop(e, h);
+    e.copies &= ~(1ULL << h);
+    store(h).evict(obj, e.bytes);
+    emit("store.invalidate", obj, h, static_cast<double>(e.bytes));
+    dropped.push_back(h);
+  }
+  return dropped;
+}
+
+bool ObjectDirectory::reusable(ObjectId obj, MachineId m) const {
+  const Entry& e = entry(obj);
+  if (e.lost || ((e.copies >> m) & 1ULL)) return false;
+  return e.last_seen[static_cast<std::size_t>(m)] == e.data_version;
+}
+
+void ObjectDirectory::revalidate_to(ObjectId obj, MachineId m) {
+  Entry& e = entry(obj);
+  JADE_ASSERT_MSG(reusable(obj, m), "revalidating a non-reusable replica");
+  e.copies |= 1ULL << m;
+  store(m).insert(obj, e.bytes);
+  emit("store.revalidate", obj, m, static_cast<double>(e.bytes));
+}
+
 void ObjectDirectory::replicate_to(ObjectId obj, MachineId m) {
   Entry& e = entry(obj);
   JADE_ASSERT_MSG(!((e.copies >> m) & 1ULL),
@@ -104,6 +156,7 @@ int ObjectDirectory::move_to(ObjectId obj, MachineId m) {
   int invalidated = 0;
   for (int h = 0; h < machine_count(); ++h) {
     if (h == m || !((e.copies >> h) & 1ULL)) continue;
+    note_drop(e, h);
     store(h).evict(obj, e.bytes);
     if (h != e.owner) {
       ++invalidated;  // the owner's copy travels, not dies
@@ -126,11 +179,24 @@ std::vector<MachineId> ObjectDirectory::holders(ObjectId obj) const {
   return out;
 }
 
+bool ObjectDirectory::sole_holder(ObjectId obj, MachineId m) const {
+  return entry(obj).copies == (1ULL << m);
+}
+
 std::size_t ObjectDirectory::bytes_present(std::span<const ObjectId> objs,
                                            MachineId m) const {
   std::size_t sum = 0;
   for (ObjectId obj : objs)
     if (present(obj, m)) sum += object_bytes(obj);
+  return sum;
+}
+
+std::size_t ObjectDirectory::bytes_scoreable(std::span<const ObjectId> objs,
+                                             MachineId m) const {
+  std::size_t sum = 0;
+  for (ObjectId obj : objs)
+    if (present(obj, m) || (reuse_scoring_ && reusable(obj, m)))
+      sum += object_bytes(obj);
   return sum;
 }
 
@@ -148,6 +214,7 @@ void ObjectDirectory::drop_copy(ObjectId obj, MachineId m) {
   JADE_ASSERT_MSG(e.owner != m || e.copies == (1ULL << m),
                   "cannot drop the owner's copy while replicas exist; "
                   "re-home it first");
+  note_drop(e, m);
   e.copies &= ~(1ULL << m);
   store(m).evict(obj, e.bytes);
 }

@@ -11,4 +11,10 @@ using SimTime = double;
 /// Identifies a simulated machine within a cluster (dense index).
 using MachineId = int;
 
+/// Cluster size ceiling.  The object directory tracks copy holders and
+/// stale-replica versions in per-machine structures keyed by a 64-bit
+/// bitmask, so a cluster may not exceed 64 machines; ClusterConfig::validate
+/// and ObjectDirectory both reject larger configurations with a ConfigError.
+inline constexpr int kMaxMachines = 64;
+
 }  // namespace jade

@@ -5,8 +5,15 @@
 // (task dispatch, object requests, completion notices) into a canonical
 // little-endian wire format via these writer/reader classes; object payloads
 // travel alongside and are converted per their TypeDescriptor.
+//
+// Scalars take the memcpy fast path on little-endian hosts (the canonical
+// order matches the native one, so the encode is a bulk copy); big-endian
+// hosts fall back to the byte-at-a-time loop.  Both paths produce — and both
+// readers accept — byte-identical buffers (tests/types_test.cpp pins the
+// layout).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -33,13 +40,20 @@ class WireWriter {
     put_le(bits);
   }
   void put_string(const std::string& s) {
+    buf_.reserve(buf_.size() + sizeof(std::uint32_t) + s.size());
     put_u32(static_cast<std::uint32_t>(s.size()));
-    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
   }
   void put_bytes(std::span<const std::byte> data) {
+    buf_.reserve(buf_.size() + sizeof(std::uint32_t) + data.size());
     put_u32(static_cast<std::uint32_t>(data.size()));
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
+
+  /// Pre-sizes the buffer for a message whose encoded size is known (bulk
+  /// encoders call this once instead of growing geometrically).
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
   const std::vector<std::byte>& bytes() const { return buf_; }
   std::vector<std::byte> take() { return std::move(buf_); }
@@ -48,8 +62,14 @@ class WireWriter {
  private:
   template <typename T>
   void put_le(T v) {
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    if constexpr (std::endian::native == std::endian::little) {
+      const std::size_t n = buf_.size();
+      buf_.resize(n + sizeof(T));
+      std::memcpy(buf_.data() + n, &v, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i)
+        buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
   }
 
   std::vector<std::byte> buf_;
@@ -98,10 +118,16 @@ class WireReader {
   template <typename T>
   T get_le() {
     auto s = take(sizeof(T));
-    T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-      v |= static_cast<T>(static_cast<std::uint8_t>(s[i])) << (8 * i);
-    return v;
+    if constexpr (std::endian::native == std::endian::little) {
+      T v;
+      std::memcpy(&v, s.data(), sizeof(T));
+      return v;
+    } else {
+      T v = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<T>(static_cast<std::uint8_t>(s[i])) << (8 * i);
+      return v;
+    }
   }
 
   std::span<const std::byte> data_;

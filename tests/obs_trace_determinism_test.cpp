@@ -89,6 +89,74 @@ TEST(TraceDeterminism, ByteIdenticalUnderSeededFaultInjection) {
   EXPECT_NE(first.find("\"cat\":\"ft\""), std::string::npos);
 }
 
+TEST(TraceDeterminism, ByteIdenticalWithCommProtocolOptimizationsAndFaults) {
+  // The reworked data-movement path (request combining, replica reuse,
+  // coalesced invalidation, conversion caching, deferred prefetch — all on
+  // by default) must preserve the determinism contract: same seed, same
+  // byte-identical export, with the fault layer crashing a machine and
+  // dropping messages on a mixed-endian cluster.
+  auto config = [] {
+    RuntimeConfig cfg = sim_config(6);
+    cfg.cluster = presets::hetero_workstations(6);
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 0xfeedbee;
+    cfg.fault.crashes = {{1, 1e-3}};
+    cfg.fault.drop_probability = 0.04;
+    return cfg;
+  };
+  std::string first, second;
+  apps::SparseMatrix result_first, result_second;
+  {
+    Runtime rt(config());
+    const auto a = apps::paper_example_matrix();
+    auto jm = apps::upload_matrix(rt, a);
+    rt.run([&](TaskContext& ctx) { apps::factor_jade(ctx, jm); });
+    result_first = apps::download_matrix(rt, jm);
+    first = export_trace(rt);
+  }
+  {
+    Runtime rt(config());
+    const auto a = apps::paper_example_matrix();
+    auto jm = apps::upload_matrix(rt, a);
+    rt.run([&](TaskContext& ctx) { apps::factor_jade(ctx, jm); });
+    result_second = apps::download_matrix(rt, jm);
+    second = export_trace(rt);
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(result_first.cols, result_second.cols);
+}
+
+TEST(TraceDeterminism, LegacyProtocolMatchesOptimizedResults) {
+  // Turning every CommConfig flag off reproduces the legacy per-object
+  // protocol; the factored matrix must be bit-identical either way (only
+  // the simulated communication cost may differ), and each configuration
+  // must stay internally deterministic.
+  auto config = [](bool optimized) {
+    RuntimeConfig cfg = sim_config(6);
+    cfg.cluster = presets::hetero_workstations(6);
+    if (!optimized) cfg.sched.comm = CommConfig{false, false, false, false,
+                                                false};
+    return cfg;
+  };
+  auto run_once = [](RuntimeConfig cfg, apps::SparseMatrix* out) {
+    Runtime rt(std::move(cfg));
+    const auto a = apps::paper_example_matrix();
+    auto jm = apps::upload_matrix(rt, a);
+    rt.run([&](TaskContext& ctx) { apps::factor_jade(ctx, jm); });
+    *out = apps::download_matrix(rt, jm);
+    return export_trace(rt);
+  };
+  apps::SparseMatrix legacy, optimized, optimized2;
+  const std::string legacy_trace = run_once(config(false), &legacy);
+  const std::string opt_trace = run_once(config(true), &optimized);
+  const std::string opt_trace2 = run_once(config(true), &optimized2);
+  EXPECT_EQ(legacy.cols, optimized.cols);
+  EXPECT_EQ(opt_trace, opt_trace2);
+  // The protocols genuinely differ on the wire, so the traces must too.
+  EXPECT_NE(legacy_trace, opt_trace);
+}
+
 TEST(TraceDeterminism, StreamCoversEngineNetAndStore) {
   Runtime rt(sim_config(4));
   run_cholesky(rt);

@@ -118,10 +118,106 @@ TEST(LocalStore, EvictingAbsentObjectIsError) {
 }
 
 TEST(Directory, MachineCountLimits) {
-  EXPECT_THROW(ObjectDirectory(0), InternalError);
-  EXPECT_THROW(ObjectDirectory(65), InternalError);
-  ObjectDirectory ok(64);
+  // An out-of-range cluster size is a configuration problem, not a runtime
+  // invariant violation: the 64-bit copy masks cap clusters at kMaxMachines.
+  EXPECT_THROW(ObjectDirectory(0), ConfigError);
+  EXPECT_THROW(ObjectDirectory(65), ConfigError);
+  EXPECT_THROW(ObjectDirectory(-1), ConfigError);
+  ObjectDirectory ok(kMaxMachines);
   EXPECT_EQ(ok.machine_count(), 64);
+}
+
+// --- replica reuse / data-version bookkeeping -------------------------------
+
+TEST_F(DirectoryTest, DropRecordsVersionForReuse) {
+  dir.replicate_to(1, 2);
+  EXPECT_FALSE(dir.reusable(1, 2));  // present, nothing to revalidate
+  dir.drop_copy(1, 2);
+  EXPECT_FALSE(dir.present(1, 2));
+  EXPECT_TRUE(dir.reusable(1, 2));  // dropped at the current data version
+  EXPECT_FALSE(dir.reusable(1, 3));  // machine 3 never held a copy
+}
+
+TEST_F(DirectoryTest, DirtyingKillsReuse) {
+  dir.replicate_to(1, 2);
+  dir.drop_copy(1, 2);
+  ASSERT_TRUE(dir.reusable(1, 2));
+  dir.mark_dirty(1);
+  EXPECT_FALSE(dir.reusable(1, 2));  // content moved on; replica is stale
+  EXPECT_EQ(dir.data_version(1), 1u);
+}
+
+TEST_F(DirectoryTest, MoveRecordsEvictedHoldersForReuse) {
+  dir.replicate_to(1, 1);
+  dir.replicate_to(1, 2);
+  dir.move_to(1, 3);  // evicts 0, 1, 2
+  EXPECT_TRUE(dir.reusable(1, 0));
+  EXPECT_TRUE(dir.reusable(1, 1));
+  EXPECT_TRUE(dir.reusable(1, 2));
+  EXPECT_FALSE(dir.reusable(1, 3));  // present: nothing to revalidate
+}
+
+TEST_F(DirectoryTest, RevalidateRestoresReplica) {
+  dir.replicate_to(1, 2);
+  dir.drop_copy(1, 2);
+  dir.revalidate_to(1, 2);
+  EXPECT_TRUE(dir.present(1, 2));
+  EXPECT_FALSE(dir.reusable(1, 2));  // present again
+  EXPECT_EQ(dir.store(2).resident_bytes(), 80u);
+  EXPECT_EQ(dir.owner(1), 0);  // revalidation never moves ownership
+}
+
+TEST_F(DirectoryTest, InvalidateReplicasDropsNonOwners) {
+  dir.replicate_to(1, 1);
+  dir.replicate_to(1, 3);
+  const std::vector<MachineId> dropped = dir.invalidate_replicas(1);
+  EXPECT_EQ(dropped, (std::vector<MachineId>{1, 3}));
+  EXPECT_EQ(dir.holders(1), (std::vector<MachineId>{0}));
+  EXPECT_TRUE(dir.sole_holder(1, 0));
+  // The dropped replicas match the pre-invalidation version...
+  EXPECT_TRUE(dir.reusable(1, 1));
+  // ...until the writer that triggered the invalidation dirties the object.
+  dir.mark_dirty(1);
+  EXPECT_FALSE(dir.reusable(1, 1));
+}
+
+TEST_F(DirectoryTest, SetDataVersionRestoresReuseDecisions) {
+  // A killed task attempt rolls the data version back; replicas dropped at
+  // the earlier version become reusable again.
+  dir.replicate_to(1, 2);
+  dir.drop_copy(1, 2);
+  dir.mark_dirty(1);
+  ASSERT_FALSE(dir.reusable(1, 2));
+  dir.set_data_version(1, 0);
+  EXPECT_TRUE(dir.reusable(1, 2));
+}
+
+TEST_F(DirectoryTest, BytesScoreableCountsReusableReplicas) {
+  const ObjectId objs[] = {1, 2};
+  dir.replicate_to(1, 2);
+  dir.drop_copy(1, 2);
+  // Scoring off (default): identical to bytes_present.
+  EXPECT_EQ(dir.bytes_scoreable(objs, 2), dir.bytes_present(objs, 2));
+  EXPECT_EQ(dir.bytes_scoreable(objs, 2), 0u);
+  dir.set_reuse_scoring(true);
+  EXPECT_EQ(dir.bytes_scoreable(objs, 2), 80u);  // the reusable replica
+  EXPECT_EQ(dir.bytes_present(objs, 2), 0u);     // still not resident
+  dir.mark_dirty(1);
+  EXPECT_EQ(dir.bytes_scoreable(objs, 2), 0u);  // stale: no longer scores
+}
+
+TEST_F(DirectoryTest, ReuseSurvivesOwnershipSurgery) {
+  // ft recovery re-homes ownership without touching other machines' reuse
+  // records: a replica dropped before the crash still revalidates.
+  dir.replicate_to(1, 2);
+  dir.replicate_to(1, 3);
+  dir.drop_copy(1, 3);
+  ASSERT_TRUE(dir.reusable(1, 3));
+  dir.set_owner(1, 2);   // machine 0 died; the replica at 2 takes over
+  dir.drop_copy(1, 0);
+  EXPECT_EQ(dir.owner(1), 2);
+  EXPECT_TRUE(dir.reusable(1, 3));
+  EXPECT_TRUE(dir.reusable(1, 0));  // the dead home's copy was also current
 }
 
 }  // namespace
