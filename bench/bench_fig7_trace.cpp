@@ -13,7 +13,6 @@
 #include <string>
 
 #include "jade/apps/cholesky.hpp"
-#include "jade/engine/timeline.hpp"
 #include "jade/mach/presets.hpp"
 #include "jade/obs/chrome_trace.hpp"
 #include "jade/obs/timeline_view.hpp"

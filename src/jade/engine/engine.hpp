@@ -22,6 +22,7 @@
 #include "jade/core/access.hpp"
 #include "jade/core/object.hpp"
 #include "jade/core/queues.hpp"
+#include "jade/core/stats.hpp"
 #include "jade/core/task.hpp"
 #include "jade/obs/metrics.hpp"
 #include "jade/obs/tracer.hpp"
@@ -42,53 +43,9 @@ struct ObsConfig {
   bool wall_clock = false;
 };
 
-/// Counters every engine maintains (those that apply to it).
-struct RuntimeStats {
-  std::uint64_t tasks_created = 0;
-  std::uint64_t tasks_inlined = 0;   ///< executed in the creator (throttling)
-  std::uint64_t tasks_migrated = 0;  ///< executed off the creating machine
-  std::uint64_t throttle_suspensions = 0;
-  std::uint64_t throttle_giveups = 0;  ///< creator resumed to avoid deadlock
-
-  // --- work-stealing dispatch (ThreadEngine) -------------------------------
-  std::uint64_t tasks_stolen = 0;      ///< executed off the enabling thread
-  std::uint64_t worker_parks = 0;      ///< times a thread went to sleep idle
-  std::uint64_t compensating_workers = 0;  ///< threads spawned for blockers
-
-  std::uint64_t messages = 0;        ///< simulated network messages
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t payload_bytes = 0;   ///< object-data bytes (bytes_sent minus
-                                     ///< control traffic)
-  std::uint64_t object_moves = 0;    ///< exclusive transfers (write access)
-  std::uint64_t object_copies = 0;   ///< replications (read access)
-  std::uint64_t invalidations = 0;
-  std::uint64_t scalars_converted = 0;  ///< heterogeneous format conversion
-
-  // --- communication-protocol optimizations (SimEngine, CommConfig) --------
-  std::uint64_t requests_combined = 0;  ///< requests that rode a shared fetch
-  std::uint64_t replicas_reused = 0;    ///< stale replicas revalidated in place
-  std::uint64_t invalidations_coalesced = 0;  ///< unicasts folded into mcasts
-  std::uint64_t conversions_cached = 0;  ///< cross-endian conversions skipped
-  std::uint64_t bytes_avoided = 0;       ///< wire bytes the optimizations saved
-
-  double total_charged_work = 0;     ///< sum of charge() units
-  SimTime finish_time = 0;           ///< virtual completion time (SimEngine)
-  std::vector<double> machine_busy_seconds;  ///< per machine (SimEngine)
-
-  // --- fault tolerance (SimEngine with FaultConfig.enabled) ----------------
-  std::uint64_t machine_crashes = 0;
-  std::uint64_t tasks_killed = 0;     ///< running attempts lost to crashes
-  std::uint64_t tasks_requeued = 0;   ///< killed attempts re-run on survivors
-  std::uint64_t messages_dropped = 0;
-  std::uint64_t message_retries = 0;
-  std::uint64_t heartbeats_sent = 0;
-  std::uint64_t false_suspicions = 0;  ///< live machines suspected (congestion)
-  std::uint64_t objects_rehomed = 0;   ///< ownership re-elected to a replica
-  std::uint64_t objects_restored = 0;  ///< reloaded from stable storage
-  std::uint64_t objects_lost = 0;      ///< sole copy died, no stable storage
-  double wasted_charged_work = 0;      ///< charge() units of killed attempts
-  SimTime detection_latency_total = 0; ///< sum over crashes of detect - crash
-};
+// RuntimeStats moved to jade/core/stats.hpp so the runtime services below
+// the engines (store/coherence, ft/recovery_coordinator) can report into it
+// without depending on this header.
 
 class Engine {
  public:

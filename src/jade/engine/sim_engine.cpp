@@ -1,136 +1,16 @@
 #include "jade/engine/sim_engine.hpp"
 
 #include <algorithm>
-#include <map>
 
-#include "jade/ft/recovery.hpp"
+#include "jade/net/faulty.hpp"
 #include "jade/support/error.hpp"
 #include "jade/support/log.hpp"
-#include "jade/types/wire.hpp"
 
 namespace jade {
 
 namespace {
 constexpr std::uint8_t kExclusiveBits = access::kWrite | access::kCommute;
-
-/// Runtime control-message kinds on the simulated wire.
-enum class MsgKind : std::uint8_t {
-  kObjectRequest = 1,   ///< please send object X (move or copy)
-  kObjectData = 2,      ///< header preceding an object payload
-  kInvalidate = 3,      ///< drop your replica of object X
-  kObjectGrant = 4,     ///< access granted, no payload: the requester's
-                        ///< replica is current (revalidation / upgrade)
-};
-
-/// Encodes a control message exactly as the transport would (the typed
-/// PVM-style protocol of Section 7); its wire size is what the network
-/// model is charged with.  A floor models transport framing minima.
-std::size_t control_message_size(MsgKind kind, ObjectId obj, MachineId from,
-                                 MachineId to, std::uint64_t payload,
-                                 std::size_t floor) {
-  WireWriter w;
-  w.put_u8(static_cast<std::uint8_t>(kind));
-  w.put_u64(obj);
-  w.put_u32(static_cast<std::uint32_t>(from));
-  w.put_u32(static_cast<std::uint32_t>(to));
-  w.put_u64(payload);
-  return std::max(w.size(), floor);
-}
-
-/// A combined request for several objects held by one owner: one header,
-/// then the object-id list.
-std::size_t batch_request_size(std::span<const ObjectId> objs,
-                               MachineId requester, MachineId owner,
-                               std::size_t floor) {
-  WireWriter w;
-  w.put_u8(static_cast<std::uint8_t>(MsgKind::kObjectRequest));
-  w.put_u32(static_cast<std::uint32_t>(objs.size()));
-  w.put_u32(static_cast<std::uint32_t>(requester));
-  w.put_u32(static_cast<std::uint32_t>(owner));
-  for (ObjectId o : objs) w.put_u64(o);
-  return std::max(w.size(), floor);
-}
-
-/// A coalesced invalidation: one control message naming every holder that
-/// must drop its replica (the topology fans it out as a multicast).
-std::size_t invalidate_message_size(ObjectId obj, MachineId from,
-                                    std::span<const MachineId> targets,
-                                    std::size_t floor) {
-  WireWriter w;
-  w.put_u8(static_cast<std::uint8_t>(MsgKind::kInvalidate));
-  w.put_u64(obj);
-  w.put_u32(static_cast<std::uint32_t>(from));
-  w.put_u32(static_cast<std::uint32_t>(targets.size()));
-  for (MachineId t : targets) w.put_u32(static_cast<std::uint32_t>(t));
-  return std::max(w.size(), floor);
-}
 }  // namespace
-
-SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
-                     bool enforce_hierarchy, FaultConfig fault)
-    : cluster_(std::move(cluster)),
-      sched_(sched),
-      network_(cluster_.make_network()),
-      directory_(cluster_.machine_count()),
-      serializer_(this, enforce_hierarchy),
-      fault_(std::move(fault)) {
-  cluster_.validate();
-  if (sched_.contexts_per_machine < 1)
-    throw ConfigError("contexts_per_machine must be >= 1");
-  // With replica reuse on, a dropped-but-current replica is as good as a
-  // present one for the locality heuristics.
-  directory_.set_reuse_scoring(sched_.comm.reuse_replicas);
-  machines_.reserve(cluster_.machines.size());
-  for (const MachineDesc& desc : cluster_.machines) {
-    Machine m;
-    m.desc = desc;
-    m.free_contexts = sched_.contexts_per_machine;
-    machines_.push_back(std::move(m));
-  }
-  stats_.machine_busy_seconds.assign(machines_.size(), 0.0);
-
-  if (fault_.enabled) {
-    if (cluster_.shared_memory())
-      throw ConfigError(
-          "fault injection requires a message-passing platform: on shared "
-          "memory there is no network to lose messages on and no per-machine "
-          "object copies to recover");
-    const FaultPlan plan = FaultPlan::make(fault_, machine_count());
-    injector_ = std::make_unique<FaultInjector>(plan, machine_count());
-    detector_ = std::make_unique<FailureDetector>(
-        machine_count(), fault_.heartbeat_interval,
-        fault_.heartbeat_miss_threshold);
-    FaultyNetConfig net_cfg;
-    net_cfg.drop_probability = fault_.drop_probability;
-    net_cfg.initial_retry_timeout = fault_.initial_retry_timeout;
-    net_cfg.max_retry_timeout = fault_.max_retry_timeout;
-    net_cfg.max_send_attempts = fault_.max_send_attempts;
-    auto faulty = std::make_unique<FaultyNetwork>(
-        std::move(network_), net_cfg,
-        [this](MachineId from, MachineId to) {
-          return injector_->should_drop(from, to);
-        });
-    faulty_net_ = faulty.get();
-    network_ = std::move(faulty);
-    pending_recovery_.resize(machines_.size());
-    recovery_waiters_.resize(machines_.size());
-  }
-
-  queue_wait_hist_ = &metrics_.histogram("engine.task_queue_wait");
-  fetch_wait_hist_ = &metrics_.histogram("engine.fetch_wait");
-  exec_hist_ = &metrics_.histogram("engine.task_execution");
-}
-
-SimTime SimEngine::trace_now() const { return sim_.now(); }
-
-void SimEngine::enable_tracing(const ObsConfig& cfg) {
-  Engine::enable_tracing(cfg);
-  obs::Tracer* t = cfg.trace ? &tracer_ : nullptr;
-  network_->set_observer(t, cfg.trace ? &metrics_ : nullptr);
-  directory_.set_observer(t, [this] { return sim_.now(); });
-}
-
-SimEngine::~SimEngine() = default;
 
 SimEngine::SimTask& SimEngine::st(TaskNode* task) {
   JADE_ASSERT_MSG(task->engine_data != nullptr,
@@ -227,7 +107,7 @@ void SimEngine::try_dispatch() {
         // Explicit placement (Section 4.5) overrides the heuristics.  A task
         // pinned to a crashed machine can never run anywhere; surface that
         // rather than stalling the simulation.
-        if (ft_enabled() && !injector_->machine_up(task->placement))
+        if (ft_enabled() && !ft_->injector().machine_up(task->placement))
           throw UnrecoverableError(
               "task '" + task->name() + "' is pinned to machine " +
               std::to_string(task->placement) + ", which has crashed");
@@ -290,7 +170,7 @@ void SimEngine::task_process(TaskNode* task) {
   SimTask& t = st(task);
   serializer_.task_started(task);
   ++active_tasks_;
-  t.attempt_charge_base = task->charged_work;
+  t.attempt.charge_base = task->charged_work;
 
   // Prefetch: move/copy every object named by an immediate right to this
   // machine; all transfers go out at once so their latencies overlap
@@ -337,7 +217,7 @@ void SimEngine::finish_task(TaskNode* task) {
   tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(), t.machine,
                    task->charged_work);
   task->body = nullptr;  // only now is a re-execution impossible
-  t.snapshots.clear();
+  t.attempt.snapshots.clear();
   if (ft_enabled()) {
     // Stray fault-layer events (a final heartbeat round, a scheduled crash
     // that no longer matters) may advance the clock after the program is
@@ -348,23 +228,15 @@ void SimEngine::finish_task(TaskNode* task) {
   --active_tasks_;
   serializer_.complete_task(task);
   post_serializer();
-  for (ObjectId obj : t.commute_tokens) release_commute_token(obj);
-  t.commute_tokens.clear();
+  // Hand every held commute token on, in acquisition order.
+  const std::vector<ObjectId> held = commute_.held(task);
+  for (ObjectId obj : held) {
+    TaskNode* next = nullptr;
+    commute_.release(obj, task, &next);
+    if (next != nullptr) sim_.resume(st(next).process);
+  }
   release_context(t);
   maybe_release_throttled();
-}
-
-void SimEngine::release_commute_token(ObjectId obj) {
-  auto& waiters = commute_waiters_[obj];
-  if (!waiters.empty()) {
-    TaskNode* next = waiters.front();
-    waiters.pop_front();
-    commute_holder_[obj] = next;
-    st(next).commute_tokens.push_back(obj);
-    sim_.resume(st(next).process);
-  } else {
-    commute_holder_.erase(obj);
-  }
 }
 
 void SimEngine::occupy_cpu(SimTask& t, SimTime seconds) {
@@ -394,7 +266,7 @@ void SimEngine::occupy_runtime(SimTask& t, SimTime seconds) {
 
 void SimEngine::release_context(SimTask& t) {
   Machine& m = machines_[t.machine];
-  if (ft_enabled() && !injector_->machine_up(t.machine)) {
+  if (ft_enabled() && !ft_->injector().machine_up(t.machine)) {
     // Dead machine: a slot may still pass between resident tasks that ride
     // out the crash, but it never re-enters the free pool (the dispatcher
     // must not place new work here).
@@ -418,7 +290,7 @@ void SimEngine::release_context(SimTask& t) {
 
 void SimEngine::reacquire_context(SimTask& t) {
   Machine& m = machines_[t.machine];
-  if (ft_enabled() && !injector_->machine_up(t.machine)) {
+  if (ft_enabled() && !ft_->injector().machine_up(t.machine)) {
     // A non-restartable task re-entering on its crashed machine: it must
     // still run to completion (its spawns already escaped), so it executes
     // on the ghost of the machine without slot bookkeeping.
@@ -446,9 +318,9 @@ void SimEngine::park_inactive(SimTask& t, Wait kind) {
 }
 
 void SimEngine::maybe_release_throttled() {
-  if (!sched_.throttle.enabled) return;
+  if (!throttle_.enabled()) return;
   while (!throttled_.empty() &&
-         (serializer_.backlog() <= sched_.throttle.low_water ||
+         (throttle_.backlog_drained(serializer_.backlog()) ||
           active_tasks_ == 0)) {
     TaskNode* t = throttled_.front();
     throttled_.pop_front();
@@ -466,7 +338,7 @@ void SimEngine::spawn(TaskNode* parent,
   SimTask& pt = st(parent);
   // Spawning makes the parent unkillable *before* it can park below: a
   // replay of a task that already created a child would create it twice.
-  pt.restartable = false;
+  pt.attempt.restartable = false;
   // Executing the withonly construct costs the creator time (building the
   // specification, inserting queue records) on the runtime lane.
   occupy_runtime(pt, cluster_.task_create_overhead);
@@ -489,13 +361,11 @@ void SimEngine::spawn(TaskNode* parent,
                     pt.machine, 0, task->name());
   post_serializer();
 
-  if (sched_.throttle.enabled &&
-      serializer_.backlog() > sched_.throttle.high_water &&
-      active_tasks_ > 1) {
+  if (throttle_.should_throttle(serializer_.backlog()) && active_tasks_ > 1) {
     // Excess concurrency: suspend the creating task (Figure 7(e)) until the
     // unstarted backlog drains.  Skipped when this creator is the only
     // active task — then it is the sole source of progress.
-    ++stats_.throttle_suspensions;
+    throttle_.note_suspension();
     JADE_TRACE("t=" << sim_.now() << " throttle suspends " << parent->name()
                     << " (backlog=" << serializer_.backlog() << ")");
     tracer_.instant(obs::Subsystem::kEngine, "throttle.suspend", parent->id(),
@@ -516,18 +386,16 @@ void SimEngine::with_cont(TaskNode* task,
   SimTask& t = st(task);
   // A with-cont retires or converts rights — visible to other tasks the
   // moment it executes, and not undoable.  The task rides out crashes.
-  t.restartable = false;
+  t.attempt.restartable = false;
   const bool must_block = serializer_.update_spec(task, requests);
   post_serializer();
   // no_cm hands the exclusivity token to the next waiting commuter now
   // rather than at completion.
   for (const AccessRequest& req : requests) {
     if (!(req.remove & access::kCommute)) continue;
-    auto held = std::find(t.commute_tokens.begin(), t.commute_tokens.end(),
-                          req.obj);
-    if (held == t.commute_tokens.end()) continue;
-    t.commute_tokens.erase(held);
-    release_commute_token(req.obj);
+    TaskNode* next = nullptr;
+    if (!commute_.release(req.obj, task, &next)) continue;
+    if (next != nullptr) sim_.resume(st(next).process);
   }
   if (must_block) {
     // Release the machine slot while waiting: the tasks we wait on may need
@@ -575,41 +443,41 @@ std::byte* SimEngine::acquire_bytes(TaskNode* task, ObjectId obj,
     reacquire_context(t);
   }
   if (mode & access::kCommute) {
-    auto it = commute_holder_.find(obj);
-    if (it != commute_holder_.end() && it->second != task) {
+    TaskNode* holder = commute_.holder(obj);
+    if (holder != nullptr && holder != task) {
       // Another commuter holds the object; queue for the token.  The
       // machine slot is released meanwhile — the holder may be later in the
       // serial order and need it.
       JADE_TRACE("t=" << sim_.now() << " " << task->name()
                       << " waits for commute token on obj " << obj);
       release_context(t);
-      commute_waiters_[obj].push_back(task);
+      commute_.enqueue_waiter(obj, task);
       // the releaser hands us the token before resuming us
       park_inactive(t, Wait::kCommute);
       reacquire_context(t);
-    } else if (it == commute_holder_.end()) {
-      commute_holder_.emplace(obj, task);
-      t.commute_tokens.push_back(obj);
+    } else if (holder == nullptr) {
+      commute_.try_acquire(obj, task);
     }
   }
   // A child may have moved the object since our prefetch; re-ensure
   // residence (cheap when it is still here).
   if (!cluster_.shared_memory()) {
     const bool exclusive = (mode & kExclusiveBits) != 0;
-    park_until_fetched(t, transfer_object(t, obj, t.machine, exclusive));
+    park_until_fetched(t, transfer_object(t, obj, exclusive));
   }
   // Snapshot before handing out a mutable pointer: if a crash kills this
   // attempt mid-write, the pre-image is restored and the re-execution sees
   // exactly what the first attempt saw.  Taken here — after serializer
   // admission and commute-token acquisition — so a commuter snapshots the
   // object *with its predecessors' updates applied*.
-  if (ft_enabled() && st(task).restartable && (mode & kExclusiveBits))
-    maybe_snapshot(st(task), obj);
+  if (ft_enabled() && st(task).attempt.restartable && (mode & kExclusiveBits))
+    ft_->snapshot_before_write(st(task).attempt, obj);
   // The write makes every other copy stale: drop replicas that raced in via
   // prefetch and open a new data version (after the snapshot, so a killed
   // attempt restores the pre-write version).
   if (!cluster_.shared_memory() && (mode & kExclusiveBits))
-    first_write_invalidate(st(task), obj);
+    coherence_->first_write_invalidate(st(task).machine, obj,
+                                       st(task).attempt.dirtied);
   return directory_.data(obj);
 }
 
@@ -625,103 +493,18 @@ MachineId SimEngine::machine_of(TaskNode* task) const {
   return static_cast<const SimTask*>(task->engine_data)->machine;
 }
 
-// --- object motion ---------------------------------------------------------
+// --- object motion (store/coherence.hpp does the protocol) -----------------
 
-SimTime SimEngine::available_at(ObjectId obj, MachineId m) const {
-  auto it =
-      available_at_.find(obj * kMaxMachines + static_cast<std::uint64_t>(m));
-  return it == available_at_.end() ? 0 : it->second;
+void SimEngine::ensure_recoverable(ObjectId obj) const {
+  if (!directory_.lost(obj)) return;
+  throw UnrecoverableError(
+      "object " + std::to_string(obj) + " ('" + objects_.info(obj).name +
+      "') is unrecoverable: its only copy died with machine " +
+      std::to_string(directory_.owner(obj)) +
+      " and stable storage is disabled");
 }
 
-void SimEngine::set_available_at(ObjectId obj, MachineId m, SimTime at) {
-  available_at_[obj * kMaxMachines + static_cast<std::uint64_t>(m)] = at;
-}
-
-SimTime SimEngine::conversion_cost(ObjectId obj, MachineId src,
-                                   MachineId dst) {
-  // Heterogeneous format conversion: when the byte orders differ we really
-  // run the per-scalar conversion (twice: sender->wire, wire->receiver; the
-  // two swaps compose to the identity on the host's canonical buffer, but
-  // the work and the code path are real) and charge its time.  The sender
-  // caches the converted image per data version, so repeated cross-endian
-  // transfers of clean data convert once.
-  const ObjectInfo& info = objects_.info(obj);
-  const Endian se = machines_[src].desc.endian;
-  const Endian de = machines_[dst].desc.endian;
-  if (se == de || info.type.order_invariant()) return 0;
-  if (sched_.comm.cache_conversions) {
-    auto it = converted_cache_.find(obj);
-    if (it != converted_cache_.end() &&
-        it->second == directory_.data_version(obj)) {
-      ++stats_.conversions_cached;
-      return 0;
-    }
-  }
-  std::span<std::byte> data{directory_.data(obj), info.byte_size()};
-  const std::size_t n = convert_representation(data, info.type,
-                                               Endian::kLittle, Endian::kBig);
-  convert_representation(data, info.type, Endian::kBig, Endian::kLittle);
-  stats_.scalars_converted += n;
-  if (sched_.comm.cache_conversions)
-    converted_cache_[obj] = directory_.data_version(obj);
-  return static_cast<SimTime>(n) * cluster_.conversion_seconds_per_scalar;
-}
-
-void SimEngine::send_invalidations(ObjectId obj, MachineId from,
-                                   const std::vector<MachineId>& targets,
-                                   SimTime now) {
-  // Fire-and-forget — the serializer already guarantees no earlier reader
-  // is still active on any target.
-  if (targets.empty()) return;
-  stats_.invalidations += targets.size();
-  if (sched_.comm.coalesce_invalidations && targets.size() > 1) {
-    const std::size_t bytes = invalidate_message_size(
-        obj, from, targets, cluster_.control_message_bytes);
-    network_->schedule_multicast(from, targets, bytes, now);
-    stats_.messages += 1;
-    stats_.bytes_sent += bytes;
-    stats_.invalidations_coalesced += targets.size() - 1;
-    std::size_t naive = 0;
-    for (MachineId h : targets)
-      naive += control_message_size(MsgKind::kInvalidate, obj, from, h, 0,
-                                    cluster_.control_message_bytes);
-    if (naive > bytes) stats_.bytes_avoided += naive - bytes;
-  } else {
-    for (MachineId h : targets) {
-      const std::size_t bytes =
-          control_message_size(MsgKind::kInvalidate, obj, from, h, 0,
-                               cluster_.control_message_bytes);
-      network_->schedule_transfer(from, h, bytes, now);
-      ++stats_.messages;
-      stats_.bytes_sent += bytes;
-    }
-  }
-}
-
-void SimEngine::first_write_invalidate(SimTask& t, ObjectId obj) {
-  const MachineId m = t.machine;
-  std::vector<MachineId> dropped;
-  if (!directory_.sole_holder(obj, m)) {
-    // Replicas appeared between the exclusive transfer and this write
-    // (another task's deferred-read prefetch raced in); drop them before
-    // the write makes them stale.
-    dropped = directory_.invalidate_replicas(obj);
-  }
-  const bool first =
-      std::find(t.dirtied.begin(), t.dirtied.end(), obj) == t.dirtied.end();
-  if (first) {
-    directory_.mark_dirty(obj);
-    t.dirtied.push_back(obj);
-  } else if (!dropped.empty()) {
-    // A replica copied between two of this attempt's writes holds a torn
-    // image; advance the version again so it can never revalidate.
-    directory_.mark_dirty(obj);
-  }
-  send_invalidations(obj, m, dropped, sim_.now());
-}
-
-SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
-                                   bool exclusive) {
+SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, bool exclusive) {
   if (cluster_.shared_memory()) return sim_.now();
 
   if (ft_enabled()) {
@@ -729,150 +512,19 @@ SimTime SimEngine::transfer_object(SimTask& t, ObjectId obj, MachineId to,
     // local replica satisfies a read; anything else waits for the recovery
     // protocol to re-home or restore the object — or learns it is gone.
     while (true) {
-      if (directory_.lost(obj))
-        throw UnrecoverableError(
-            "object " + std::to_string(obj) + " ('" +
-            objects_.info(obj).name +
-            "') is unrecoverable: its only copy died with machine " +
-            std::to_string(directory_.owner(obj)) +
-            " and stable storage is disabled");
+      ensure_recoverable(obj);
       const MachineId owner = directory_.owner(obj);
-      if (injector_->machine_up(owner)) break;
-      if (!exclusive && directory_.present(obj, to)) break;
+      if (ft_->injector().machine_up(owner)) break;
+      if (!exclusive && directory_.present(obj, t.machine)) break;
       JADE_TRACE("t=" << sim_.now() << " " << t.node->name()
                       << " waits for recovery of obj " << obj
                       << " (owner " << owner << " is down)");
-      recovery_waiters_[static_cast<std::size_t>(owner)].push_back(t.node);
+      ft_->add_recovery_waiter(owner, t.node);
       park_inactive(t, Wait::kRecovery);
     }
   }
 
-  const SimTime now = sim_.now();
-  const ObjectInfo& info = objects_.info(obj);
-  const MachineId from = directory_.owner(obj);
-  // The object travels behind a data header; requests, grants, and
-  // invalidations are standalone control messages.
-  const std::size_t payload =
-      info.byte_size() +
-      control_message_size(MsgKind::kObjectData, obj, from, to,
-                           info.byte_size(), cluster_.control_message_bytes);
-  const std::size_t request_bytes =
-      control_message_size(MsgKind::kObjectRequest, obj, to, from, 0,
-                           cluster_.control_message_bytes);
-  const std::size_t grant_bytes =
-      control_message_size(MsgKind::kObjectGrant, obj, from, to, 0,
-                           cluster_.control_message_bytes);
-
-  if (!exclusive) {
-    if (directory_.present(obj, to)) {
-      const SimTime avail = available_at(obj, to);
-      // An earlier request's payload is still in flight; this reader shares
-      // it instead of issuing its own.
-      if (avail > now) ++stats_.requests_combined;
-      return std::max(now, avail);
-    }
-    if (sched_.comm.reuse_replicas && directory_.reusable(obj, to)) {
-      // Revalidation: the dropped replica still matches the current data
-      // version, so a control round-trip re-admits it — no payload.
-      const SimTime req_arr =
-          network_->schedule_transfer(to, from, request_bytes, now);
-      const SimTime grant_arr =
-          network_->schedule_transfer(from, to, grant_bytes, req_arr);
-      stats_.messages += 2;
-      stats_.bytes_sent += request_bytes + grant_bytes;
-      ++stats_.replicas_reused;
-      stats_.bytes_avoided += info.byte_size();
-      if (tracer_.enabled()) {
-        tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
-                              from, "revalidate " + info.name);
-        tracer_.span_end_at(grant_arr, obs::Subsystem::kStore, "store.fetch",
-                            obj, to, static_cast<double>(info.byte_size()));
-      }
-      directory_.revalidate_to(obj, to);
-      set_available_at(obj, to, grant_arr);
-      JADE_TRACE("t=" << now << " revalidate " << info.name << " on " << to
-                      << " granted t=" << grant_arr);
-      return grant_arr;
-    }
-    // Copy: request to the owner, data back; the owner keeps its version so
-    // machines read concurrently (object replication, Section 5).
-    const SimTime req_arr =
-        network_->schedule_transfer(to, from, request_bytes, now);
-    SimTime data_arr = network_->schedule_transfer(from, to, payload,
-                                                   req_arr);
-    stats_.messages += 2;
-    stats_.bytes_sent += request_bytes + payload;
-    stats_.payload_bytes += info.byte_size();
-    data_arr += conversion_cost(obj, from, to);
-    if (tracer_.enabled()) {
-      tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
-                            from, "copy " + info.name);
-      tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
-                          obj, to, static_cast<double>(info.byte_size()));
-    }
-    directory_.replicate_to(obj, to);
-    ++stats_.object_copies;
-    set_available_at(obj, to, data_arr);
-    JADE_TRACE("t=" << now << " copy " << info.name << " " << from << "->"
-                    << to << " arrives t=" << data_arr);
-    return data_arr;
-  }
-
-  // Exclusive (write/commute) access: the object *moves*; every other copy
-  // is deallocated (Figure 7(c)).
-  SimTime avail = std::max(now, available_at(obj, to));
-  if (from != to) {
-    if (sched_.comm.reuse_replicas &&
-        (directory_.present(obj, to) || directory_.reusable(obj, to))) {
-      // Upgrade in place: the destination already holds (or can revalidate)
-      // the current bytes, so only ownership travels — request and grant,
-      // no payload move.
-      const SimTime req_arr =
-          network_->schedule_transfer(to, from, request_bytes, now);
-      const SimTime grant_arr =
-          network_->schedule_transfer(from, to, grant_bytes, req_arr);
-      stats_.messages += 2;
-      stats_.bytes_sent += request_bytes + grant_bytes;
-      ++stats_.replicas_reused;
-      stats_.bytes_avoided += info.byte_size();
-      if (!directory_.present(obj, to)) directory_.revalidate_to(obj, to);
-      avail = std::max(avail, grant_arr);
-      if (tracer_.enabled()) {
-        tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
-                              from, "upgrade " + info.name);
-        tracer_.span_end_at(avail, obs::Subsystem::kStore, "store.fetch",
-                            obj, to, static_cast<double>(info.byte_size()));
-      }
-      JADE_TRACE("t=" << now << " upgrade " << info.name << " in place on "
-                      << to << " granted t=" << grant_arr);
-    } else {
-      const SimTime req_arr =
-          network_->schedule_transfer(to, from, request_bytes, now);
-      SimTime data_arr = network_->schedule_transfer(from, to, payload,
-                                                     req_arr);
-      stats_.messages += 2;
-      stats_.bytes_sent += request_bytes + payload;
-      stats_.payload_bytes += info.byte_size();
-      data_arr += conversion_cost(obj, from, to);
-      avail = data_arr;
-      ++stats_.object_moves;
-      if (tracer_.enabled()) {
-        tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch", obj,
-                              from, "move " + info.name);
-        tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
-                            obj, to, static_cast<double>(info.byte_size()));
-      }
-      JADE_TRACE("t=" << now << " move " << info.name << " " << from << "->"
-                      << to << " arrives t=" << data_arr);
-    }
-  }
-  std::vector<MachineId> targets;
-  for (MachineId h : directory_.holders(obj))
-    if (h != to && h != from) targets.push_back(h);
-  send_invalidations(obj, from, targets, now);
-  directory_.move_to(obj, to);
-  set_available_at(obj, to, avail);
-  return avail;
+  return coherence_->transfer(obj, t.machine, exclusive);
 }
 
 SimTime SimEngine::fetch_objects(SimTask& t, std::vector<FetchItem> items) {
@@ -887,21 +539,15 @@ SimTime SimEngine::fetch_objects(SimTask& t, std::vector<FetchItem> items) {
       parked = false;
       for (const FetchItem& item : items) {
         if (!item.blocking) continue;
-        if (directory_.lost(item.obj))
-          throw UnrecoverableError(
-              "object " + std::to_string(item.obj) + " ('" +
-              objects_.info(item.obj).name +
-              "') is unrecoverable: its only copy died with machine " +
-              std::to_string(directory_.owner(item.obj)) +
-              " and stable storage is disabled");
+        ensure_recoverable(item.obj);
         const MachineId owner = directory_.owner(item.obj);
-        if (injector_->machine_up(owner)) continue;
+        if (ft_->injector().machine_up(owner)) continue;
         if (!item.exclusive && directory_.present(item.obj, t.machine))
           continue;
         JADE_TRACE("t=" << sim_.now() << " " << t.node->name()
                         << " waits for recovery of obj " << item.obj
                         << " (owner " << owner << " is down)");
-        recovery_waiters_[static_cast<std::size_t>(owner)].push_back(t.node);
+        ft_->add_recovery_waiter(owner, t.node);
         park_inactive(t, Wait::kRecovery);
         parked = true;
         break;
@@ -912,152 +558,13 @@ SimTime SimEngine::fetch_objects(SimTask& t, std::vector<FetchItem> items) {
     std::erase_if(items, [this](const FetchItem& item) {
       if (item.blocking) return false;
       return directory_.lost(item.obj) ||
-             !injector_->machine_up(directory_.owner(item.obj));
+             !ft_->injector().machine_up(directory_.owner(item.obj));
     });
   }
 
-  // Everything from here is synchronous (scheduling only; no time passes),
-  // so the classification below cannot be invalidated by a concurrent event.
-  const MachineId to = t.machine;
-  SimTime ready = sim_.now();
-
-  if (!sched_.comm.combine_requests) {
-    for (const FetchItem& item : items) {
-      const SimTime at = transfer_object(t, item.obj, to, item.exclusive);
-      if (item.blocking) ready = std::max(ready, at);
-    }
-    return ready;
-  }
-
-  // Group the items that need a round-trip to a remote owner; everything
-  // else (already present for a read, or owned here) resolves locally.
-  // std::map keys the batches in machine order — deterministic.
-  std::map<MachineId, std::vector<FetchItem>> batches;
-  for (const FetchItem& item : items) {
-    const MachineId from = directory_.owner(item.obj);
-    const bool local =
-        from == to || (!item.exclusive && directory_.present(item.obj, to));
-    if (local) {
-      const SimTime at = transfer_object(t, item.obj, to, item.exclusive);
-      if (item.blocking) ready = std::max(ready, at);
-    } else {
-      batches[from].push_back(item);
-    }
-  }
-
-  for (auto& [from, batch] : batches) {
-    SimTime at;
-    if (batch.size() == 1) {
-      at = transfer_object(t, batch.front().obj, to, batch.front().exclusive);
-    } else {
-      at = fetch_batch(t, from, batch);
-    }
-    for (const FetchItem& item : batch)
-      if (item.blocking) ready = std::max(ready, at);
-  }
-  return ready;
-}
-
-SimTime SimEngine::fetch_batch(SimTask& t, MachineId from,
-                               const std::vector<FetchItem>& batch) {
-  const SimTime now = sim_.now();
-  const MachineId to = t.machine;
-  const std::size_t floor = cluster_.control_message_bytes;
-
-  // Classify each item once: a reusable (or, for an upgrade, present)
-  // replica is served by the grant alone; the rest ride the reply payload.
-  std::vector<ObjectId> objs;
-  std::vector<bool> reuse;
-  std::size_t total_payload = 0;
-  std::size_t naive_control = 0;
-  objs.reserve(batch.size());
-  reuse.reserve(batch.size());
-  for (const FetchItem& item : batch) {
-    const ObjectInfo& info = objects_.info(item.obj);
-    objs.push_back(item.obj);
-    const bool r =
-        sched_.comm.reuse_replicas &&
-        (directory_.reusable(item.obj, to) ||
-         (item.exclusive && directory_.present(item.obj, to)));
-    reuse.push_back(r);
-    if (!r) total_payload += info.byte_size();
-    // What the per-object protocol would have spent on control traffic.
-    naive_control +=
-        control_message_size(MsgKind::kObjectRequest, item.obj, to, from, 0,
-                             floor) +
-        control_message_size(MsgKind::kObjectData, item.obj, from, to,
-                             info.byte_size(), floor);
-  }
-
-  const std::size_t request_bytes = batch_request_size(objs, to, from, floor);
-  const std::size_t reply_header = control_message_size(
-      total_payload == 0 ? MsgKind::kObjectGrant : MsgKind::kObjectData,
-      objs.front(), from, to, total_payload, floor);
-  const std::size_t reply_bytes = reply_header + total_payload;
-
-  const SimTime req_arr =
-      network_->schedule_transfer(to, from, request_bytes, now);
-  SimTime data_arr =
-      network_->schedule_transfer(from, to, reply_bytes, req_arr);
-  stats_.messages += 2;
-  stats_.bytes_sent += request_bytes + reply_bytes;
-  stats_.payload_bytes += total_payload;
-  stats_.requests_combined += batch.size() - 1;
-  const std::size_t batched_control = request_bytes + reply_header;
-  if (naive_control > batched_control)
-    stats_.bytes_avoided += naive_control - batched_control;
-
-  // The sender converts every payload-carrying member before the reply
-  // goes out; the conversions serialize into the batch's arrival.
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    if (!reuse[i]) data_arr += conversion_cost(batch[i].obj, from, to);
-
-  SimTime last = data_arr;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const FetchItem& item = batch[i];
-    const ObjectInfo& info = objects_.info(item.obj);
-    const char* verb = item.exclusive ? (reuse[i] ? "upgrade " : "move ")
-                                      : (reuse[i] ? "revalidate " : "copy ");
-    if (tracer_.enabled()) {
-      tracer_.span_begin_at(now, obs::Subsystem::kStore, "store.fetch",
-                            item.obj, from, verb + info.name);
-      tracer_.span_end_at(data_arr, obs::Subsystem::kStore, "store.fetch",
-                          item.obj, to,
-                          static_cast<double>(info.byte_size()));
-    }
-    // A payload already in flight to this machine may arrive after the
-    // batch's grant; the object is usable only once both have landed.
-    const SimTime avail = std::max(data_arr, available_at(item.obj, to));
-    if (!item.exclusive) {
-      if (reuse[i]) {
-        directory_.revalidate_to(item.obj, to);
-        ++stats_.replicas_reused;
-        stats_.bytes_avoided += info.byte_size();
-      } else {
-        directory_.replicate_to(item.obj, to);
-        ++stats_.object_copies;
-      }
-    } else {
-      if (reuse[i]) {
-        if (!directory_.present(item.obj, to))
-          directory_.revalidate_to(item.obj, to);
-        ++stats_.replicas_reused;
-        stats_.bytes_avoided += info.byte_size();
-      } else {
-        ++stats_.object_moves;
-      }
-      std::vector<MachineId> targets;
-      for (MachineId h : directory_.holders(item.obj))
-        if (h != to && h != from) targets.push_back(h);
-      send_invalidations(item.obj, from, targets, now);
-      directory_.move_to(item.obj, to);
-    }
-    set_available_at(item.obj, to, avail);
-    last = std::max(last, avail);
-    JADE_TRACE("t=" << now << " batch " << verb << info.name << " " << from
-                    << "->" << to << " arrives t=" << avail);
-  }
-  return last;
+  // After the fault pre-pass every remaining transfer resolves without
+  // parking (no time passes between here and the protocol's scheduling).
+  return coherence_->fetch(t.machine, std::move(items));
 }
 
 // --- run -------------------------------------------------------------------
@@ -1075,7 +582,8 @@ void SimEngine::run(std::function<void(TaskContext&)> root_body) {
   rt.node = serializer_.root();
   rt.machine = 0;
   rt.creator_machine = 0;
-  rt.restartable = false;  // the original task; machine 0 never crashes
+  rt.attempt.restartable = false;  // the original task; machine 0 never
+                                   // crashes
   serializer_.root()->engine_data = &rt;
   serializer_.root()->assigned_machine = 0;
 
@@ -1097,7 +605,7 @@ void SimEngine::run(std::function<void(TaskContext&)> root_body) {
     finish_task(root);
   });
 
-  if (ft_enabled()) schedule_fault_events();
+  if (ft_enabled()) ft_->schedule_events();
 
   sim_.run();
 
@@ -1110,126 +618,15 @@ void SimEngine::run(std::function<void(TaskContext&)> root_body) {
   }
   for (std::size_t m = 0; m < machines_.size(); ++m)
     stats_.machine_busy_seconds[m] = machines_[m].busy_seconds;
+  stats_.throttle_suspensions = throttle_.suspensions();
+  stats_.throttle_giveups = throttle_.giveups();
   publish_runtime_stats();
 }
 
-// --- fault injection & recovery --------------------------------------------
+// --- fault tolerance (ft/recovery_coordinator.hpp does the protocol) -------
 
-bool SimEngine::drained() const {
-  return root_done_ && serializer_.outstanding() == 0;
-}
-
-void SimEngine::schedule_fault_events() {
-  for (const CrashEvent& c : injector_->crashes()) {
-    sim_.schedule(c.time, [this, m = c.machine] { handle_crash(m); });
-  }
-  sim_.schedule(fault_.heartbeat_interval, [this] { send_heartbeats(); });
-  sim_.schedule(fault_.heartbeat_interval, [this] { detector_sweep(); });
-}
-
-void SimEngine::send_heartbeats() {
-  if (drained()) return;
-  for (MachineId m = 1; m < machine_count(); ++m) {
-    if (!injector_->machine_up(m)) continue;
-    const SimTime arrival = network_->schedule_transfer(
-        m, 0, fault_.heartbeat_bytes, sim_.now());
-    ++stats_.heartbeats_sent;
-    stats_.messages += 1;
-    stats_.bytes_sent += fault_.heartbeat_bytes;
-    sim_.schedule(arrival, [this, m, arrival] {
-      // A heartbeat retransmitted past its sender's detected death is
-      // stale; the coordinator has fenced the machine and must not let it
-      // clear the suspicion (the detector would then declare it dead a
-      // second time and recovery would run twice).
-      if (injector_->health(m).detected_at != 0) return;
-      detector_->heartbeat_received(m, arrival);
-    });
-  }
-  sim_.schedule_in(fault_.heartbeat_interval, [this] { send_heartbeats(); });
-}
-
-void SimEngine::detector_sweep() {
-  if (drained()) return;
-  for (MachineId suspect : detector_->sweep(sim_.now())) {
-    if (injector_->machine_up(suspect)) {
-      // Congestion delayed the heartbeats past the threshold.  The
-      // coordinator double-checks with a direct probe (modeled as ground
-      // truth) and does not kill a live machine's work; the standing
-      // suspicion clears when the next heartbeat arrives.
-      ++stats_.false_suspicions;
-      tracer_.instant(obs::Subsystem::kFt, "ft.false_suspicion",
-                      static_cast<std::uint64_t>(suspect), suspect);
-      continue;
-    }
-    recover_machine(suspect);
-  }
-  sim_.schedule_in(fault_.heartbeat_interval, [this] { detector_sweep(); });
-}
-
-void SimEngine::handle_crash(MachineId m) {
-  if (drained()) return;  // the program already finished
-  injector_->record_crash(m, sim_.now());
-  ++stats_.machine_crashes;
-  tracer_.instant(obs::Subsystem::kFt, "ft.crash",
-                  static_cast<std::uint64_t>(m), m);
-  JADE_TRACE("t=" << sim_.now() << " CRASH machine " << m << " ("
-                  << machines_[m].desc.name << ")");
-  // The machine goes dark: no new work is ever placed on it.
-  machines_[static_cast<std::size_t>(m)].free_contexts = 0;
-  // Kill every restartable attempt resident on the machine, in creation
-  // order (deterministic).  Non-restartable attempts (they spawned children
-  // or ran a with-cont — effects that already escaped) ride out the crash
-  // and run to completion; see docs/FAULT_TOLERANCE.md for the model.
-  std::vector<TaskNode*> victims;
-  for (SimTask& t : sim_tasks_) {
-    if (t.machine != m || !t.restartable) continue;
-    if (t.node->state() == TaskState::kCompleted) continue;
-    if (t.process == nullptr ||
-        t.process->state() == Process::State::kDone ||
-        t.process->abandoned())
-      continue;
-    victims.push_back(t.node);
-  }
-  for (TaskNode* task : victims) kill_task_attempt(task);
-  for (TaskNode* task : victims)
-    pending_recovery_[static_cast<std::size_t>(m)].push_back(task);
-  // Surviving (non-restartable) residents parked for a context slot would
-  // wait forever: the holders they waited on were just killed and killed
-  // attempts never release.  The dead machine has no real slots anyway —
-  // wake them all.
-  auto& waiters = machines_[static_cast<std::size_t>(m)].context_waiters;
-  while (!waiters.empty()) {
-    TaskNode* next = waiters.front();
-    waiters.pop_front();
-    sim_.resume(st(next).process);
-  }
-  // Replica/ownership surgery waits for *detection*: until the failure
-  // detector notices, the cluster keeps routing requests at the dead
-  // machine (and transfer_object parks the requesters).
-  maybe_release_throttled();
-}
-
-void SimEngine::kill_task_attempt(TaskNode* task) {
+void SimEngine::abort_attempt_execution(TaskNode* task) {
   SimTask& t = st(task);
-  ++stats_.tasks_killed;
-  tracer_.instant(obs::Subsystem::kFt, "ft.kill", task->id(), t.machine,
-                  task->charged_work - t.attempt_charge_base);
-  JADE_TRACE("t=" << sim_.now() << " kill " << task->name() << " on machine "
-                  << t.machine);
-  // Undo the attempt's writes (reverse acquisition order), the data-version
-  // bumps they opened, and the charge.  Clearing `dirtied` makes the re-run
-  // bump again from the restored version; nothing can have recorded a
-  // reusable replica at the doomed version (it was dropped, not copied).
-  for (auto it = t.snapshots.rbegin(); it != t.snapshots.rend(); ++it) {
-    std::copy(it->bytes.begin(), it->bytes.end(), directory_.data(it->obj));
-    directory_.set_data_version(it->obj, it->data_version);
-  }
-  t.snapshots.clear();
-  t.dirtied.clear();
-  const double wasted = task->charged_work - t.attempt_charge_base;
-  stats_.wasted_charged_work += wasted;
-  task->charged_work = t.attempt_charge_base;
-
   Process* p = t.process;
   const bool started = p->state() != Process::State::kCreated;
   if (started) {
@@ -1247,10 +644,7 @@ void SimEngine::kill_task_attempt(TaskNode* task) {
         break;
       }
       case Wait::kCommute:
-        for (auto& [obj, waiters] : commute_waiters_) {
-          auto it = std::find(waiters.begin(), waiters.end(), task);
-          if (it != waiters.end()) waiters.erase(it);
-        }
+        commute_.remove_waiter(task);
         break;
       case Wait::kContext: {
         auto& waiters =
@@ -1261,10 +655,7 @@ void SimEngine::kill_task_attempt(TaskNode* task) {
         break;
       }
       case Wait::kRecovery:
-        for (auto& waiters : recovery_waiters_) {
-          auto it = std::find(waiters.begin(), waiters.end(), task);
-          if (it != waiters.end()) waiters.erase(it);
-        }
+        ft_->remove_recovery_waiter(task);
         break;
       case Wait::kThrottle:
       case Wait::kNone:
@@ -1273,14 +664,15 @@ void SimEngine::kill_task_attempt(TaskNode* task) {
         JADE_ASSERT_MSG(false, "killed task in an impossible wait state");
     }
   }
-  // Hand held commute tokens to the next waiters.  (A waiter that is itself
-  // being killed in this sweep gets its resume abandoned and the token
-  // released again when its own kill runs.)
-  while (!t.commute_tokens.empty()) {
-    const ObjectId obj = t.commute_tokens.back();
-    t.commute_tokens.pop_back();
-    JADE_ASSERT(commute_holder_[obj] == task);
-    release_commute_token(obj);
+  // Hand held commute tokens to the next waiters, newest first.  (A waiter
+  // that is itself being killed in this sweep gets its resume abandoned and
+  // the token released again when its own kill runs.)
+  while (!commute_.held(task).empty()) {
+    const ObjectId obj = commute_.held(task).back();
+    TaskNode* next = nullptr;
+    const bool released = commute_.release(obj, task, &next);
+    JADE_ASSERT(released);
+    if (next != nullptr) sim_.resume(st(next).process);
   }
   // Rewind the serializer: a started attempt is kRunning (task_started is
   // the first thing a task process does); an assigned-but-unstarted one is
@@ -1292,95 +684,6 @@ void SimEngine::kill_task_attempt(TaskNode* task) {
   t.machine = -1;
   t.wait = Wait::kNone;
   task->assigned_machine = -1;
-}
-
-void SimEngine::recover_machine(MachineId m) {
-  injector_->record_detected(m, sim_.now());
-  stats_.detection_latency_total +=
-      sim_.now() - injector_->health(m).crashed_at;
-  tracer_.instant(obs::Subsystem::kFt, "ft.recover",
-                  static_cast<std::uint64_t>(m), m,
-                  sim_.now() - injector_->health(m).crashed_at);
-  JADE_TRACE("t=" << sim_.now() << " machine " << m
-                  << " declared dead; recovering");
-
-  // Directory surgery, in ObjectId order (deterministic).
-  const std::vector<std::uint8_t> up = injector_->up_mask();
-  for (const RecoveryAction& a :
-       plan_object_recovery(directory_, m, up, fault_.stable_storage)) {
-    switch (a.fate) {
-      case ObjectFate::kRehomed:
-        if (a.owner_moved) {
-          directory_.set_owner(a.obj, a.new_home);
-          directory_.drop_copy(a.obj, m);
-          ++stats_.objects_rehomed;
-          // Home re-election costs a control message to the new home; the
-          // replica it already holds becomes the authoritative copy.
-          const std::size_t bytes = cluster_.control_message_bytes;
-          network_->schedule_transfer(0, a.new_home, bytes, sim_.now());
-          stats_.messages += 1;
-          stats_.bytes_sent += bytes;
-        } else {
-          directory_.drop_copy(a.obj, m);  // only a replica died
-        }
-        break;
-      case ObjectFate::kRestored: {
-        directory_.drop_copy(a.obj, m);
-        directory_.restore_to(a.obj, a.new_home);
-        const SimTime done =
-            sim_.now() + fault_.restore_latency +
-            static_cast<SimTime>(directory_.object_bytes(a.obj)) /
-                fault_.restore_bytes_per_second;
-        set_available_at(a.obj, a.new_home, done);
-        ++stats_.objects_restored;
-        break;
-      }
-      case ObjectFate::kLost:
-        directory_.drop_copy(a.obj, m);
-        directory_.mark_lost(a.obj);
-        ++stats_.objects_lost;
-        break;
-    }
-  }
-
-  // Forget cached availability on the dead machine (keys are
-  // obj*kMaxMachines + m).
-  for (auto it = available_at_.begin(); it != available_at_.end();) {
-    if (static_cast<MachineId>(it->first % kMaxMachines) == m)
-      it = available_at_.erase(it);
-    else
-      ++it;
-  }
-
-  // Re-queue the killed attempts onto survivors, in kill order.
-  auto& pending = pending_recovery_[static_cast<std::size_t>(m)];
-  for (TaskNode* task : pending) {
-    if (task->placement == m)
-      throw UnrecoverableError(
-          "task '" + task->name() + "' is pinned to crashed machine " +
-          std::to_string(m) + " and cannot be re-run elsewhere");
-    ++stats_.tasks_requeued;
-    tracer_.instant(obs::Subsystem::kFt, "ft.requeue", task->id(), m);
-    ready_.push_back(task);
-  }
-  pending.clear();
-
-  // Wake the transfers that were parked on this machine's recovery.
-  std::deque<TaskNode*> waiters;
-  waiters.swap(recovery_waiters_[static_cast<std::size_t>(m)]);
-  for (TaskNode* w : waiters) sim_.resume(st(w).process);
-
-  try_dispatch();
-  maybe_release_throttled();
-}
-
-void SimEngine::maybe_snapshot(SimTask& t, ObjectId obj) {
-  for (const SimTask::Snapshot& s : t.snapshots)
-    if (s.obj == obj) return;  // first write wins; later acquires are no-ops
-  auto view = directory_.data_view(obj);
-  t.snapshots.push_back(SimTask::Snapshot{
-      obj, directory_.data_version(obj),
-      std::vector<std::byte>(view.begin(), view.end())});
 }
 
 }  // namespace jade

@@ -21,26 +21,36 @@
 // Every task executes as a cooperative sim::Process, so an unmodified body
 // can pause mid-execution in a with-cont — the pipelining construct of
 // Section 4.2.
+//
+// The engine itself is the *conductor*: dispatch, machine contexts, task
+// processes, and waits.  The protocol work lives in engine-agnostic runtime
+// services it drives through small interfaces —
+//   * store/coherence.hpp  — object transfers, batched fetches, replica
+//     revalidation, invalidation fan-out, format-conversion caching;
+//   * ft/recovery_coordinator.hpp — fault plan, failure detection, attempt
+//     kill/rollback, directory surgery, re-queueing;
+//   * sched/governor.hpp   — commute-token exclusivity and creation
+//     throttling, shared with ThreadEngine.
 #pragma once
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "jade/engine/engine.hpp"
-#include "jade/engine/timeline.hpp"
-#include "jade/ft/failure_detector.hpp"
-#include "jade/ft/fault_injector.hpp"
-#include "jade/ft/fault_plan.hpp"
+#include "jade/ft/recovery_coordinator.hpp"
 #include "jade/mach/machine.hpp"
-#include "jade/net/faulty.hpp"
 #include "jade/net/network.hpp"
+#include "jade/obs/timeline_view.hpp"
+#include "jade/sched/governor.hpp"
 #include "jade/sched/policies.hpp"
 #include "jade/sim/simulation.hpp"
+#include "jade/store/coherence.hpp"
 #include "jade/store/directory.hpp"
 
 namespace jade {
+
+class FaultyNetwork;
 
 class SimEngine : public Engine, private SerializerListener {
  public:
@@ -77,7 +87,9 @@ class SimEngine : public Engine, private SerializerListener {
   const ObjectDirectory& directory() const { return directory_; }
 
   /// Ground truth of the failure model, or nullptr when faults are off.
-  const FaultInjector* fault_injector() const { return injector_.get(); }
+  const FaultInjector* fault_injector() const {
+    return ft_ ? &ft_->injector() : nullptr;
+  }
 
   /// Per-task execution records (empty unless sched.record_timeline).
   const std::vector<TaskTimeline>& timeline() const { return timeline_; }
@@ -107,28 +119,9 @@ class SimEngine : public Engine, private SerializerListener {
     MachineId creator_machine = 0;   ///< where the withonly executed
     Wait wait = Wait::kNone;
     std::vector<ObjectId> objects;   ///< declared objects, in decl order
-    std::vector<ObjectId> commute_tokens;  ///< exclusivity tokens held
-    // fault tolerance (ft/)
-    /// A crash may kill and re-run this task.  Cleared the moment the task
-    /// spawns a child or runs a with-cont: those effects escape the task and
-    /// cannot be rolled back, so such tasks ride out the crash instead (see
-    /// docs/FAULT_TOLERANCE.md, "what can be killed").
-    bool restartable = true;
-    /// charged_work at attempt start; a killed attempt rolls back to it.
-    double attempt_charge_base = 0;
-    /// Pre-write images of objects this attempt acquired with wr/cm rights,
-    /// in acquisition order; restored in reverse on kill.  The data version
-    /// captured alongside is restored too, so a stale replica can never
-    /// revalidate against a version a killed attempt created.
-    struct Snapshot {
-      ObjectId obj;
-      std::uint64_t data_version;
-      std::vector<std::byte> bytes;
-    };
-    std::vector<Snapshot> snapshots;
-    /// Objects whose data version this attempt bumped (first write); cleared
-    /// on kill so the re-run bumps again from the restored version.
-    std::vector<ObjectId> dirtied;
+    /// Rollback state of the current attempt; the recovery coordinator
+    /// restores/clears it on kill (docs/FAULT_TOLERANCE.md).
+    AttemptState attempt;
     // timeline capture (when sched.record_timeline)
     SimTime created = 0;
     SimTime dispatched = 0;
@@ -148,6 +141,13 @@ class SimEngine : public Engine, private SerializerListener {
     double busy_seconds = 0;
     std::deque<TaskNode*> context_waiters;  ///< unblocked tasks re-entering
   };
+
+  /// Adapts the simulation clock + network model to the coherence
+  /// protocol's transport seam (defined in sim_engine.cpp).
+  struct Transport;
+  /// Engine mechanism the recovery coordinator drives (defined in
+  /// sim_engine.cpp).
+  struct FtHooks;
 
   // SerializerListener (fires inside serializer calls; engine drains after).
   void on_task_ready(TaskNode* task) override;
@@ -172,8 +172,6 @@ class SimEngine : public Engine, private SerializerListener {
   /// the runnable-task count and waking a throttled creator if this park
   /// leaves nothing else runnable.
   void park_inactive(SimTask& t, Wait kind);
-  /// Hands an object's commute token to the next waiter (or frees it).
-  void release_commute_token(ObjectId obj);
   void maybe_release_throttled();
   void deliver_unblock(TaskNode* task);
 
@@ -184,86 +182,33 @@ class SimEngine : public Engine, private SerializerListener {
   /// Same, on the machine's runtime lane (task management overheads).
   void occupy_runtime(SimTask& t, SimTime seconds);
 
-  /// Ensures `obj` is usable at machine `m` (exclusively if `exclusive`),
-  /// scheduling transfers/invalidations/conversions; returns when it is
-  /// available there.  Immediate (returns now) on shared-memory platforms.
-  /// Under fault injection, parks `t` while the object's owner is crashed
-  /// but not yet recovered, and throws UnrecoverableError for lost objects.
-  SimTime transfer_object(SimTask& t, ObjectId obj, MachineId m,
-                          bool exclusive);
+  /// Single-object transfer to `t.machine` via the coherence protocol.
+  /// Immediate (returns now) on shared-memory platforms.  Under fault
+  /// injection, parks `t` while the object's owner is crashed but not yet
+  /// recovered, and throws UnrecoverableError for lost objects.
+  SimTime transfer_object(SimTask& t, ObjectId obj, bool exclusive);
 
-  /// One object of a task's fetch set.
-  struct FetchItem {
-    ObjectId obj;
-    bool exclusive;  ///< move (write/commute rights) rather than copy
-    bool blocking;   ///< the task cannot start until it arrives; false for
-                     ///< deferred-read prefetch hints
-  };
-
-  /// Fetches a whole set of objects to `t.machine`, combining items owned by
-  /// the same remote machine into one batched request/reply when
-  /// comm.combine_requests is on.  Returns when the last *blocking* item is
-  /// available (prefetch hints ride along without gating task start).
+  /// Whole-set fetch to `t.machine` via the coherence protocol (which
+  /// batches per remote owner); same platform/fault handling as
+  /// transfer_object.
   SimTime fetch_objects(SimTask& t, std::vector<FetchItem> items);
-
-  /// One batched request to owner `from` covering every item in `batch`
-  /// (none satisfiable locally); the reply carries only the payloads that
-  /// replica revalidation cannot serve.
-  SimTime fetch_batch(SimTask& t, MachineId from,
-                      const std::vector<FetchItem>& batch);
 
   /// Parks the current task process until `ready_at` (no-op if reached).
   void park_until_fetched(SimTask& t, SimTime ready_at);
-
-  /// Invalidation fan-out for `obj`: one multicast control message when
-  /// comm.coalesce_invalidations is on and there is more than one target,
-  /// per-target unicasts otherwise.
-  void send_invalidations(ObjectId obj, MachineId from,
-                          const std::vector<MachineId>& targets, SimTime now);
-
-  /// Virtual seconds of heterogeneous format conversion for moving `obj`
-  /// between `src` and `dst`; really performs the per-scalar swaps on a
-  /// cache miss, costs nothing when the cached converted image is current.
-  SimTime conversion_cost(ObjectId obj, MachineId src, MachineId dst);
-
-  /// Exclusive acquire of `obj` by `t`: drops replicas that raced in since
-  /// the exclusive transfer (deferred-read prefetch) and bumps the object's
-  /// data version (once per attempt) so dropped copies cannot revalidate.
-  void first_write_invalidate(SimTask& t, ObjectId obj);
 
   /// Fetches every object in `reqs` that carries immediate rights; parks
   /// until all have arrived.
   void fetch_for(SimTask& t, const std::vector<AccessRequest>& reqs);
 
-  SimTime available_at(ObjectId obj, MachineId m) const;
-  void set_available_at(ObjectId obj, MachineId m, SimTime at);
-
   // --- fault tolerance (ft/) ----------------------------------------------
-  bool ft_enabled() const { return injector_ != nullptr; }
-  /// True once nothing is left to simulate; recurring fault-layer events
-  /// (heartbeats, detector sweeps) stop rescheduling themselves.
-  bool drained() const;
-  /// Schedules the crash events and the first heartbeat/sweep rounds.
-  void schedule_fault_events();
-  /// Fail-stop of machine `m`: contexts gone, resident restartable task
-  /// attempts killed (queued for recovery), replicas forgotten at detection.
-  void handle_crash(MachineId m);
-  /// Undoes one running attempt of `task`: snapshots restored, charge rolled
-  /// back, serializer rewound to kReady, process aborted.
-  void kill_task_attempt(TaskNode* task);
-  /// Runs the recovery protocol after the detector declares `m` dead:
-  /// directory surgery (re-home / restore / mark lost), killed tasks
-  /// re-queued onto survivors, transfer waiters resumed.
-  void recover_machine(MachineId m);
-  /// One heartbeat round: every live machine != 0 sends through the (lossy)
-  /// network; arrivals feed the detector.
-  void send_heartbeats();
-  /// One detector sweep on the coordinator; newly suspected machines are
-  /// checked against ground truth (false suspicions counted, real crashes
-  /// recovered).
-  void detector_sweep();
-  /// Snapshots `obj` before this restartable attempt's first write to it.
-  void maybe_snapshot(SimTask& t, ObjectId obj);
+  bool ft_enabled() const { return ft_ != nullptr; }
+  /// Throws UnrecoverableError if `obj`'s only copy died with no stable
+  /// storage.
+  void ensure_recoverable(ObjectId obj) const;
+  /// Engine-side half of killing an attempt (RecoveryHooks): unwind the
+  /// process's wait bookkeeping, hand held commute tokens on, rewind the
+  /// serializer, abort the process.
+  void abort_attempt_execution(TaskNode* task);
 
   ClusterConfig cluster_;
   SchedPolicy sched_;
@@ -278,26 +223,25 @@ class SimEngine : public Engine, private SerializerListener {
   std::vector<TaskNode*> to_unblock_;      ///< queued unblock notifications
   std::deque<TaskNode*> throttled_;        ///< creators suspended (Fig 7e)
   /// Commuting-update exclusivity: commuters run in any order but touch the
-  /// object one at a time; the token passes FIFO among waiters.
-  std::unordered_map<ObjectId, TaskNode*> commute_holder_;
-  std::unordered_map<ObjectId, std::deque<TaskNode*>> commute_waiters_;
-  std::unordered_map<std::uint64_t, SimTime> available_at_;
-  /// Data version of each object's cached cross-endian converted image; a
-  /// transfer whose entry matches the current version skips the conversion.
-  std::unordered_map<ObjectId, std::uint64_t> converted_cache_;
+  /// object one at a time; the token passes FIFO among waiters.  Shared
+  /// implementation with ThreadEngine (sched/governor.hpp).
+  CommuteTokenTable commute_;
+  /// Task-creation throttling thresholds + counters (shared implementation
+  /// with ThreadEngine); counters fold into stats_ at the end of run().
+  ThrottleGate throttle_;
   std::vector<TaskTimeline> timeline_;
 
-  // fault tolerance (all empty/null when FaultConfig.enabled is false)
-  FaultConfig fault_;
-  std::unique_ptr<FaultInjector> injector_;
-  std::unique_ptr<FailureDetector> detector_;
+  /// Clock + network adapter handed to the runtime services; must outlive
+  /// them and sit above sim_ so parked-process unwind still finds it.
+  std::unique_ptr<Transport> transport_;
+  /// The object-motion protocol (store/coherence.hpp): transfers, batched
+  /// fetches, revalidation, invalidations, conversion caching.
+  std::unique_ptr<CoherenceProtocol> coherence_;
+
+  // fault tolerance (null when FaultConfig.enabled is false)
+  std::unique_ptr<FtHooks> ft_hooks_;
+  std::unique_ptr<RecoveryCoordinator> ft_;
   FaultyNetwork* faulty_net_ = nullptr;    ///< view into network_, if wrapped
-  /// Killed attempts awaiting re-dispatch, per crashed machine; requeued by
-  /// recover_machine in kill (= creation) order.
-  std::vector<std::vector<TaskNode*>> pending_recovery_;
-  /// Tasks parked in transfer_object because the object's owner is this
-  /// (crashed, undetected) machine; recover_machine resumes them.
-  std::vector<std::deque<TaskNode*>> recovery_waiters_;
   bool root_done_ = false;
 
   /// Wait-time distributions (always registered; observe() is a couple of

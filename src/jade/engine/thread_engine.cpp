@@ -281,10 +281,10 @@ void ThreadEngine::record_error(std::exception_ptr err) {
 }
 
 void ThreadEngine::release_commute_tokens_locked(TaskNode* task) {
-  auto held = commute_held_.find(task);
-  if (held == commute_held_.end()) return;
-  for (ObjectId obj : held->second) commute_holder_.erase(obj);
-  commute_held_.erase(held);
+  // Copy: release() mutates the held list.  No waiter hand-off — sleepers
+  // race for freed tokens under state_cv_, so next_holder is always null.
+  const std::vector<ObjectId> held = commute_.held(task);
+  for (ObjectId obj : held) commute_.release(obj, task);
 }
 
 bool ThreadEngine::drain_should_exit() {
@@ -379,6 +379,8 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
     metrics_.gauge(prefix + ".max_queue_depth")
         .set(static_cast<double>(depth[m]));
   }
+  stats_.throttle_suspensions = throttle_.suspensions();
+  stats_.throttle_giveups = throttle_.giveups();
   publish_runtime_stats();
   if (first_error_) std::rethrow_exception(first_error_);
 }
@@ -388,8 +390,7 @@ void ThreadEngine::execute(TaskNode* task, ThreadSlot* slot) {
     std::lock_guard<std::mutex> lock(mu_);
     serializer_.task_started(task);
     // Starting a task shrinks the backlog; suspended creators watch it.
-    if (throttle_waiters_ > 0 &&
-        serializer_.backlog() <= throttle_.low_water)
+    if (throttle_waiters_ > 0 && throttle_.backlog_drained(serializer_.backlog()))
       state_cv_.notify_all();
   }
   task->assigned_machine = slot->machine;
@@ -448,8 +449,7 @@ void ThreadEngine::spawn(TaskNode* parent,
   TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
                                            std::move(name));
   ++stats_.tasks_created;
-  const bool throttle_needed =
-      throttle_.enabled && serializer_.backlog() > throttle_.high_water;
+  const bool throttle_needed = throttle_.should_throttle(serializer_.backlog());
   if (!throttle_needed) lock.unlock();
   if (tracer_.enabled())
     tracer_.instant(obs::Subsystem::kEngine, "task.created", task->id(),
@@ -460,20 +460,20 @@ void ThreadEngine::spawn(TaskNode* parent,
   // drains (Section 3.3).  If every other thread ends up asleep with
   // nothing ready, the backlog can only drain through the creators
   // themselves — give up throttling rather than deadlock.
-  ++stats_.throttle_suspensions;
+  throttle_.note_suspension();
   tracer_.instant(obs::Subsystem::kEngine, "throttle.suspend", parent->id(),
                   machine_of(parent),
                   static_cast<double>(serializer_.backlog()));
   JADE_TRACE("throttle-enter " << parent->name()
              << " backlog=" << serializer_.backlog());
-  while (serializer_.backlog() > throttle_.low_water) {
+  while (!throttle_.backlog_drained(serializer_.backlog())) {
     if (first_error_) throw EngineAborting{};
     if (sleeping_threads_.load(std::memory_order_seq_cst) + 1 >=
             total_threads_.load(std::memory_order_seq_cst) &&
         ready_count_.load(std::memory_order_seq_cst) == 0) {
       // Every other thread is asleep with nothing ready: only this creator
       // can make progress, so it must keep creating.
-      ++stats_.throttle_giveups;
+      throttle_.note_giveup();
       tracer_.instant(obs::Subsystem::kEngine, "throttle.giveup",
                       parent->id(), machine_of(parent),
                       static_cast<double>(serializer_.backlog()));
@@ -486,7 +486,7 @@ void ThreadEngine::spawn(TaskNode* parent,
     sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
     maybe_notify_all_asleep_locked();
     state_cv_.wait(lock, [this] {
-      return serializer_.backlog() <= throttle_.low_water ||
+      return throttle_.backlog_drained(serializer_.backlog()) ||
              first_error_ != nullptr ||
              (sleeping_threads_.load(std::memory_order_seq_cst) >=
                   total_threads_.load(std::memory_order_seq_cst) &&
@@ -509,12 +509,7 @@ void ThreadEngine::with_cont(TaskNode* task,
   // commuters proceed before this task completes.
   for (const AccessRequest& req : requests) {
     if (!(req.remove & access::kCommute)) continue;
-    auto it = commute_holder_.find(req.obj);
-    if (it != commute_holder_.end() && it->second == task) {
-      commute_holder_.erase(it);
-      auto& held = commute_held_[task];
-      held.erase(std::find(held.begin(), held.end(), req.obj));
-    }
+    commute_.release(req.obj, task);  // no-op when task is not the holder
   }
   if (must_block) wait_unblocked(task, lock);
   // A returned commute token (or retired rights) may unblock waiters.
@@ -534,22 +529,15 @@ std::byte* ThreadEngine::acquire_bytes(TaskNode* task, ObjectId obj,
       // or holder and waiter could form a cycle the serial order does not
       // rank (see DESIGN.md).
       for (;;) {
-        auto it = commute_holder_.find(obj);
-        if (it == commute_holder_.end()) {
-          commute_holder_.emplace(obj, task);
-          commute_held_[task].push_back(obj);
-          break;
-        }
-        if (it->second == task) break;
+        if (commute_.try_acquire(obj, task)) break;
         if (first_error_) throw EngineAborting{};
         ensure_spare_worker();
         ++cv_waiters_;
         sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
         maybe_notify_all_asleep_locked();
         state_cv_.wait(lock, [&] {
-          auto h = commute_holder_.find(obj);
-          return h == commute_holder_.end() || h->second == task ||
-                 first_error_ != nullptr;
+          TaskNode* h = commute_.holder(obj);
+          return h == nullptr || h == task || first_error_ != nullptr;
         });
         sleeping_threads_.fetch_sub(1, std::memory_order_seq_cst);
         --cv_waiters_;

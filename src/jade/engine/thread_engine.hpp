@@ -32,12 +32,12 @@
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "jade/engine/buffer_table.hpp"
 #include "jade/engine/engine.hpp"
+#include "jade/sched/governor.hpp"
 #include "jade/sched/policies.hpp"
 #include "jade/support/parker.hpp"
 #include "jade/support/work_steal_deque.hpp"
@@ -192,7 +192,10 @@ class ThreadEngine : public Engine, private SerializerListener {
   static thread_local ThreadSlot* tls_slot_;
 
   const int workers_requested_;
-  const ThrottleConfig throttle_;
+  /// Water-mark predicates + suspension/give-up counters (shared
+  /// implementation with SimEngine); counters fold into stats_ at the end
+  /// of run().  Mutated only under mu_.
+  ThrottleGate throttle_;
 
   // --- serializer domain: guarded by mu_ -----------------------------------
   // mu_ serializes all Serializer calls (single-threaded by contract) plus
@@ -206,9 +209,11 @@ class ThreadEngine : public Engine, private SerializerListener {
   /// execute in any order but their accesses are mutually exclusive.  A
   /// task takes an object's token at its first commute accessor and holds
   /// it until completion.  Tasks taking tokens on several objects must do
-  /// so in a consistent global order (as with any lock).
-  std::unordered_map<ObjectId, TaskNode*> commute_holder_;
-  std::unordered_map<TaskNode*, std::vector<ObjectId>> commute_held_;
+  /// so in a consistent global order (as with any lock).  Shared
+  /// implementation with SimEngine (sched/governor.hpp); here waiters sleep
+  /// on state_cv_ and race for a freed token, so the table's FIFO wait
+  /// queues stay unused.
+  CommuteTokenTable commute_;
   /// Threads currently waiting on state_cv_; notifications are skipped
   /// entirely when zero, so unblocked hot paths never broadcast.
   int cv_waiters_ = 0;

@@ -1,0 +1,160 @@
+// RecoveryCoordinator — the crash-recovery protocol of the FT subsystem,
+// factored out of the engine.
+//
+// Owns the whole recovery pipeline: the fault plan and injector (ground
+// truth), the heartbeat-driven failure detector, crash handling (kill every
+// restartable attempt on the dead machine and roll its effects back),
+// directory surgery on detection (re-home / restore / declare lost), and the
+// re-queueing of killed attempts onto survivors.  With this class, ft/ is
+// the sole owner of the recovery protocol; the engine supplies mechanism —
+// scheduling, process abort, context bookkeeping — through RecoveryHooks.
+//
+// Determinism contract: every transport call, injector/detector transition,
+// stat increment, and trace emission happens in the exact order the engine
+// used to make them — same-seed faulty runs export byte-identical traces
+// across the refactor (ft_determinism_test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "jade/core/stats.hpp"
+#include "jade/core/task.hpp"
+#include "jade/ft/failure_detector.hpp"
+#include "jade/ft/fault_injector.hpp"
+#include "jade/ft/fault_plan.hpp"
+#include "jade/obs/tracer.hpp"
+#include "jade/store/coherence.hpp"
+#include "jade/store/directory.hpp"
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+/// Per-attempt rollback state, owned by the engine's per-task record and
+/// manipulated only by the coordinator.  An attempt is the unit of recovery:
+/// a killed restartable attempt restores every pre-write image it took,
+/// un-bumps its charge, and re-runs from scratch on a survivor.
+struct AttemptState {
+  /// A replay must be invisible; spawning a child or running a with-cont
+  /// escapes the attempt, so either clears this and the task rides out
+  /// crashes to completion.
+  bool restartable = true;
+  /// charged_work at attempt start; a kill rewinds the task's charge here.
+  double charge_base = 0;
+  struct Snapshot {
+    ObjectId obj = kInvalidObject;
+    std::uint64_t data_version = 0;
+    std::vector<std::byte> bytes;
+  };
+  /// Pre-write images in acquisition order (first write per object wins).
+  std::vector<Snapshot> snapshots;
+  /// Objects whose data version this attempt bumped (first_write_invalidate
+  /// bookkeeping); cleared on kill so the re-run bumps again from the
+  /// restored version.
+  std::vector<ObjectId> dirtied;
+};
+
+/// What the coordinator needs from the engine: event scheduling on the
+/// virtual clock, the drained test, and the task/context mechanism around a
+/// kill.  Everything protocol-y stays on the coordinator's side of the line.
+class RecoveryHooks {
+ public:
+  virtual ~RecoveryHooks() = default;
+  virtual void schedule_at(SimTime when, std::function<void()> fn) = 0;
+  virtual void schedule_in(SimTime delay, std::function<void()> fn) = 0;
+  /// True once the program finished (root done, nothing outstanding);
+  /// stray fault events after that are no-ops.
+  virtual bool drained() const = 0;
+  /// The machine goes dark: no new work is ever placed on it.
+  virtual void mark_machine_dark(MachineId m) = 0;
+  /// Restartable attempts resident on `m`, in creation order.
+  virtual std::vector<TaskNode*> restartable_victims(MachineId m) = 0;
+  virtual AttemptState& attempt_state(TaskNode* task) = 0;
+  /// Engine-side half of a kill: unwind whatever wait the attempt's process
+  /// is parked in, hand its commute tokens on, rewind the serializer, and
+  /// abort the process.  Runs after the coordinator restored the attempt's
+  /// snapshots and charge.
+  virtual void abort_attempt_execution(TaskNode* task) = 0;
+  /// Wake every task parked for a context slot on `m` (their holders were
+  /// just killed; killed attempts never release).
+  virtual void wake_context_waiters(MachineId m) = 0;
+  /// Put a killed attempt back on the ready queue.
+  virtual void requeue_task(TaskNode* task) = 0;
+  /// Resume a task parked on recovery of a crashed owner.
+  virtual void resume_task(TaskNode* task) = 0;
+  virtual void release_throttled() = 0;
+  /// Runs at the end of recover_machine (dispatch + throttle release).
+  virtual void after_recovery() = 0;
+};
+
+class RecoveryCoordinator {
+ public:
+  /// Validates `fault` (FaultPlan::make throws ConfigError on a bad plan)
+  /// and builds the injector and detector.  The transport is the same
+  /// (possibly fault-decorated) channel the coherence protocol uses, so
+  /// heartbeats and recovery control messages consume the seeded drop
+  /// stream in the engine's original order.
+  RecoveryCoordinator(const FaultConfig& fault, int machine_count,
+                      RecoveryHooks& hooks, CoherenceTransport& transport,
+                      ObjectDirectory& directory,
+                      CoherenceProtocol& coherence, RuntimeStats& stats,
+                      obs::Tracer& tracer, std::size_t control_message_bytes);
+
+  FaultInjector& injector() { return *injector_; }
+  const FaultInjector& injector() const { return *injector_; }
+  const FaultConfig& config() const { return fault_; }
+
+  /// Schedules the crash plan plus the first heartbeat round and detector
+  /// sweep.  Call once, before the simulation runs.
+  void schedule_events();
+
+  /// Fail-stop crash of machine `m` at the current time: kill resident
+  /// restartable attempts (rolling back their effects) and park their
+  /// re-runs until the failure detector notices.
+  void handle_crash(MachineId m);
+
+  /// Kills one attempt: restores pre-write snapshots (reverse order),
+  /// un-bumps dirtied versions and charge, then has the engine unwind and
+  /// abort the process.
+  void kill_task_attempt(TaskNode* task);
+
+  /// Detection: directory surgery for every object with a copy on `m`,
+  /// re-queueing of its killed attempts, and wakeup of parked transfers.
+  void recover_machine(MachineId m);
+
+  /// First-write-wins pre-image capture for a restartable attempt about to
+  /// receive a mutable pointer to `obj`.
+  void snapshot_before_write(AttemptState& attempt, ObjectId obj);
+
+  /// A task parks until `owner`'s recovery completes.
+  void add_recovery_waiter(MachineId owner, TaskNode* task);
+  /// Removes `task` from every recovery wait queue (kill unwind).
+  void remove_recovery_waiter(TaskNode* task);
+
+ private:
+  void send_heartbeats();
+  void detector_sweep();
+
+  FaultConfig fault_;
+  int machine_count_;
+  RecoveryHooks& hooks_;
+  CoherenceTransport& transport_;
+  ObjectDirectory& directory_;
+  CoherenceProtocol& coherence_;
+  RuntimeStats& stats_;
+  obs::Tracer& tracer_;
+  std::size_t control_message_bytes_;
+
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<FailureDetector> detector_;
+  /// Killed attempts awaiting their machine's detection, in kill order.
+  std::vector<std::vector<TaskNode*>> pending_recovery_;
+  /// Tasks parked until a crashed owner's recovery completes.
+  std::vector<std::deque<TaskNode*>> recovery_waiters_;
+};
+
+}  // namespace jade

@@ -1,9 +1,53 @@
 #include "jade/obs/timeline_view.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <unordered_map>
 
-namespace jade::obs {
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+std::string render_gantt(const std::vector<TaskTimeline>& timeline,
+                         int machines, SimTime end, int width) {
+  JADE_ASSERT(machines >= 1 && width >= 8);
+  if (end <= 0) end = 1;
+  std::vector<std::string> rows(static_cast<std::size_t>(machines),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  auto col = [&](SimTime t) {
+    const auto c = static_cast<int>(t / end * width);
+    return std::clamp(c, 0, width - 1);
+  };
+  for (const TaskTimeline& t : timeline) {
+    if (t.machine < 0 || t.machine >= machines) continue;
+    std::string& row = rows[static_cast<std::size_t>(t.machine)];
+    for (int c = col(t.dispatched); c <= col(t.body_start); ++c)
+      if (row[static_cast<std::size_t>(c)] == ' ')
+        row[static_cast<std::size_t>(c)] = '.';
+    for (int c = col(t.body_start); c <= col(t.completed); ++c)
+      row[static_cast<std::size_t>(c)] = '#';
+  }
+  std::ostringstream os;
+  os << "time 0 .. " << end << " s   ('#' executing, '.' fetching)\n";
+  for (int m = 0; m < machines; ++m)
+    os << "m" << m << " |" << rows[static_cast<std::size_t>(m)] << "|\n";
+  return os.str();
+}
+
+std::vector<double> machine_utilization(
+    const std::vector<TaskTimeline>& timeline, int machines, SimTime end) {
+  std::vector<double> busy(static_cast<std::size_t>(machines), 0.0);
+  for (const TaskTimeline& t : timeline)
+    if (t.machine >= 0 && t.machine < machines)
+      busy[static_cast<std::size_t>(t.machine)] += t.execution();
+  if (end > 0)
+    for (double& b : busy) b /= end;
+  return busy;
+}
+
+namespace obs {
 
 std::vector<TaskTimeline> timeline_from_trace(
     std::span<const TraceEvent> events) {
@@ -36,4 +80,5 @@ std::vector<TaskTimeline> timeline_from_trace(
   return out;
 }
 
-}  // namespace jade::obs
+}  // namespace obs
+}  // namespace jade

@@ -1,0 +1,65 @@
+#include "jade/sched/governor.hpp"
+
+#include <algorithm>
+
+#include "jade/support/error.hpp"
+
+namespace jade {
+
+TaskNode* CommuteTokenTable::holder(ObjectId obj) const {
+  auto it = holder_.find(obj);
+  return it == holder_.end() ? nullptr : it->second;
+}
+
+bool CommuteTokenTable::try_acquire(ObjectId obj, TaskNode* task) {
+  auto it = holder_.find(obj);
+  if (it == holder_.end()) {
+    holder_.emplace(obj, task);
+    held_[task].push_back(obj);
+    return true;
+  }
+  return it->second == task;
+}
+
+void CommuteTokenTable::enqueue_waiter(ObjectId obj, TaskNode* task) {
+  waiters_[obj].push_back(task);
+}
+
+bool CommuteTokenTable::release(ObjectId obj, TaskNode* task,
+                                TaskNode** next_holder) {
+  if (next_holder != nullptr) *next_holder = nullptr;
+  auto h = holder_.find(obj);
+  if (h == holder_.end() || h->second != task) return false;
+  auto held = held_.find(task);
+  JADE_ASSERT(held != held_.end());
+  auto pos = std::find(held->second.begin(), held->second.end(), obj);
+  JADE_ASSERT(pos != held->second.end());
+  held->second.erase(pos);
+  if (held->second.empty()) held_.erase(held);
+  auto w = waiters_.find(obj);
+  if (w != waiters_.end() && !w->second.empty()) {
+    TaskNode* next = w->second.front();
+    w->second.pop_front();
+    h->second = next;
+    held_[next].push_back(obj);
+    if (next_holder != nullptr) *next_holder = next;
+  } else {
+    holder_.erase(h);
+  }
+  return true;
+}
+
+const std::vector<ObjectId>& CommuteTokenTable::held(TaskNode* task) const {
+  static const std::vector<ObjectId> kNone;
+  auto it = held_.find(task);
+  return it == held_.end() ? kNone : it->second;
+}
+
+void CommuteTokenTable::remove_waiter(TaskNode* task) {
+  for (auto& [obj, waiters] : waiters_) {
+    auto it = std::find(waiters.begin(), waiters.end(), task);
+    if (it != waiters.end()) waiters.erase(it);
+  }
+}
+
+}  // namespace jade

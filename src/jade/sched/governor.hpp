@@ -1,0 +1,101 @@
+// Concurrency governors shared by every engine.
+//
+// Two mechanisms used to live twice — once in SimEngine, once in
+// ThreadEngine — with the copies slowly diverging:
+//
+//   * CommuteTokenTable — commuting-update exclusivity (the Section 4.3
+//     extension): commuters may execute in any order but their accesses are
+//     mutually exclusive, so a task takes an object's token at its first
+//     commute accessor and holds it until completion (or an early no_cm).
+//     SimEngine queues waiters FIFO and hands the token over explicitly;
+//     ThreadEngine's waiters sleep on a condition variable and race for the
+//     freed token, so it never enqueues.  Both policies are expressible
+//     against this one table.
+//   * ThrottleGate — suppression of excess task creation (Section 3.3,
+//     Figure 7(e)): the water-mark predicates plus the suspension/give-up
+//     accounting, folded into RuntimeStats at the end of run().
+//
+// Neither component synchronizes: the caller brings its own discipline
+// (SimEngine is single-threaded; ThreadEngine calls under mu_).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "jade/core/object.hpp"
+#include "jade/sched/policies.hpp"
+
+namespace jade {
+
+class TaskNode;
+
+/// Ownership + FIFO wait queues for commute tokens.  Holders are tracked
+/// per object and per task (a completing or killed task returns every token
+/// it still holds); the per-task held list preserves acquisition order.
+class CommuteTokenTable {
+ public:
+  /// The current holder of `obj`'s token, or nullptr when free.
+  TaskNode* holder(ObjectId obj) const;
+
+  /// Takes the token if it is free (true), confirms an existing hold
+  /// (true), or reports another holder (false — the caller waits).
+  bool try_acquire(ObjectId obj, TaskNode* task);
+
+  /// Queues `task` for `obj`'s token; release() hands it over FIFO.
+  void enqueue_waiter(ObjectId obj, TaskNode* task);
+
+  /// Returns `task`'s hold on `obj`.  False (a no-op) when `task` is not
+  /// the holder.  The token passes to the oldest waiter, if any — reported
+  /// through `next_holder` so the caller can resume it — and is freed
+  /// otherwise.
+  bool release(ObjectId obj, TaskNode* task, TaskNode** next_holder = nullptr);
+
+  /// The tokens `task` holds, in acquisition order (empty when none).
+  const std::vector<ObjectId>& held(TaskNode* task) const;
+
+  /// Drops `task` from every wait queue (a killed task's unwind path).
+  void remove_waiter(TaskNode* task);
+
+ private:
+  std::unordered_map<ObjectId, TaskNode*> holder_;
+  std::unordered_map<ObjectId, std::deque<TaskNode*>> waiters_;
+  std::unordered_map<TaskNode*, std::vector<ObjectId>> held_;
+};
+
+/// Water-mark predicates and accounting for task-creation throttling.  The
+/// gate owns the suspension/give-up counters (the engines publish them into
+/// RuntimeStats when run() ends); the engine owns the waiting itself, which
+/// is engine-specific (SimEngine parks a sim process, ThreadEngine sleeps
+/// on a condition variable with a deadlock-escape give-up).
+class ThrottleGate {
+ public:
+  explicit ThrottleGate(ThrottleConfig config) : config_(config) {}
+
+  bool enabled() const { return config_.enabled; }
+
+  /// True when creation must pause: throttling is on and the unstarted
+  /// backlog exceeds the high-water mark.
+  bool should_throttle(std::uint64_t backlog) const {
+    return config_.enabled && backlog > config_.high_water;
+  }
+
+  /// True once the backlog has drained to the low-water mark (the resume
+  /// condition for a suspended creator).
+  bool backlog_drained(std::uint64_t backlog) const {
+    return backlog <= config_.low_water;
+  }
+
+  void note_suspension() { ++suspensions_; }
+  void note_giveup() { ++giveups_; }
+  std::uint64_t suspensions() const { return suspensions_; }
+  std::uint64_t giveups() const { return giveups_; }
+
+ private:
+  ThrottleConfig config_;
+  std::uint64_t suspensions_ = 0;
+  std::uint64_t giveups_ = 0;
+};
+
+}  // namespace jade

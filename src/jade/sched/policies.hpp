@@ -62,7 +62,7 @@ struct SchedPolicy {
   int contexts_per_machine = 2;
   /// Prefer placing tasks where their objects already live.
   bool locality = true;
-  /// Record a per-task TaskTimeline (SimEngine; see engine/timeline.hpp).
+  /// Record a per-task TaskTimeline (SimEngine; see obs/timeline_view.hpp).
   bool record_timeline = false;
   ThrottleConfig throttle;
   CommConfig comm;

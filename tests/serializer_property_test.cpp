@@ -246,6 +246,106 @@ TEST_P(SerializerPropertyTest, MatchesReferenceModel) {
   }
 }
 
+// The paper's with-cont can retire rights one at a time (no_rd, no_wr) while
+// the task keeps its other accesses, and commuting tasks retire/complete in
+// whatever order the engine interleaves them — not creation order.  This
+// variant drives both: tasks are started and completed in *random* order
+// (commuters on a shared hot object genuinely interleave), and retirement
+// removes a single random bit from one record instead of the whole
+// immediate set.
+TEST_P(SerializerPropertyTest, PartialRetirementAndCommuteInterleavings) {
+  Rng rng(GetParam() ^ 0x5eedull);
+  NullListener listener;
+  Serializer ser(&listener);
+  RefModel ref;
+
+  const int kObjects = 4;
+  const int kHotObject = 0;  // commuters pile onto this one
+  std::vector<TaskNode*> nodes;
+  std::vector<std::vector<std::tuple<int, std::uint8_t, std::uint8_t>>>
+      specs;
+
+  for (int step = 0; step < 400; ++step) {
+    const int op = static_cast<int>(rng.next_below(5));
+    if (op == 0 || nodes.empty()) {
+      std::vector<std::tuple<int, std::uint8_t, std::uint8_t>> recs;
+      if (rng.next_bool(0.5)) {
+        // A commuter on the hot object; commute does not conflict with
+        // commute, so several of these run (and finish) interleaved.
+        recs.push_back({kHotObject, kCommute, 0});
+      } else {
+        const int obj = static_cast<int>(rng.next_below(kObjects));
+        // Both read and write immediate rights, so retirement has separate
+        // no_rd / no_wr steps to take.
+        recs.push_back({obj, static_cast<std::uint8_t>(kRead | kWrite), 0});
+      }
+      // Maybe one more plain record on another object.
+      const int extra = static_cast<int>(rng.next_below(kObjects));
+      if (extra != std::get<0>(recs.front()) && rng.next_bool(0.5))
+        recs.push_back({extra, kRead, 0});
+      TaskNode* node =
+          ser.create_task(ser.root(), make_requests(recs), nullptr);
+      const int id = ref.create(recs);
+      ASSERT_EQ(static_cast<int>(nodes.size()), id);
+      nodes.push_back(node);
+      specs.push_back(recs);
+    } else if (op == 1) {
+      // start a RANDOM ready task, not the oldest
+      std::vector<std::size_t> ready;
+      for (std::size_t t = 0; t < nodes.size(); ++t)
+        if (nodes[t]->state() == TaskState::kReady) ready.push_back(t);
+      if (!ready.empty()) {
+        const std::size_t t =
+            ready[rng.next_below(static_cast<std::uint64_t>(ready.size()))];
+        ser.task_started(nodes[t]);
+        ref.start(static_cast<int>(t));
+      }
+    } else if (op == 2) {
+      // complete a RANDOM running task — commuters retire out of creation
+      // order, exactly what an engine interleaving produces
+      std::vector<std::size_t> running;
+      for (std::size_t t = 0; t < nodes.size(); ++t)
+        if (nodes[t]->state() == TaskState::kRunning) running.push_back(t);
+      if (!running.empty()) {
+        const std::size_t t = running[rng.next_below(
+            static_cast<std::uint64_t>(running.size()))];
+        ser.complete_task(nodes[t]);
+        ref.complete(static_cast<int>(t));
+      }
+    } else {
+      // partial retirement: drop ONE bit (no_rd, no_wr, or no_cm) from one
+      // record of a random running task
+      std::vector<std::size_t> running;
+      for (std::size_t t = 0; t < nodes.size(); ++t)
+        if (nodes[t]->state() == TaskState::kRunning) running.push_back(t);
+      if (!running.empty()) {
+        const std::size_t t = running[rng.next_below(
+            static_cast<std::uint64_t>(running.size()))];
+        for (auto& [obj, imm, def] : specs[t]) {
+          if (imm == 0) continue;
+          std::uint8_t bit = 0;
+          for (std::uint8_t candidate : {kRead, kWrite, kCommute})
+            if ((imm & candidate) && (bit == 0 || rng.next_bool(0.5)))
+              bit = candidate;
+          AccessRequest r;
+          r.obj = static_cast<ObjectId>(obj + 1);
+          r.remove = bit;
+          EXPECT_FALSE(ser.update_spec(nodes[t], {r}));
+          ref.retire(static_cast<int>(t), obj, bit);
+          imm &= static_cast<std::uint8_t>(~bit);
+          break;
+        }
+      }
+    }
+
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      ASSERT_EQ(nodes[t]->state(), ref.state(static_cast<int>(t)))
+          << "divergence at step " << step << " task " << t << " (seed "
+          << GetParam() << ")";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializerPropertyTest,
                          ::testing::Values(1ull, 7ull, 13ull, 99ull, 1234ull,
                                            777ull, 31337ull, 0xc0ffeeull));

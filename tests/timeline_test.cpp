@@ -88,6 +88,29 @@ TEST(Timeline, ResidencyBoundedByContextsAndPositive) {
   }
 }
 
+TEST(Timeline, GanttAgreesBetweenRecorderAndTrace) {
+  // The recorded timeline and the trace-derived one are the same data
+  // (obs/timeline_view.hpp holds the single TaskTimeline type), so both
+  // must render the identical Gantt for a seeded run.
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  cfg.cluster = presets::ipsc860(3);
+  cfg.sched.record_timeline = true;
+  cfg.obs.trace = true;
+  Runtime rt(std::move(cfg));
+  run_sample(rt, 9);
+  auto* eng = dynamic_cast<SimEngine*>(&rt.engine());
+  ASSERT_NE(eng, nullptr);
+  const std::vector<TaskTimeline> derived =
+      obs::timeline_from_trace(rt.trace_events());
+  const std::string from_recorder =
+      render_gantt(eng->timeline(), 3, rt.sim_duration(), 48);
+  const std::string from_trace =
+      render_gantt(derived, 3, rt.sim_duration(), 48);
+  EXPECT_FALSE(from_recorder.empty());
+  EXPECT_EQ(from_recorder, from_trace);
+}
+
 TEST(Timeline, QueueWaitGrowsWhenMachinesOversubscribed) {
   // 12 equal tasks on 1 machine: later tasks wait longer in the ready
   // queue than the first ones.
