@@ -18,4 +18,9 @@ const ObjectInfo& ObjectTable::info(ObjectId id) const {
   return infos_[id - 1];
 }
 
+void ObjectTable::set_tenant(ObjectId id, TenantId tenant) {
+  JADE_ASSERT_MSG(valid(id), "unknown shared object id");
+  infos_[id - 1].tenant = tenant;
+}
+
 }  // namespace jade

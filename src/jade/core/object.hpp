@@ -23,7 +23,15 @@ namespace jade {
 using ObjectId = std::uint64_t;
 inline constexpr ObjectId kInvalidObject = 0;
 
+/// Identifier of a server tenant (src/jade/server); 0 means "shared" —
+/// owned by the host program, readable/declarable by every tenant.
+using TenantId = std::uint32_t;
+inline constexpr TenantId kSharedTenant = 0;
+
 class Runtime;
+namespace server {
+class Session;
+}  // namespace server
 
 /// Type-erased reference to a shared object; the common currency of access
 /// declarations.
@@ -55,6 +63,7 @@ class SharedRef : public ObjectRef {
 
  private:
   friend class Runtime;
+  friend class server::Session;
   SharedRef(ObjectId id, std::size_t count) : ObjectRef(id), count_(count) {}
 
   std::size_t count_ = 0;
@@ -65,6 +74,10 @@ struct ObjectInfo {
   ObjectId id = kInvalidObject;
   TypeDescriptor type;
   std::string name;  ///< optional, for traces and errors
+  /// Owning tenant (kSharedTenant: host-owned, visible to every tenant).
+  /// Tenant tasks may only declare accesses to their own or shared objects;
+  /// the serializer enforces this at task creation.
+  TenantId tenant = kSharedTenant;
 
   std::size_t byte_size() const { return type.byte_size(); }
 };
@@ -79,6 +92,10 @@ class ObjectTable {
   const ObjectInfo& info(ObjectId id) const;
   bool valid(ObjectId id) const { return id >= 1 && id < next_id_; }
   std::size_t count() const { return infos_.size(); }
+
+  /// Tags an object with its owning tenant (server sessions call this right
+  /// after allocation, before the object can appear in any declaration).
+  void set_tenant(ObjectId id, TenantId tenant);
 
  private:
   std::deque<ObjectInfo> infos_;

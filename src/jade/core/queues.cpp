@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "jade/core/tenant.hpp"
 #include "jade/support/error.hpp"
 
 namespace jade {
@@ -15,12 +16,27 @@ DeclRecord* TaskNode::find_record(ObjectId obj) {
 Serializer::Serializer(SerializerListener* listener, bool enforce_hierarchy)
     : listener_(listener), enforce_hierarchy_(enforce_hierarchy) {
   JADE_ASSERT(listener != nullptr);
+  make_root();
+}
+
+void Serializer::make_root() {
   auto root = std::make_unique<TaskNode>();
   root->id_ = 0;
   root->name_ = "root";
   root->state_ = TaskState::kRunning;
   root_ = root.get();
   tasks_.push_back(std::move(root));
+}
+
+void Serializer::reset() {
+  tasks_.clear();
+  record_arena_.clear();
+  queues_.clear();
+  next_task_id_ = 1;
+  outstanding_ = 0;
+  unstarted_ = 0;
+  in_update_ = nullptr;
+  make_root();
 }
 
 Serializer::~Serializer() = default;
@@ -55,10 +71,28 @@ void Serializer::check_coverage(TaskNode* parent,
 TaskNode* Serializer::create_task(TaskNode* parent,
                                   const std::vector<AccessRequest>& requests,
                                   std::function<void(TaskContext&)> body,
-                                  std::string name) {
+                                  std::string name, TenantCtl* tenant) {
   JADE_ASSERT(parent != nullptr);
   JADE_ASSERT_MSG(parent->state_ == TaskState::kRunning,
                   "tasks can only be created from a running task");
+
+  TenantCtl* ctl = tenant != nullptr ? tenant : parent->tenant_;
+  if (ctl != nullptr && tenant_oracle_) {
+    // Isolation pre-pass, before any state changes: a tenant task may only
+    // declare accesses to its own or shared objects.  Failing here leaves
+    // the serializer exactly as it was — only the offending tenant suffers.
+    for (const AccessRequest& req : requests) {
+      const TenantId owner = tenant_oracle_(req.obj);
+      if (owner != kSharedTenant && owner != ctl->id) {
+        std::ostringstream os;
+        os << "tenant " << ctl->id << " task '" << name
+           << "' declares an access to object " << req.obj
+           << " owned by tenant " << owner
+           << " — tenants may only access their own or shared objects";
+        throw TenantIsolationError(os.str());
+      }
+    }
+  }
 
   auto owned = std::make_unique<TaskNode>();
   TaskNode* task = owned.get();
@@ -66,6 +100,8 @@ TaskNode* Serializer::create_task(TaskNode* parent,
   task->name_ = name.empty() ? "task#" + std::to_string(task->id_)
                              : std::move(name);
   task->parent_ = parent;
+  task->tenant_ = ctl;
+  task->program_root_ = tenant != nullptr;
   task->body = std::move(body);
   tasks_.push_back(std::move(owned));
 
@@ -78,7 +114,10 @@ TaskNode* Serializer::create_task(TaskNode* parent,
     const std::uint8_t bits =
         static_cast<std::uint8_t>(req.add_immediate | req.add_deferred);
     if (bits == 0) continue;
-    if (enforce_hierarchy_ && !parent->is_root())
+    // Program roots are exempt from the coverage rule the way root children
+    // are: they begin a fresh program whose accesses their host parent (the
+    // server dispatcher, which declares nothing) never made.
+    if (enforce_hierarchy_ && !parent->is_root() && !parent->program_root_)
       check_coverage(parent, req);
     JADE_ASSERT_MSG(task->find_record(req.obj) == nullptr,
                     "duplicate declaration for one object in one withonly");
@@ -112,6 +151,16 @@ TaskNode* Serializer::create_task(TaskNode* parent,
 
   ++outstanding_;
   ++unstarted_;
+  if (ctl != nullptr) {
+    ctl->tasks_created.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t live =
+        ctl->live.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = ctl->max_live.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !ctl->max_live.compare_exchange_weak(peak, live,
+                                                std::memory_order_relaxed)) {
+    }
+  }
   if (task->start_pending_ == 0) {
     task->state_ = TaskState::kReady;
     listener_->on_task_ready(task);
@@ -261,6 +310,17 @@ void Serializer::complete_task(TaskNode* task) {
   }
   for (ObjectId obj : touched) reevaluate(queue_for(obj));
   if (!task->is_root()) --outstanding_;
+
+  if (TenantCtl* ctl = task->tenant_) {
+    ctl->tasks_completed.fetch_add(1, std::memory_order_relaxed);
+    // `live` can never transiently hit 0 while the tenant still has work:
+    // every creator of a tenant task is itself a live tenant task (or the
+    // program root being created right now, counted before this runs).
+    if (ctl->live.fetch_sub(1, std::memory_order_relaxed) == 1 &&
+        ctl->on_quiesce) {
+      ctl->on_quiesce(*ctl);
+    }
+  }
 }
 
 void Serializer::abort_attempt(TaskNode* task) {

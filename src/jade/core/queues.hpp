@@ -43,6 +43,7 @@ namespace jade {
 
 class TaskContext;
 class TaskNode;
+struct TenantCtl;
 
 /// One task's declared access to one object, linked into that object's
 /// declaration queue.
@@ -82,6 +83,15 @@ class TaskNode {
   TaskNode* parent() const { return parent_; }
   bool is_root() const { return parent_ == nullptr; }
   TaskState state() const { return state_; }
+
+  /// The server tenant this task runs for, or nullptr for a host task.
+  /// Inherited from the parent unless create_task received an explicit
+  /// tenant (a *program root* — the entry task of one tenant's graph).
+  TenantCtl* tenant() const { return tenant_; }
+  /// True for the entry task of a tenant's graph.  Program roots are exempt
+  /// from the hierarchy coverage rule the way root children are: they start
+  /// a fresh program whose declarations their (host) parent never made.
+  bool program_root() const { return program_root_; }
 
   /// The record this task holds for `obj`, or nullptr.  Most tasks declare
   /// a handful of objects, so this is a linear scan of an inline array —
@@ -129,6 +139,8 @@ class TaskNode {
   TaskState state_ = TaskState::kPending;
   std::uint32_t start_pending_ = 0;  ///< immediate records not yet enabled
   std::uint32_t block_pending_ = 0;  ///< records a running task waits on
+  TenantCtl* tenant_ = nullptr;
+  bool program_root_ = false;
   std::array<DeclRecord, kInlineRecords> inline_records_;
   std::uint32_t inline_used_ = 0;
   std::vector<DeclRecord*> ordered_records_;
@@ -162,10 +174,16 @@ class Serializer {
   /// (which must be running, or be the root).  Enforces the hierarchy rule:
   /// the child's rights per object must be covered by the parent's record.
   /// Emits on_task_ready before returning if nothing blocks the task.
+  ///
+  /// A non-null `tenant` makes the task a *program root* of that tenant;
+  /// otherwise the task inherits the parent's tenant (if any).  Tenant tasks
+  /// may only declare accesses to their own or shared objects (checked via
+  /// the tenant oracle before any state changes — a TenantIsolationError
+  /// leaves the serializer untouched).
   TaskNode* create_task(TaskNode* parent,
                         const std::vector<AccessRequest>& requests,
                         std::function<void(TaskContext&)> body,
-                        std::string name = "");
+                        std::string name = "", TenantCtl* tenant = nullptr);
 
   /// Marks a ready task as executing.
   void task_started(TaskNode* task);
@@ -214,6 +232,20 @@ class Serializer {
   std::vector<std::pair<std::uint64_t, std::uint8_t>> queue_snapshot(
       ObjectId obj) const;
 
+  /// Installs the ownership oracle consulted when a *tenant* task declares
+  /// an access: given an object id, return the owning tenant (kSharedTenant
+  /// for host objects).  Called with the engine's serializer discipline held.
+  void set_tenant_oracle(std::function<TenantId(ObjectId)> oracle) {
+    tenant_oracle_ = std::move(oracle);
+  }
+
+  /// Discards every task, record, and queue and recreates a fresh running
+  /// root, restoring the state of a newly constructed serializer (task ids
+  /// restart at 1, so an identical graph replays with identical ids).  The
+  /// engines call this between sequential runs on one reused instance; no
+  /// outstanding-task precondition — a failed run's leftovers are dropped.
+  void reset();
+
  private:
   /// Per-object queue with counters enabling O(1) answers in the common
   /// cases.  Without them, widely-read objects (e.g. the index structures
@@ -257,8 +289,11 @@ class Serializer {
   /// a deque), which the intrusive queue links require.
   DeclRecord* new_record(TaskNode* task);
 
+  void make_root();
+
   SerializerListener* listener_;
   bool enforce_hierarchy_;
+  std::function<TenantId(ObjectId)> tenant_oracle_;
   TaskNode* root_;
   std::vector<std::unique_ptr<TaskNode>> tasks_;
   /// Overflow DeclRecords for tasks declaring more than kInlineRecords

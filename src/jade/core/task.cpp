@@ -19,6 +19,14 @@ void TaskContext::withonly_on(MachineId machine, const SpecFn& spec,
                  machine);
 }
 
+void TaskContext::withonly_tenant(TenantCtl* tenant, const SpecFn& spec,
+                                  BodyFn body, std::string name) {
+  AccessDecl decl;
+  spec(decl);
+  engine_->spawn(node_, decl.requests(), std::move(body), std::move(name), -1,
+                 tenant);
+}
+
 void TaskContext::with_cont(const SpecFn& spec) {
   AccessDecl decl;
   spec(decl);

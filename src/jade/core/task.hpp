@@ -25,6 +25,7 @@
 namespace jade {
 
 class Engine;
+struct TenantCtl;
 
 class TaskContext {
  public:
@@ -43,6 +44,12 @@ class TaskContext {
   /// capture task on the machine with the camera.
   void withonly_on(MachineId machine, const SpecFn& spec, BodyFn body,
                    std::string name = "");
+
+  /// Like withonly, but makes the child a *program root* of `tenant` — the
+  /// entry task of one server tenant's graph.  The server dispatcher uses
+  /// this to launch admitted sessions; ordinary programs never need it.
+  void withonly_tenant(TenantCtl* tenant, const SpecFn& spec, BodyFn body,
+                       std::string name = "");
 
   /// Updates this task's access specification mid-body (Section 4.2):
   /// rd/wr/cm convert previously deferred rights (blocking until the serial

@@ -21,7 +21,9 @@ const BufferTable::Entry& BufferTable::entry_for(ObjectId id) const {
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.map.find(id);
   JADE_ASSERT_MSG(it != s.map.end(), "unknown object buffer");
-  return it->second;  // entries are never erased; the reference is stable
+  // Erasure (destroy) only happens once the object is quiescent, so a live
+  // caller's reference is stable.
+  return it->second;
 }
 
 std::byte* BufferTable::data(ObjectId id) const {
@@ -41,6 +43,12 @@ void BufferTable::put(ObjectId id, std::span<const std::byte> bytes) {
 std::vector<std::byte> BufferTable::get(ObjectId id) const {
   const Entry& e = entry_for(id);  // lock released; pointer/size stable
   return {e.bytes.get(), e.bytes.get() + e.size};
+}
+
+void BufferTable::destroy(ObjectId id) {
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map.erase(id);
 }
 
 }  // namespace jade

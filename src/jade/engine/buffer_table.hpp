@@ -44,9 +44,14 @@ class BufferTable {
   void put(ObjectId id, std::span<const std::byte> bytes);
 
   /// Copies the buffer out.  The copy happens without any lock held: the
-  /// pointer is stable and retirement never happens, so the shard lock is
-  /// only needed to find the entry.
+  /// pointer is stable and destroy() requires quiescence, so the shard lock
+  /// is only needed to find the entry.
   std::vector<std::byte> get(ObjectId id) const;
+
+  /// Frees an object's buffer (no-op when absent).  Caller must guarantee
+  /// nobody holds or will request the pointer again — the server teardown
+  /// path, after the owning tenant's graph has fully drained.
+  void destroy(ObjectId id);
 
  private:
   struct Entry {

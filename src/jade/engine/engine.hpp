@@ -67,6 +67,18 @@ class Engine {
 
   virtual const ObjectInfo& object_info(ObjectId obj) const = 0;
 
+  /// Tags an object with its owning tenant (see ObjectTable::set_tenant).
+  /// Server sessions call this right after allocate(), before the object can
+  /// appear in any declaration.
+  virtual void set_object_tenant(ObjectId obj, TenantId tenant) = 0;
+
+  /// Releases an object's byte storage after its owner is torn down (server
+  /// teardown path).  The id stays allocated — metadata remains so stale
+  /// references fail loudly — but the bytes are freed.  Engines that keep no
+  /// erasable storage may ignore it; callers must guarantee no live task
+  /// still declares the object.
+  virtual void release_object(ObjectId obj) { (void)obj; }
+
   // --- execution -----------------------------------------------------------
 
   /// Executes `root_body` as the main task and returns when the whole task
@@ -75,10 +87,12 @@ class Engine {
 
   // --- TaskContext backend -------------------------------------------------
 
+  /// A non-null `tenant` makes the child a program root of that tenant (see
+  /// Serializer::create_task); tasks otherwise inherit the parent's tenant.
   virtual void spawn(TaskNode* parent,
                      const std::vector<AccessRequest>& requests,
                      TaskContext::BodyFn body, std::string name,
-                     MachineId placement) = 0;
+                     MachineId placement, TenantCtl* tenant = nullptr) = 0;
 
   virtual void with_cont(TaskNode* task,
                          const std::vector<AccessRequest>& requests) = 0;
@@ -96,6 +110,11 @@ class Engine {
   /// Machine `task` is currently executing on (0 where machines don't
   /// exist; the executing worker's id in ThreadEngine).
   virtual MachineId machine_of(TaskNode* task) const = 0;
+
+  /// Pokes the engine from an outside thread after external state it waits
+  /// on changed (e.g. the server cancelled a tenant whose tasks are parked
+  /// on the throttle gate).  Default: nothing to poke.
+  virtual void notify_external() {}
 
   const RuntimeStats& stats() const { return stats_; }
 

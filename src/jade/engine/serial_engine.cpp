@@ -1,11 +1,15 @@
 #include "jade/engine/serial_engine.hpp"
 
+#include "jade/core/tenant.hpp"
 #include "jade/support/error.hpp"
 
 namespace jade {
 
 SerialEngine::SerialEngine(bool enforce_hierarchy)
-    : serializer_(this, enforce_hierarchy) {}
+    : serializer_(this, enforce_hierarchy) {
+  serializer_.set_tenant_oracle(
+      [this](ObjectId obj) { return objects_.info(obj).tenant; });
+}
 
 ObjectId SerialEngine::allocate(TypeDescriptor type, std::string name,
                                 MachineId /*home*/) {
@@ -28,9 +32,21 @@ const ObjectInfo& SerialEngine::object_info(ObjectId obj) const {
   return objects_.info(obj);
 }
 
+void SerialEngine::set_object_tenant(ObjectId obj, TenantId tenant) {
+  objects_.set_tenant(obj, tenant);
+}
+
+void SerialEngine::release_object(ObjectId obj) {
+  auto it = buffers_.find(obj);
+  if (it != buffers_.end()) buffers_.erase(it);
+}
+
 void SerialEngine::run(std::function<void(TaskContext&)> root_body) {
-  JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
-  ran_ = true;
+  // Reset for sequential runs on one reused engine: a fresh graph, fresh
+  // stats, persistent objects/buffers.  Identical state on the first run,
+  // so single-run behavior (and traces) are unchanged.
+  serializer_.reset();
+  stats_ = RuntimeStats{};
   TaskNode* root = serializer_.root();
   if (tracer_.enabled()) {
     tracer_.instant(obs::Subsystem::kEngine, "task.created", root->id(), 0, 0,
@@ -51,9 +67,9 @@ void SerialEngine::run(std::function<void(TaskContext&)> root_body) {
 void SerialEngine::spawn(TaskNode* parent,
                          const std::vector<AccessRequest>& requests,
                          TaskContext::BodyFn body, std::string name,
-                         MachineId /*placement*/) {
+                         MachineId /*placement*/, TenantCtl* tenant) {
   TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
-                                           std::move(name));
+                                           std::move(name), tenant);
   ++stats_.tasks_created;
   if (tracer_.enabled())
     tracer_.instant(obs::Subsystem::kEngine, "task.created", task->id(), 0, 0,
@@ -71,7 +87,23 @@ void SerialEngine::execute(TaskNode* task) {
     tracer_.span_begin(obs::Subsystem::kEngine, "task", task->id(), 0,
                        task->name());
   TaskContext ctx(this, task);
-  task->body(ctx);
+  TenantCtl* ctl = task->tenant();
+  if (ctl != nullptr && ctl->cancelled.load(std::memory_order_relaxed)) {
+    // Forced teardown: skip the body, complete normally.
+    ctl->tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else if (ctl != nullptr) {
+    try {
+      task->body(ctx);
+    } catch (const TenantUnwind&) {
+      ctl->tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // Per-tenant failure containment: record, cancel, keep serving.
+      ctl->record_failure(std::current_exception());
+      ctl->cancelled.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    task->body(ctx);
+  }
   task->body = nullptr;  // release captured state promptly
   serializer_.complete_task(task);
   tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(), 0,

@@ -27,12 +27,14 @@ class SerialEngine : public Engine, private SerializerListener {
   void put_bytes(ObjectId obj, std::span<const std::byte> data) override;
   std::vector<std::byte> get_bytes(ObjectId obj) override;
   const ObjectInfo& object_info(ObjectId obj) const override;
+  void set_object_tenant(ObjectId obj, TenantId tenant) override;
+  void release_object(ObjectId obj) override;
 
   void run(std::function<void(TaskContext&)> root_body) override;
 
   void spawn(TaskNode* parent, const std::vector<AccessRequest>& requests,
-             TaskContext::BodyFn body, std::string name,
-             MachineId placement) override;
+             TaskContext::BodyFn body, std::string name, MachineId placement,
+             TenantCtl* tenant) override;
   void with_cont(TaskNode* task,
                  const std::vector<AccessRequest>& requests) override;
   std::byte* acquire_bytes(TaskNode* task, ObjectId obj,
@@ -60,7 +62,6 @@ class SerialEngine : public Engine, private SerializerListener {
   ObjectTable objects_;
   std::unordered_map<ObjectId, std::vector<std::byte>> buffers_;
   Serializer serializer_;
-  bool ran_ = false;
   mutable std::uint64_t logical_time_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "jade/core/tenant.hpp"
 #include "jade/net/faulty.hpp"
 #include "jade/support/error.hpp"
 #include "jade/support/log.hpp"
@@ -50,6 +51,10 @@ std::vector<std::byte> SimEngine::get_bytes(ObjectId obj) {
 
 const ObjectInfo& SimEngine::object_info(ObjectId obj) const {
   return objects_.info(obj);
+}
+
+void SimEngine::set_object_tenant(ObjectId obj, TenantId tenant) {
+  objects_.set_tenant(obj, tenant);
 }
 
 // --- notifications ---------------------------------------------------------
@@ -199,7 +204,30 @@ void SimEngine::task_process(TaskNode* task) {
                   t.machine);
 
   TaskContext ctx(this, task);
-  task->body(ctx);
+  TenantCtl* ctl = task->tenant();
+  if (ctl != nullptr && ctl->cancelled.load(std::memory_order_relaxed)) {
+    // Forced teardown: skip the body, complete normally so the serializer
+    // unwinds and successors of this task unblock.
+    ctl->tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else if (ctl != nullptr) {
+    try {
+      task->body(ctx);
+    } catch (const TenantUnwind&) {
+      ctl->tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // A sim process unwound by Simulation::abort (ft kill / teardown)
+      // must keep unwinding — only genuine body failures are contained.
+      if (sim_.tearing_down() ||
+          (sim_.current() != nullptr && sim_.current()->abandoned())) {
+        throw;
+      }
+      // Per-tenant failure containment: record, cancel, keep simulating.
+      ctl->record_failure(std::current_exception());
+      ctl->cancelled.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    task->body(ctx);
+  }
 
   finish_task(task);
 }
@@ -318,14 +346,35 @@ void SimEngine::park_inactive(SimTask& t, Wait kind) {
 }
 
 void SimEngine::maybe_release_throttled() {
-  if (!throttle_.enabled()) return;
-  while (!throttled_.empty() &&
-         (throttle_.backlog_drained(serializer_.backlog()) ||
-          active_tasks_ == 0)) {
+  if (throttled_.empty()) return;
+  if (active_tasks_ == 0) {
+    // Nothing else is runnable: a suspended creator is the only source of
+    // progress and must run even if its gate (global or tenant) is still
+    // up — the deadlock-freedom escape.  One is enough.
     TaskNode* t = throttled_.front();
     throttled_.pop_front();
     sim_.resume(st(t).process);
-    if (active_tasks_ == 0) break;  // one is enough to restore progress
+    return;
+  }
+  const bool global_clear =
+      !throttle_.enabled() || throttle_.backlog_drained(serializer_.backlog());
+  if (!global_clear) return;
+  // FIFO among the eligible: a creator parked on its tenant's live-task
+  // window stays parked until that window drains (or the tenant is
+  // cancelled / unlimited — it then parked on the global gate alone).
+  for (auto it = throttled_.begin(); it != throttled_.end();) {
+    TenantCtl* ctl = (*it)->tenant();
+    const bool tenant_clear =
+        ctl == nullptr || ctl->cancelled.load(std::memory_order_relaxed) ||
+        ctl->quota_hi.load(std::memory_order_relaxed) == 0 ||
+        throttle_.tenant_drained(*ctl);
+    if (!tenant_clear) {
+      ++it;
+      continue;
+    }
+    TaskNode* t = *it;
+    it = throttled_.erase(it);
+    sim_.resume(st(t).process);
   }
 }
 
@@ -334,8 +383,15 @@ void SimEngine::maybe_release_throttled() {
 void SimEngine::spawn(TaskNode* parent,
                       const std::vector<AccessRequest>& requests,
                       TaskContext::BodyFn body, std::string name,
-                      MachineId placement) {
+                      MachineId placement, TenantCtl* tenant) {
   SimTask& pt = st(parent);
+  // A cancelled tenant's creators unwind at the next spawn instead of
+  // flooding more work into the backlog; the unwind is caught in
+  // task_process, which completes the task normally.
+  TenantCtl* pctl = parent->tenant();
+  if (pctl != nullptr && pctl->cancelled.load(std::memory_order_relaxed)) {
+    throw TenantUnwind{};
+  }
   // Spawning makes the parent unkillable *before* it can park below: a
   // replay of a task that already created a child would create it twice.
   pt.attempt.restartable = false;
@@ -345,7 +401,7 @@ void SimEngine::spawn(TaskNode* parent,
 
   TaskNode* task =
       serializer_.create_task(parent, requests, std::move(body),
-                              std::move(name));
+                              std::move(name), tenant);
   task->placement = placement;
   sim_tasks_.emplace_back();
   SimTask& t = sim_tasks_.back();
@@ -361,10 +417,13 @@ void SimEngine::spawn(TaskNode* parent,
                     pt.machine, 0, task->name());
   post_serializer();
 
-  if (throttle_.should_throttle(serializer_.backlog()) && active_tasks_ > 1) {
+  const bool global_gate = throttle_.should_throttle(serializer_.backlog());
+  const bool tenant_gate = pctl != nullptr && throttle_.tenant_gated(*pctl);
+  if ((global_gate || tenant_gate) && active_tasks_ > 1) {
     // Excess concurrency: suspend the creating task (Figure 7(e)) until the
-    // unstarted backlog drains.  Skipped when this creator is the only
-    // active task — then it is the sole source of progress.
+    // unstarted backlog drains — globally or, for a quota-bearing tenant,
+    // until its own live-task window drains.  Skipped when this creator is
+    // the only active task — then it is the sole source of progress.
     throttle_.note_suspension();
     JADE_TRACE("t=" << sim_.now() << " throttle suspends " << parent->name()
                     << " (backlog=" << serializer_.backlog() << ")");
@@ -378,6 +437,9 @@ void SimEngine::spawn(TaskNode* parent,
     tracer_.instant(obs::Subsystem::kEngine, "throttle.resume", parent->id(),
                     pt.machine,
                     static_cast<double>(serializer_.backlog()));
+    if (pctl != nullptr && pctl->cancelled.load(std::memory_order_relaxed)) {
+      throw TenantUnwind{};
+    }
   }
 }
 
@@ -570,7 +632,36 @@ SimTime SimEngine::fetch_objects(SimTask& t, std::vector<FetchItem> items) {
 // --- run -------------------------------------------------------------------
 
 void SimEngine::run(std::function<void(TaskContext&)> root_body) {
-  JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
+  if (ran_) {
+    // Sequential runs on one reused engine: reset the scheduling state for
+    // a fresh graph.  Objects, the directory and replicas persist; the
+    // virtual clock stays monotonic across runs.  Fault injection schedules
+    // its event sequence against a single run and cannot be replayed.
+    if (ft_enabled())
+      throw ConfigError(
+          "a fault-injected SimEngine supports a single run(); construct a "
+          "fresh Runtime per fault experiment");
+    serializer_.reset();
+    sim_tasks_.clear();
+    ready_.clear();
+    to_unblock_.clear();
+    throttled_.clear();
+    commute_ = CommuteTokenTable{};
+    throttle_.reset_counters();
+    timeline_.clear();
+    stats_ = RuntimeStats{};
+    stats_.machine_busy_seconds.assign(machines_.size(), 0.0);
+    for (Machine& m : machines_) {
+      JADE_ASSERT_MSG(m.context_waiters.empty(),
+                      "engine reuse with parked context waiters");
+      m.free_contexts = sched_.contexts_per_machine;
+      m.busy_seconds = 0;
+      // cpu_free_until / runtime_free_until are kept: virtual time is
+      // monotonic across runs.
+    }
+    active_tasks_ = 0;
+    root_done_ = false;
+  }
   ran_ = true;
 
   // The original task starts on machine 0, occupying one of its contexts

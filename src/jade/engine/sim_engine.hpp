@@ -63,6 +63,7 @@ class SimEngine : public Engine, private SerializerListener {
   void put_bytes(ObjectId obj, std::span<const std::byte> data) override;
   std::vector<std::byte> get_bytes(ObjectId obj) override;
   const ObjectInfo& object_info(ObjectId obj) const override;
+  void set_object_tenant(ObjectId obj, TenantId tenant) override;
 
   void run(std::function<void(TaskContext&)> root_body) override;
 
@@ -71,8 +72,8 @@ class SimEngine : public Engine, private SerializerListener {
   void enable_tracing(const ObsConfig& cfg) override;
 
   void spawn(TaskNode* parent, const std::vector<AccessRequest>& requests,
-             TaskContext::BodyFn body, std::string name,
-             MachineId placement) override;
+             TaskContext::BodyFn body, std::string name, MachineId placement,
+             TenantCtl* tenant) override;
   void with_cont(TaskNode* task,
                  const std::vector<AccessRequest>& requests) override;
   std::byte* acquire_bytes(TaskNode* task, ObjectId obj,
@@ -255,6 +256,10 @@ class SimEngine : public Engine, private SerializerListener {
   /// would reach zero, throttled creators are the only progress source and
   /// must run.
   int active_tasks_ = 0;
+  /// True once run() has executed; the next run() resets the scheduling
+  /// state for a fresh graph (objects, directory and replicas persist; the
+  /// virtual clock stays monotonic across runs).  Unsupported under fault
+  /// injection, whose event schedule is tied to one run.
   bool ran_ = false;
 
   /// Declared last: destroyed first, so parked task processes unwind while

@@ -102,6 +102,8 @@ SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
   cluster_.validate();
   if (sched_.contexts_per_machine < 1)
     throw ConfigError("contexts_per_machine must be >= 1");
+  serializer_.set_tenant_oracle(
+      [this](ObjectId obj) { return objects_.info(obj).tenant; });
   // With replica reuse on, a dropped-but-current replica is as good as a
   // present one for the locality heuristics.
   directory_.set_reuse_scoring(sched_.comm.reuse_replicas);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "jade/core/tenant.hpp"
 #include "jade/support/error.hpp"
 #include "jade/support/log.hpp"
 
@@ -37,6 +38,12 @@ ThreadEngine::ThreadEngine(int workers, ThrottleConfig throttle,
   // Pre-sized so publishing a slot is a single release store of slot_count_
   // (stealers scan the prefix without locking).
   slots_.resize(kMaxSlots);
+  // Ownership oracle for tenant isolation: called from create_task under
+  // mu_; objects_mu_ is a leaf below it.
+  serializer_.set_tenant_oracle([this](ObjectId obj) {
+    std::lock_guard<std::mutex> lock(objects_mu_);
+    return objects_.info(obj).tenant;
+  });
 }
 
 ThreadEngine::~ThreadEngine() {
@@ -82,6 +89,21 @@ const ObjectInfo& ThreadEngine::object_info(ObjectId obj) const {
   // Deque-backed table: the reference survives the unlock and any number of
   // concurrent allocations.
   return objects_.info(obj);
+}
+
+void ThreadEngine::set_object_tenant(ObjectId obj, TenantId tenant) {
+  std::lock_guard<std::mutex> lock(objects_mu_);
+  objects_.set_tenant(obj, tenant);
+}
+
+void ThreadEngine::release_object(ObjectId obj) {
+  // Metadata stays (stale ids keep failing loudly); only the bytes go.
+  buffers_.destroy(obj);
+}
+
+void ThreadEngine::notify_external() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cv_waiters_ > 0) state_cv_.notify_all();
 }
 
 // --- slots and parking -----------------------------------------------------
@@ -299,7 +321,31 @@ void ThreadEngine::enable_tracing(const ObsConfig& cfg) {
 void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    JADE_ASSERT_MSG(!ran_, "a Runtime supports a single run()");
+    if (ran_) {
+      // Sequential reuse: the previous run joined its pool and left the
+      // scheduling state quiescent.  Reset it for a fresh graph; objects
+      // and buffers persist (allocate-once semantics).
+      JADE_ASSERT_MSG(workers_.empty(),
+                      "run() re-entered while a previous run is active");
+      serializer_.reset();
+      unblocked_.clear();
+      commute_ = CommuteTokenTable{};
+      throttle_.reset_counters();
+      first_error_ = nullptr;
+      stats_ = RuntimeStats{};
+      const int nslots = slot_count_.load(std::memory_order_relaxed);
+      for (int i = 0; i < nslots; ++i)
+        slots_[static_cast<std::size_t>(i)].reset();
+      slot_count_.store(0, std::memory_order_relaxed);
+      ready_count_.store(0, std::memory_order_seq_cst);
+      {
+        std::lock_guard<std::mutex> idle(idle_mu_);
+        idle_stack_.clear();
+        idle_count_.store(0, std::memory_order_seq_cst);
+      }
+      sleeping_threads_.store(0, std::memory_order_seq_cst);
+      stop_.store(false, std::memory_order_seq_cst);
+    }
     ran_ = true;
   }
   ThreadSlot* root_slot = add_slot(0);
@@ -403,13 +449,32 @@ void ThreadEngine::execute(TaskNode* task, ThreadSlot* slot) {
   JADE_TRACE("exec-start " << task->name());
   TaskContext ctx(this, task);
   bool failed = false;
-  try {
-    task->body(ctx);
-  } catch (const EngineAborting&) {
-    failed = true;  // unwound because another task already failed
-  } catch (...) {
-    record_error(std::current_exception());
-    failed = true;
+  TenantCtl* ctl = task->tenant();
+  if (ctl != nullptr && ctl->cancelled.load(std::memory_order_relaxed)) {
+    // Forced teardown, dispatch edge: skip the body entirely and complete
+    // through the serializer as if it had run — successors (this tenant's
+    // and everyone else's) are released in the normal order.
+    ctl->tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    try {
+      task->body(ctx);
+    } catch (const EngineAborting&) {
+      failed = true;  // unwound because another task already failed
+    } catch (const TenantUnwind&) {
+      // Teardown caught the body at a spawn/wait edge; complete normally.
+      if (ctl != nullptr)
+        ctl->tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      if (ctl != nullptr) {
+        // Per-tenant failure containment: the failure stays the tenant's
+        // (recorded, tenant cancelled); the engine keeps serving others.
+        ctl->record_failure(std::current_exception());
+        ctl->cancelled.store(true, std::memory_order_relaxed);
+      } else {
+        record_error(std::current_exception());
+        failed = true;
+      }
+    }
   }
   task->body = nullptr;
   bool drained = false;
@@ -444,29 +509,49 @@ void ThreadEngine::execute(TaskNode* task, ThreadSlot* slot) {
 void ThreadEngine::spawn(TaskNode* parent,
                          const std::vector<AccessRequest>& requests,
                          TaskContext::BodyFn body, std::string name,
-                         MachineId /*placement*/) {
+                         MachineId /*placement*/, TenantCtl* tenant) {
+  // The creator's own tenant (not the child's): the dispatcher launching a
+  // program root for tenant T is a host task and is never gated or unwound —
+  // a blocked dispatcher would stall every other tenant.
+  TenantCtl* pctl = parent->tenant();
+  if (pctl != nullptr && pctl->cancelled.load(std::memory_order_relaxed))
+    throw TenantUnwind{};
   std::unique_lock<std::mutex> lock(mu_);
   TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
-                                           std::move(name));
+                                           std::move(name), tenant);
   ++stats_.tasks_created;
-  const bool throttle_needed = throttle_.should_throttle(serializer_.backlog());
-  if (!throttle_needed) lock.unlock();
+  const bool global_needed =
+      throttle_.should_throttle(serializer_.backlog());
+  const bool tenant_needed =
+      pctl != nullptr && throttle_.tenant_gated(*pctl);
+  const bool wait_needed = global_needed || tenant_needed;
+  if (!wait_needed) lock.unlock();
   if (tracer_.enabled())
     tracer_.instant(obs::Subsystem::kEngine, "task.created", task->id(),
                     machine_of(parent), 0, task->name());
-  if (!throttle_needed) return;
+  if (!wait_needed) return;
 
-  // Too much exploited concurrency: suspend the creator until the backlog
-  // drains (Section 3.3).  If every other thread ends up asleep with
-  // nothing ready, the backlog can only drain through the creators
-  // themselves — give up throttling rather than deadlock.
+  // Too much exploited concurrency — globally (Section 3.3) or against this
+  // tenant's quota window: suspend the creator until the pressure drains.
+  // If every other thread ends up asleep with nothing ready, the backlog
+  // can only drain through the creators themselves — give up throttling
+  // rather than deadlock.
   throttle_.note_suspension();
   tracer_.instant(obs::Subsystem::kEngine, "throttle.suspend", parent->id(),
                   machine_of(parent),
                   static_cast<double>(serializer_.backlog()));
   JADE_TRACE("throttle-enter " << parent->name()
              << " backlog=" << serializer_.backlog());
-  while (!throttle_.backlog_drained(serializer_.backlog())) {
+  const auto clear = [&] {
+    const bool global_clear =
+        !global_needed || throttle_.backlog_drained(serializer_.backlog());
+    const bool tenant_clear =
+        !tenant_needed ||
+        pctl->cancelled.load(std::memory_order_relaxed) ||
+        throttle_.tenant_drained(*pctl);
+    return global_clear && tenant_clear;
+  };
+  while (!clear()) {
     if (first_error_) throw EngineAborting{};
     if (sleeping_threads_.load(std::memory_order_seq_cst) + 1 >=
             total_threads_.load(std::memory_order_seq_cst) &&
@@ -485,9 +570,8 @@ void ThreadEngine::spawn(TaskNode* parent,
     ++throttle_waiters_;
     sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
     maybe_notify_all_asleep_locked();
-    state_cv_.wait(lock, [this] {
-      return throttle_.backlog_drained(serializer_.backlog()) ||
-             first_error_ != nullptr ||
+    state_cv_.wait(lock, [&] {
+      return clear() || first_error_ != nullptr ||
              (sleeping_threads_.load(std::memory_order_seq_cst) >=
                   total_threads_.load(std::memory_order_seq_cst) &&
               ready_count_.load(std::memory_order_seq_cst) == 0);
@@ -499,6 +583,10 @@ void ThreadEngine::spawn(TaskNode* parent,
   tracer_.instant(obs::Subsystem::kEngine, "throttle.resume", parent->id(),
                   machine_of(parent),
                   static_cast<double>(serializer_.backlog()));
+  // The tenant may have been torn down while its creator slept; unwind at
+  // this edge rather than running the rest of the body.
+  if (pctl != nullptr && pctl->cancelled.load(std::memory_order_relaxed))
+    throw TenantUnwind{};
 }
 
 void ThreadEngine::with_cont(TaskNode* task,
@@ -528,7 +616,10 @@ std::byte* ThreadEngine::acquire_bytes(TaskNode* task, ObjectId obj,
       // holding a commute accessor must not block on a deferred conversion,
       // or holder and waiter could form a cycle the serial order does not
       // rank (see DESIGN.md).
+      TenantCtl* ctl = task->tenant();
       for (;;) {
+        if (ctl != nullptr && ctl->cancelled.load(std::memory_order_relaxed))
+          throw TenantUnwind{};
         if (commute_.try_acquire(obj, task)) break;
         if (first_error_) throw EngineAborting{};
         ensure_spare_worker();
@@ -537,7 +628,9 @@ std::byte* ThreadEngine::acquire_bytes(TaskNode* task, ObjectId obj,
         maybe_notify_all_asleep_locked();
         state_cv_.wait(lock, [&] {
           TaskNode* h = commute_.holder(obj);
-          return h == nullptr || h == task || first_error_ != nullptr;
+          return h == nullptr || h == task || first_error_ != nullptr ||
+                 (ctl != nullptr &&
+                  ctl->cancelled.load(std::memory_order_relaxed));
         });
         sleeping_threads_.fetch_sub(1, std::memory_order_seq_cst);
         --cv_waiters_;

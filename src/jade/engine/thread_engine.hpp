@@ -54,12 +54,14 @@ class ThreadEngine : public Engine, private SerializerListener {
   void put_bytes(ObjectId obj, std::span<const std::byte> data) override;
   std::vector<std::byte> get_bytes(ObjectId obj) override;
   const ObjectInfo& object_info(ObjectId obj) const override;
+  void set_object_tenant(ObjectId obj, TenantId tenant) override;
+  void release_object(ObjectId obj) override;
 
   void run(std::function<void(TaskContext&)> root_body) override;
 
   void spawn(TaskNode* parent, const std::vector<AccessRequest>& requests,
-             TaskContext::BodyFn body, std::string name,
-             MachineId placement) override;
+             TaskContext::BodyFn body, std::string name, MachineId placement,
+             TenantCtl* tenant) override;
   void with_cont(TaskNode* task,
                  const std::vector<AccessRequest>& requests) override;
   std::byte* acquire_bytes(TaskNode* task, ObjectId obj,
@@ -75,6 +77,11 @@ class ThreadEngine : public Engine, private SerializerListener {
   }
 
   void enable_tracing(const ObsConfig& cfg) override;
+
+  /// Wakes every state_cv_ waiter so it re-evaluates its predicate against
+  /// externally changed state (a tenant cancelled by the server while its
+  /// creators are parked on the throttle or a commute token).
+  void notify_external() override;
 
  protected:
   /// Wall seconds since tracing was enabled (there is no virtual clock on
@@ -221,6 +228,8 @@ class ThreadEngine : public Engine, private SerializerListener {
   /// cv_waiters_); task_started only notifies when one exists.
   int throttle_waiters_ = 0;
   std::vector<std::thread> workers_;
+  /// True once run() has executed; the next run() resets the scheduling
+  /// state for a fresh graph (objects and buffers persist).
   bool ran_ = false;
   /// First exception that escaped a task body (or a spec violation raised
   /// inside one); rethrown from run() after the pool shuts down.

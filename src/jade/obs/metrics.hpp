@@ -90,6 +90,8 @@ class Histogram {
   double max_ = 0;
 };
 
+class MetricsScope;
+
 class MetricsRegistry {
  public:
   /// Find-or-create, insertion-ordered.  A name identifies exactly one
@@ -97,6 +99,10 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  /// A namespaced view: scope("tenant.7.").counter("tasks") names
+  /// "tenant.7.tasks".  See MetricsScope below.
+  MetricsScope scope(std::string prefix);
 
   bool has(std::string_view name) const;
   std::size_t size() const { return order_.size(); }
@@ -127,5 +133,50 @@ class MetricsRegistry {
   std::vector<Entry> order_;
   std::unordered_map<std::string, std::size_t> by_name_;  ///< into order_
 };
+
+/// A prefix-qualified view of a registry, for per-namespace metric families
+/// ("tenant.<id>.*", "session.<id>.*") without hot-path string assembly: the
+/// prefix is composed once and each lookup appends the leaf name into a
+/// buffer owned by the scope, then truncates back.  Returned references have
+/// registry lifetime — callers look up once and keep the reference, exactly
+/// as with the registry itself.  Not thread-safe (one scratch buffer); scopes
+/// are cheap, so give each thread or owner its own.
+class MetricsScope {
+ public:
+  MetricsScope(MetricsRegistry& registry, std::string prefix)
+      : registry_(&registry),
+        buf_(std::move(prefix)),
+        prefix_len_(buf_.size()) {}
+
+  Counter& counter(std::string_view leaf) {
+    return registry_->counter(qualify(leaf));
+  }
+  Gauge& gauge(std::string_view leaf) {
+    return registry_->gauge(qualify(leaf));
+  }
+  Histogram& histogram(std::string_view leaf) {
+    return registry_->histogram(qualify(leaf));
+  }
+
+  std::string_view prefix() const {
+    return std::string_view(buf_).substr(0, prefix_len_);
+  }
+  MetricsRegistry& registry() { return *registry_; }
+
+ private:
+  std::string_view qualify(std::string_view leaf) {
+    buf_.resize(prefix_len_);
+    buf_.append(leaf);
+    return buf_;
+  }
+
+  MetricsRegistry* registry_;
+  std::string buf_;  ///< prefix + scratch tail for the current lookup
+  std::size_t prefix_len_;
+};
+
+inline MetricsScope MetricsRegistry::scope(std::string prefix) {
+  return MetricsScope(*this, std::move(prefix));
+}
 
 }  // namespace jade::obs

@@ -62,4 +62,25 @@ void CommuteTokenTable::remove_waiter(TaskNode* task) {
   }
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>> fair_share_windows(
+    std::uint64_t pool, const std::vector<double>& weights,
+    std::uint64_t min_window) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(weights.size());
+  if (weights.empty()) return out;
+  if (min_window == 0) min_window = 1;
+  double total = 0;
+  for (double w : weights) total += std::max(w, 0.0);
+  for (double w : weights) {
+    std::uint64_t hi = min_window;
+    if (total > 0 && w > 0) {
+      const double share = static_cast<double>(pool) * (w / total);
+      hi = std::max(min_window, static_cast<std::uint64_t>(share));
+    }
+    const std::uint64_t lo = std::max(min_window, hi / 2);
+    out.emplace_back(hi, lo);
+  }
+  return out;
+}
+
 }  // namespace jade

@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "jade/core/object.hpp"
+#include "jade/core/tenant.hpp"
 #include "jade/sched/policies.hpp"
 
 namespace jade {
@@ -87,15 +89,47 @@ class ThrottleGate {
     return backlog <= config_.low_water;
   }
 
+  /// Per-tenant analogue of should_throttle: creation by a tenant task must
+  /// pause while the tenant's live-task count exceeds its quota window.
+  /// Quota 0 disables the gate for that tenant.  Works even when global
+  /// throttling is off — quotas are the server's lever, not the program's.
+  bool tenant_gated(const TenantCtl& ctl) const {
+    const std::uint64_t hi = ctl.quota_hi.load(std::memory_order_relaxed);
+    return hi != 0 && ctl.live.load(std::memory_order_relaxed) > hi;
+  }
+
+  /// Per-tenant analogue of backlog_drained.
+  bool tenant_drained(const TenantCtl& ctl) const {
+    return ctl.live.load(std::memory_order_relaxed) <=
+           ctl.quota_lo.load(std::memory_order_relaxed);
+  }
+
   void note_suspension() { ++suspensions_; }
   void note_giveup() { ++giveups_; }
   std::uint64_t suspensions() const { return suspensions_; }
   std::uint64_t giveups() const { return giveups_; }
+
+  /// Zeroes the accounting for a fresh run on a reused engine.
+  void reset_counters() {
+    suspensions_ = 0;
+    giveups_ = 0;
+  }
 
  private:
   ThrottleConfig config_;
   std::uint64_t suspensions_ = 0;
   std::uint64_t giveups_ = 0;
 };
+
+/// Splits a pool of live-task slots among tenants in proportion to their
+/// weights, returning one (quota_hi, quota_lo) window per weight.  Every
+/// window is at least `min_window` slots — a starvation floor: the sum may
+/// then exceed the pool, which only means the engine's backlog arbitrates
+/// at the margin, never that a tenant stops dead.  quota_lo is half of
+/// quota_hi (clamped to the floor), mirroring the global gate's hysteresis.
+/// Zero/negative weights get the floor.  Empty input returns empty.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> fair_share_windows(
+    std::uint64_t pool, const std::vector<double>& weights,
+    std::uint64_t min_window);
 
 }  // namespace jade

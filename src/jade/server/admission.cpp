@@ -1,0 +1,43 @@
+#include "jade/server/admission.hpp"
+
+#include "jade/support/error.hpp"
+
+namespace jade::server {
+
+bool AdmissionController::can_admit(std::size_t expected_bytes) const {
+  if (active_ >= config_.max_active_sessions) return false;
+  if (config_.max_resident_bytes != 0 &&
+      resident_bytes_ + expected_bytes > config_.max_resident_bytes)
+    return false;
+  return true;
+}
+
+Admission AdmissionController::decide(std::size_t expected_bytes) const {
+  // A request the byte budget can never satisfy should not wait for it.
+  if (config_.max_resident_bytes != 0 &&
+      expected_bytes > config_.max_resident_bytes)
+    return Admission::kReject;
+  if (can_admit(expected_bytes)) return Admission::kAdmit;
+  if (queued_ < config_.max_queued_sessions) return Admission::kQueue;
+  return Admission::kReject;
+}
+
+void AdmissionController::admit(std::size_t expected_bytes) {
+  ++active_;
+  resident_bytes_ += expected_bytes;
+}
+
+void AdmissionController::release(std::size_t expected_bytes) {
+  JADE_ASSERT_MSG(active_ > 0, "admission release without an active session");
+  JADE_ASSERT_MSG(resident_bytes_ >= expected_bytes,
+                  "admission byte accounting underflow");
+  --active_;
+  resident_bytes_ -= expected_bytes;
+}
+
+void AdmissionController::note_dequeued() {
+  JADE_ASSERT_MSG(queued_ > 0, "admission dequeue from an empty queue");
+  --queued_;
+}
+
+}  // namespace jade::server

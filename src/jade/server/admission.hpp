@@ -1,0 +1,69 @@
+// AdmissionController — the server's pressure valve.
+//
+// One shared engine can exploit only so much concurrency; admitting every
+// arriving program onto it converts overload into collapse (unbounded task
+// backlogs, memory exhaustion).  The controller keeps the server in its
+// operating region with a three-way decision per arriving session:
+//
+//   kAdmit  — capacity available: the session takes an active slot (and
+//             reserves its declared byte footprint) immediately;
+//   kQueue  — active capacity exhausted but the wait queue has room: the
+//             session parks FIFO and is promoted as slots free up;
+//   kReject — both are full (or the byte budget cannot ever fit the
+//             request): the caller is told now, not after a long wait.
+//
+// The controller is pure bookkeeping — counts and budgets, no locking, no
+// queue storage.  JadeServer brings the mutex and owns the actual wait
+// queue; this split keeps the policy testable in isolation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jade::server {
+
+struct AdmissionConfig {
+  /// Sessions running concurrently on the engine.
+  std::size_t max_active_sessions = 64;
+  /// Sessions parked waiting for an active slot; arrivals beyond this are
+  /// rejected outright.
+  std::size_t max_queued_sessions = 1024;
+  /// Total declared bytes resident across active sessions (0: unlimited).
+  /// Uses each session's declared expectation, not live allocation — the
+  /// point is to refuse work early, before it allocates.
+  std::size_t max_resident_bytes = 0;
+};
+
+enum class Admission : std::uint8_t { kAdmit, kQueue, kReject };
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// Decision for a new arrival declaring `expected_bytes`.  A request
+  /// larger than the whole byte budget can never run and is rejected even
+  /// when the queue has room.
+  Admission decide(std::size_t expected_bytes) const;
+
+  /// True when an active slot and the byte budget can take the session now
+  /// (the promotion predicate; decide() == kAdmit implies this).
+  bool can_admit(std::size_t expected_bytes) const;
+
+  void admit(std::size_t expected_bytes);
+  void release(std::size_t expected_bytes);
+  void note_queued() { ++queued_; }
+  void note_dequeued();
+
+  std::size_t active() const { return active_; }
+  std::size_t queued() const { return queued_; }
+  std::size_t resident_bytes() const { return resident_bytes_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  std::size_t active_ = 0;
+  std::size_t queued_ = 0;
+  std::size_t resident_bytes_ = 0;
+};
+
+}  // namespace jade::server

@@ -42,6 +42,15 @@ class HierarchyViolationError : public JadeError {
   explicit HierarchyViolationError(const std::string& what) : JadeError(what) {}
 };
 
+/// A server tenant's task declared an access to another tenant's shared
+/// object.  Raised at task creation — the single chokepoint through which
+/// every access right enters a task graph — so the offending tenant fails
+/// before it can observe or serialize against foreign data.
+class TenantIsolationError : public JadeError {
+ public:
+  explicit TenantIsolationError(const std::string& what) : JadeError(what) {}
+};
+
 /// Invalid runtime / platform configuration.
 class ConfigError : public JadeError {
  public:

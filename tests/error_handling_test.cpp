@@ -87,10 +87,12 @@ TEST_P(ErrorTest, SpecEvaluationExceptionPropagates) {
                std::runtime_error);
 }
 
-TEST_P(ErrorTest, SecondRunRejected) {
+TEST_P(ErrorTest, SecondRunAccepted) {
+  // Engines support sequential runs on one instance (engine reuse, see
+  // engine_reuse_test.cpp); the second run sees a fresh task graph.
   Runtime rt(config_for(GetParam()));
   rt.run([](TaskContext&) {});
-  EXPECT_THROW(rt.run([](TaskContext&) {}), InternalError);
+  EXPECT_NO_THROW(rt.run([](TaskContext&) {}));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, ErrorTest,
