@@ -1,0 +1,134 @@
+#include "jade/cluster/channel.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace jade::cluster {
+
+Channel::~Channel() { close(); }
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  JADE_ASSERT(flags >= 0);
+  JADE_ASSERT(::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+bool Channel::send(FrameType type, std::vector<std::byte> payload) {
+  const std::vector<std::byte> frame = encode_frame(type, std::move(payload));
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET: the coordinator is gone
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ++tx_frames_;
+  tx_bytes_ += frame.size();
+  return true;
+}
+
+std::optional<Frame> Channel::recv() {
+  // Read exactly one frame: header first, then the payload it declares.
+  auto read_exact = [&](std::byte* dst, std::size_t want) -> bool {
+    std::size_t got = 0;
+    while (got < want) {
+      const ssize_t n = ::recv(fd_, dst + got, want - got, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // EOF — peer died; mid-frame EOF included
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  std::byte header[kFrameHeaderBytes];
+  if (!read_exact(header, kFrameHeaderBytes)) return std::nullopt;
+  Frame f;
+  const std::uint32_t len = decode_frame_header(header, f.type);
+  f.payload.resize(len);
+  if (len > 0 && !read_exact(f.payload.data(), len)) return std::nullopt;
+  ++rx_frames_;
+  rx_bytes_ += kFrameHeaderBytes + len;
+  return f;
+}
+
+void Channel::queue(FrameType type, std::vector<std::byte> payload) {
+  const std::vector<std::byte> frame = encode_frame(type, std::move(payload));
+  outbox_.insert(outbox_.end(), frame.begin(), frame.end());
+  ++tx_frames_;
+  tx_bytes_ += frame.size();
+}
+
+bool Channel::flush() {
+  if (fd_ < 0) return false;
+  while (outbox_pos_ < outbox_.size()) {
+    const ssize_t n = ::send(fd_, outbox_.data() + outbox_pos_,
+                             outbox_.size() - outbox_pos_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    outbox_pos_ += static_cast<std::size_t>(n);
+  }
+  outbox_.clear();
+  outbox_pos_ = 0;
+  return true;
+}
+
+bool Channel::drain(std::vector<Frame>& out) {
+  if (fd_ < 0) return false;
+  std::byte chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;  // ECONNRESET etc: peer died
+    }
+    if (n == 0) {
+      // EOF: any partial frame in rxbuf_ died with the peer.
+      parse_frames(out);
+      return false;
+    }
+    rxbuf_.insert(rxbuf_.end(), chunk, chunk + n);
+  }
+  parse_frames(out);
+  return true;
+}
+
+void Channel::parse_frames(std::vector<Frame>& out) {
+  std::size_t pos = 0;
+  while (rxbuf_.size() - pos >= kFrameHeaderBytes) {
+    Frame f;
+    const std::uint32_t len = decode_frame_header(rxbuf_.data() + pos, f.type);
+    if (rxbuf_.size() - pos < kFrameHeaderBytes + len) break;
+    const std::byte* p = rxbuf_.data() + pos + kFrameHeaderBytes;
+    f.payload.assign(p, p + len);
+    out.push_back(std::move(f));
+    pos += kFrameHeaderBytes + len;
+    ++rx_frames_;
+    rx_bytes_ += kFrameHeaderBytes + len;
+  }
+  rxbuf_.erase(rxbuf_.begin(), rxbuf_.begin() + static_cast<long>(pos));
+}
+
+}  // namespace jade::cluster

@@ -1,0 +1,97 @@
+// Channel — one framed byte stream over a Unix-domain socket.
+//
+// The coordinator and each worker share a socketpair.  Both ends speak the
+// frame format of frame.hpp, but their I/O disciplines differ:
+//
+//   * Workers block.  A worker has nothing useful to do while it waits for
+//     the coordinator, so send() loops until the frame is fully written
+//     (under a mutex — the heartbeat thread shares the socket) and recv()
+//     blocks for the next frame.
+//   * The coordinator must never block on one worker while another has
+//     traffic, so its channels are non-blocking: queue() appends to an
+//     outbox, flush() writes as much as the socket accepts, and drain()
+//     parses every complete frame the kernel has buffered.  The poll() loop
+//     in ClusterEngine drives both.
+//
+// EOF handling: a closed peer is a *liveness* event (the worker died), not a
+// protocol error — recv()/drain() report it as a clean close even when it
+// cuts a frame in half.  Garbage on a live stream (bad magic, absurd length)
+// is ProtocolError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "jade/cluster/frame.hpp"
+
+namespace jade::cluster {
+
+class Channel {
+ public:
+  explicit Channel(int fd) : fd_(fd) {}
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  int fd() const { return fd_; }
+  bool closed() const { return fd_ < 0; }
+  void close();
+
+  /// Switches the socket to non-blocking mode (coordinator side).
+  void set_nonblocking();
+
+  // --- blocking discipline (worker side) -----------------------------------
+
+  /// Writes one whole frame; thread-safe (body thread + heartbeat thread).
+  /// Returns false when the peer is gone (EPIPE/ECONNRESET) — the worker's
+  /// cue to exit.
+  bool send(FrameType type, std::vector<std::byte> payload);
+
+  /// Blocks for the next frame.  nullopt on clean close (EOF, even
+  /// mid-frame — the peer process died); ProtocolError on garbage.
+  std::optional<Frame> recv();
+
+  // --- non-blocking discipline (coordinator side) --------------------------
+
+  /// Appends a frame to the outbox; flush() moves it to the kernel.
+  void queue(FrameType type, std::vector<std::byte> payload);
+
+  /// Writes queued bytes until the socket would block or the outbox drains.
+  /// Returns false when the peer is gone.
+  bool flush();
+
+  bool want_write() const { return !outbox_.empty(); }
+
+  /// Reads until the socket would block, appending every complete frame to
+  /// `out`.  Returns false on EOF / reset (peer died); a partial frame in
+  /// the buffer at EOF is discarded, not an error.  Garbage frames raise
+  /// ProtocolError.
+  bool drain(std::vector<Frame>& out);
+
+  // --- accounting ----------------------------------------------------------
+  std::uint64_t tx_frames() const { return tx_frames_; }
+  std::uint64_t rx_frames() const { return rx_frames_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  /// Parses complete frames out of rxbuf_ into `out`; returns false (leaving
+  /// the tail for the next read) when the buffer holds only a partial frame.
+  void parse_frames(std::vector<Frame>& out);
+
+  int fd_;
+  std::mutex send_mu_;  ///< blocking sends only
+  std::vector<std::byte> outbox_;
+  std::size_t outbox_pos_ = 0;  ///< bytes of outbox_ already written
+  std::vector<std::byte> rxbuf_;
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace jade::cluster

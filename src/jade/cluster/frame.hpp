@@ -1,0 +1,291 @@
+// Cluster wire protocol: framing and message types.
+//
+// Every message on a coordinator<->worker link travels as one frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic     0x4A434C31 ("JCL1", little-endian u32)
+//        4     1  version   kFrameVersion
+//        5     1  type      FrameType
+//        6     2  reserved  must be zero
+//        8     4  payload length (bytes; <= kMaxPayload)
+//       12     n  payload   message encoded with WireWriter
+//
+// The payload encodings reuse the canonical little-endian WireWriter /
+// WireReader format the simulated transport already speaks (types/wire.hpp).
+// Decoding is defensive: a frame from a crashing worker may be garbage, so
+// every decode failure — bad magic, unknown version or type, truncated or
+// oversized payload, trailing bytes — surfaces as ProtocolError, never UB.
+// (WireReader itself throws InternalError on truncation because in-process
+// messages are runtime-generated; unpack() translates, because these bytes
+// crossed a process boundary.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jade/core/object.hpp"
+#include "jade/support/error.hpp"
+#include "jade/support/time.hpp"
+#include "jade/types/wire.hpp"
+
+namespace jade::cluster {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4A434C31;  // "1LCJ" on the wire
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Payload ceiling: large enough for any object payload batch we ship,
+/// small enough that a garbage length field cannot trigger a huge alloc.
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,       ///< worker -> coordinator: first frame after fork
+  kActivate = 2,    ///< coordinator -> worker: you are machine m of n
+  kDispatch = 3,    ///< coordinator -> worker: run this task
+  kSpawn = 4,       ///< worker -> coordinator: task created a child
+  kWithCont = 5,    ///< worker -> coordinator: with_cont spec update
+  kWithContAck = 6, ///< coordinator -> worker: conversion granted / failed
+  kAcquire = 7,     ///< worker -> coordinator: accessor acquisition
+  kAcquireAck = 8,  ///< coordinator -> worker: acquisition granted / failed
+  kDone = 9,        ///< worker -> coordinator: task finished, with writebacks
+  kTaskError = 10,  ///< worker -> coordinator: task body threw
+  kHeartbeat = 11,  ///< worker -> coordinator: liveness
+  kCoherence = 12,  ///< coordinator -> worker: coherence control traffic
+  kObjFetch = 13,   ///< coordinator -> worker: send me your copy of obj
+  kObjData = 14,    ///< worker -> coordinator: reply to kObjFetch
+  kShutdown = 15,   ///< coordinator -> worker: exit cleanly
+};
+inline constexpr std::uint8_t kMaxFrameType = 15;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type;
+  std::vector<std::byte> payload;
+};
+
+/// Encodes a frame header + payload into one contiguous buffer.
+std::vector<std::byte> encode_frame(FrameType type,
+                                    std::vector<std::byte> payload);
+
+/// Validates a frame header (first kFrameHeaderBytes of `buf`); returns the
+/// payload length.  Throws ProtocolError on any malformation.
+std::uint32_t decode_frame_header(const std::byte* buf, FrameType& type);
+
+// --- message payloads ------------------------------------------------------
+// Every message has `void encode(WireWriter&) const` and
+// `static X decode(WireReader&)`.  pack()/unpack() below add the
+// whole-buffer discipline (unpack requires the reader to be fully consumed).
+
+/// Error taxonomy carried across the process boundary: the worker cannot
+/// ship an exception object, so acks carry a code + message and the peer
+/// re-throws the matching jade error type.
+enum class ErrorCode : std::uint8_t {
+  kGeneric = 0,
+  kUndeclaredAccess = 1,
+  kSpecUpdate = 2,
+  kHierarchy = 3,
+  kTenantIsolation = 4,
+  kConfig = 5,
+  kUnrecoverable = 6,
+  kInternal = 7,
+  kProtocol = 8,
+};
+
+/// Maps a caught jade exception to its wire code (kGeneric for foreign
+/// exceptions).
+ErrorCode classify_error(const std::exception& e);
+
+/// Re-throws the jade error type matching `code` with `what`.
+[[noreturn]] void rethrow_error(ErrorCode code, const std::string& what);
+
+struct HelloMsg {
+  std::int64_t pid = 0;
+  void encode(WireWriter& w) const;
+  static HelloMsg decode(WireReader& r);
+};
+
+struct ActivateMsg {
+  MachineId machine = -1;
+  std::int32_t machines = 0;  ///< cluster size (active workers)
+  double heartbeat_interval = 0.025;  ///< wall seconds between heartbeats
+  void encode(WireWriter& w) const;
+  static ActivateMsg decode(WireReader& r);
+};
+
+/// One object's rights + (optionally) its current payload, as shipped with
+/// a dispatch or a with-cont/acquire grant.
+struct ObjectShip {
+  ObjectId obj = kInvalidObject;
+  std::uint8_t immediate = 0;
+  std::uint8_t deferred = 0;
+  std::uint64_t bytes = 0;  ///< object size (payload may be elided)
+  bool has_payload = false;
+  std::vector<std::byte> payload;
+  void encode(WireWriter& w) const;
+  static ObjectShip decode(WireReader& r);
+};
+
+struct DispatchMsg {
+  std::uint64_t task = 0;
+  std::int32_t body = -1;  ///< BodyRegistry index
+  std::string name;
+  std::vector<std::byte> args;
+  std::vector<ObjectShip> objects;
+  void encode(WireWriter& w) const;
+  static DispatchMsg decode(WireReader& r);
+};
+
+/// One object's requested rights in a spawn or with-cont.
+struct ReqMsg {
+  ObjectId obj = kInvalidObject;
+  std::uint8_t add_immediate = 0;
+  std::uint8_t add_deferred = 0;
+  std::uint8_t remove = 0;
+  void encode(WireWriter& w) const;
+  static ReqMsg decode(WireReader& r);
+};
+
+struct SpawnMsg {
+  std::uint64_t parent = 0;
+  std::int32_t body = -1;
+  std::string name;
+  MachineId placement = -1;
+  std::vector<std::byte> args;
+  std::vector<ReqMsg> requests;
+  void encode(WireWriter& w) const;
+  static SpawnMsg decode(WireReader& r);
+};
+
+/// A with-cont request; retire requests for objects the worker dirtied
+/// carry the final bytes back (the coordinator's canonical copy must be
+/// current before successors read it).
+struct WithContItem {
+  ReqMsg req;
+  bool has_payload = false;
+  std::vector<std::byte> payload;
+  void encode(WireWriter& w) const;
+  static WithContItem decode(WireReader& r);
+};
+
+struct WithContMsg {
+  std::uint64_t task = 0;
+  std::vector<WithContItem> items;
+  void encode(WireWriter& w) const;
+  static WithContMsg decode(WireReader& r);
+};
+
+struct WithContAckMsg {
+  std::uint64_t task = 0;
+  bool ok = true;
+  ErrorCode error_code = ErrorCode::kGeneric;
+  std::string error;
+  std::vector<ObjectShip> objects;  ///< post-conversion rights (+ payloads)
+  void encode(WireWriter& w) const;
+  static WithContAckMsg decode(WireReader& r);
+};
+
+struct AcquireMsg {
+  std::uint64_t task = 0;
+  ObjectId obj = kInvalidObject;
+  std::uint8_t mode = 0;
+  void encode(WireWriter& w) const;
+  static AcquireMsg decode(WireReader& r);
+};
+
+struct AcquireAckMsg {
+  std::uint64_t task = 0;
+  ObjectId obj = kInvalidObject;
+  bool ok = true;
+  ErrorCode error_code = ErrorCode::kGeneric;
+  std::string error;
+  bool has_payload = false;
+  std::vector<std::byte> payload;
+  void encode(WireWriter& w) const;
+  static AcquireAckMsg decode(WireReader& r);
+};
+
+/// Task completion: final bytes of every object the task still holds write
+/// rights on (objects retired early shipped their bytes with the with-cont).
+struct DoneMsg {
+  struct Write {
+    ObjectId obj = kInvalidObject;
+    std::vector<std::byte> payload;
+  };
+  std::uint64_t task = 0;
+  double charged = 0;
+  std::vector<Write> writes;
+  void encode(WireWriter& w) const;
+  static DoneMsg decode(WireReader& r);
+};
+
+struct TaskErrorMsg {
+  std::uint64_t task = 0;
+  ErrorCode code = ErrorCode::kGeneric;
+  std::string what;
+  void encode(WireWriter& w) const;
+  static TaskErrorMsg decode(WireReader& r);
+};
+
+struct HeartbeatMsg {
+  MachineId machine = -1;
+  std::uint64_t seq = 0;
+  void encode(WireWriter& w) const;
+  static HeartbeatMsg decode(WireReader& r);
+};
+
+/// Coherence control traffic as seen by the socket transport: the transport
+/// is below the protocol, so it carries opaque control-byte counts, not
+/// object identities.
+struct CoherenceMsg {
+  MachineId from = -1;
+  MachineId to = -1;
+  std::uint64_t bytes = 0;
+  void encode(WireWriter& w) const;
+  static CoherenceMsg decode(WireReader& r);
+};
+
+struct ObjFetchMsg {
+  ObjectId obj = kInvalidObject;
+  void encode(WireWriter& w) const;
+  static ObjFetchMsg decode(WireReader& r);
+};
+
+struct ObjDataMsg {
+  ObjectId obj = kInvalidObject;
+  std::vector<std::byte> payload;
+  void encode(WireWriter& w) const;
+  static ObjDataMsg decode(WireReader& r);
+};
+
+struct ShutdownMsg {
+  void encode(WireWriter& w) const;
+  static ShutdownMsg decode(WireReader& r);
+};
+
+/// Encodes a message into a payload buffer.
+template <typename M>
+std::vector<std::byte> pack(const M& msg) {
+  WireWriter w;
+  msg.encode(w);
+  return w.take();
+}
+
+/// Decodes a message from a frame payload.  Truncation and trailing garbage
+/// both raise ProtocolError: a frame must contain exactly one message.
+template <typename M>
+M unpack(const std::vector<std::byte>& payload) {
+  WireReader r(payload);
+  M msg;
+  try {
+    msg = M::decode(r);
+  } catch (const InternalError& e) {
+    throw ProtocolError(std::string("malformed cluster message: ") + e.what());
+  }
+  if (!r.done())
+    throw ProtocolError("cluster message has " +
+                        std::to_string(r.remaining()) + " trailing bytes");
+  return msg;
+}
+
+}  // namespace jade::cluster

@@ -1,0 +1,39 @@
+#include "jade/cluster/socket_transport.hpp"
+
+namespace jade::cluster {
+
+void SocketTransport::set_channel(MachineId m, Channel* ch) {
+  JADE_ASSERT(m >= 0);
+  if (static_cast<std::size_t>(m) >= channels_.size())
+    channels_.resize(static_cast<std::size_t>(m) + 1, nullptr);
+  channels_[static_cast<std::size_t>(m)] = ch;
+}
+
+SimTime SocketTransport::unicast(MachineId from, MachineId to,
+                                 std::size_t bytes, SimTime at) {
+  Channel* ch = (to >= 0 && static_cast<std::size_t>(to) < channels_.size())
+                    ? channels_[static_cast<std::size_t>(to)]
+                    : nullptr;
+  if (ch != nullptr && !ch->closed()) {
+    CoherenceMsg msg;
+    msg.from = from;
+    msg.to = to;
+    msg.bytes = bytes;
+    ch->queue(FrameType::kCoherence, pack(msg));
+    ++control_frames_;
+  }
+  if (tracer_ != nullptr && tracer_->enabled())
+    tracer_->instant_at(at, obs::Subsystem::kNet, "net.xfer", 0, to,
+                        static_cast<double>(bytes));
+  return at;
+}
+
+SimTime SocketTransport::multicast(MachineId from,
+                                   std::span<const MachineId> targets,
+                                   std::size_t bytes, SimTime at) {
+  SimTime last = at;
+  for (MachineId to : targets) last = unicast(from, to, bytes, at);
+  return last;
+}
+
+}  // namespace jade::cluster

@@ -1,0 +1,55 @@
+// SocketTransport — the CoherenceTransport of a real multi-process cluster.
+//
+// The CoherenceProtocol (store/coherence.hpp) decides what travels; this
+// transport realizes its control traffic as kCoherence frames on the
+// coordinator's worker channels.  Payload bytes do NOT travel here — the
+// coordinator owns every object's canonical buffer, and payloads ride inside
+// dispatch/ack/done frames where the engine can pair them with the rights
+// they license.  What the protocol's unicast/multicast calls buy on this
+// platform is (a) the invalidation/revalidation control messages workers
+// observe (tests assert on them) and (b) the wire accounting in
+// RuntimeStats, kept consistent with the simulated engines.
+//
+// Time: a real cluster has no virtual clock, so now() is wall seconds from
+// a monotonic epoch and unicast "arrival" is immediate — the return value
+// feeds stats, not a simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "jade/cluster/channel.hpp"
+#include "jade/obs/tracer.hpp"
+#include "jade/store/coherence.hpp"
+
+namespace jade::cluster {
+
+class SocketTransport : public CoherenceTransport {
+ public:
+  /// `clock` supplies now(); `tracer` may be null.  Channels attach per
+  /// machine id as workers come up (and detach — null — when they die).
+  SocketTransport(std::function<SimTime()> clock, obs::Tracer* tracer)
+      : clock_(std::move(clock)), tracer_(tracer) {}
+
+  void set_channel(MachineId m, Channel* ch);
+
+  SimTime now() const override { return clock_(); }
+
+  SimTime unicast(MachineId from, MachineId to, std::size_t bytes,
+                  SimTime at) override;
+
+  SimTime multicast(MachineId from, std::span<const MachineId> targets,
+                    std::size_t bytes, SimTime at) override;
+
+  /// Control frames queued so far (the engine publishes this).
+  std::uint64_t control_frames() const { return control_frames_; }
+
+ private:
+  std::function<SimTime()> clock_;
+  obs::Tracer* tracer_;
+  std::vector<Channel*> channels_;  ///< indexed by MachineId; null = dead
+  std::uint64_t control_frames_ = 0;
+};
+
+}  // namespace jade::cluster

@@ -1,0 +1,27 @@
+// Worker process — one "machine" of the multi-process cluster.
+//
+// The coordinator forks each worker with one end of a socketpair.  The
+// worker sends Hello, waits for Activate (its machine id), starts a
+// heartbeat thread, then serves Dispatch frames in a loop: it runs the
+// named registered body against its local byte store and reports Done (or
+// TaskError).  All serializer/governor state lives in the coordinator; the
+// worker's acquire/with_cont/spawn calls become RPCs on the socket.
+//
+// The worker's object store is an append-only map ObjectId -> bytes: a
+// dispatch or an ack may carry a payload (the coordinator ships bytes only
+// when the worker's copy is stale — the shipped-version protocol in
+// cluster_engine.cpp), and the worker never evicts.  Accessor pointers stay
+// valid for a task's lifetime because vector heap storage is stable across
+// map rehashes.
+#pragma once
+
+#include "jade/support/time.hpp"
+
+namespace jade::cluster {
+
+/// Entry point of a worker process: speaks the cluster protocol on `fd`
+/// until Shutdown or EOF, then _exit(0)s (never returns — a forked child
+/// must not unwind into the parent's atexit handlers).
+[[noreturn]] void worker_main(int fd);
+
+}  // namespace jade::cluster

@@ -32,6 +32,9 @@ class Runtime;
 namespace server {
 class Session;
 }  // namespace server
+namespace cluster {
+struct RefMaker;
+}  // namespace cluster
 
 /// Type-erased reference to a shared object; the common currency of access
 /// declarations.
@@ -64,6 +67,7 @@ class SharedRef : public ObjectRef {
  private:
   friend class Runtime;
   friend class server::Session;
+  friend struct cluster::RefMaker;
   SharedRef(ObjectId id, std::size_t count) : ObjectRef(id), count_(count) {}
 
   std::size_t count_ = 0;

@@ -1,5 +1,6 @@
 #include "jade/core/runtime.hpp"
 
+#include "jade/cluster/cluster_engine.hpp"
 #include "jade/engine/serial_engine.hpp"
 #include "jade/engine/sim_engine.hpp"
 #include "jade/engine/thread_engine.hpp"
@@ -21,6 +22,9 @@ std::unique_ptr<Engine> make_engine(const RuntimeConfig& config) {
       return std::make_unique<SimEngine>(config.cluster, config.sched,
                                          config.enforce_hierarchy,
                                          config.fault);
+    case EngineKind::kCluster:
+      return std::make_unique<cluster::ClusterEngine>(
+          config.cluster_proc, config.sched, config.enforce_hierarchy);
   }
   throw ConfigError("unknown EngineKind");
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "jade/cluster/options.hpp"
 #include "jade/core/object.hpp"
 #include "jade/core/task.hpp"
 #include "jade/engine/engine.hpp"
@@ -37,9 +38,10 @@
 namespace jade {
 
 enum class EngineKind : std::uint8_t {
-  kSerial,  ///< reference implementation of the serial semantics
-  kThread,  ///< shared-memory worker pool (real parallelism)
-  kSim,     ///< virtual-time simulated cluster (the evaluation platform)
+  kSerial,   ///< reference implementation of the serial semantics
+  kThread,   ///< shared-memory worker pool (real parallelism)
+  kSim,      ///< virtual-time simulated cluster (the evaluation platform)
+  kCluster,  ///< multi-process cluster: forked workers over Unix sockets
 };
 
 struct RuntimeConfig {
@@ -50,6 +52,11 @@ struct RuntimeConfig {
 
   /// SimEngine: the platform to simulate.
   ClusterConfig cluster;
+
+  /// ClusterEngine: real worker processes (docs/CLUSTER.md).  Task bodies
+  /// must be registered (jade::cluster::BodyRegistry) to cross the process
+  /// boundary.
+  cluster::Options cluster_proc;
 
   /// Scheduling policy (SimEngine; ThreadEngine uses throttle only).
   SchedPolicy sched;

@@ -30,10 +30,9 @@ void ClusterConfig::validate() const {
   if (machines.empty())
     throw ConfigError("cluster '" + name + "' has no machines");
   if (machines.size() > static_cast<std::size_t>(kMaxMachines))
-    throw ConfigError(
-        "cluster '" + name + "' has more than " +
-        std::to_string(kMaxMachines) +
-        " machines (directory uses 64-bit replica masks)");
+    throw ConfigError("cluster '" + name + "' has more than " +
+                      std::to_string(kMaxMachines) +
+                      " machines (kMaxMachines sanity ceiling)");
   for (const MachineDesc& m : machines)
     if (m.ops_per_second <= 0)
       throw ConfigError("machine '" + m.name +

@@ -1,7 +1,6 @@
 #include "jade/store/directory.hpp"
 
-#include <bit>
-#include <limits>
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -9,16 +8,10 @@
 
 namespace jade {
 
-// Entry::copies holds one bit per machine; a wider cluster would silently
-// shift holder bits off the end.
-static_assert(kMaxMachines <= std::numeric_limits<std::uint64_t>::digits,
-              "ObjectDirectory's copy bitmask cannot cover kMaxMachines");
-
 ObjectDirectory::ObjectDirectory(int machines) {
   if (machines < 1 || machines > kMaxMachines)
     throw ConfigError("directory supports 1.." + std::to_string(kMaxMachines) +
-                      " machines (64-bit replica masks), got " +
-                      std::to_string(machines));
+                      " machines, got " + std::to_string(machines));
   stores_.reserve(static_cast<std::size_t>(machines));
   for (int m = 0; m < machines; ++m) stores_.emplace_back(m);
 }
@@ -54,9 +47,8 @@ void ObjectDirectory::add_object(const ObjectInfo& info, MachineId home) {
   e.id = info.id;
   e.bytes = info.byte_size();
   e.owner = home;
-  e.copies = 1ULL << home;
+  e.copies.set(home);
   e.buffer.assign(e.bytes, std::byte{0});
-  e.last_seen.assign(static_cast<std::size_t>(machine_count()), kNeverSeen);
   entries_.push_back(std::move(e));
   store(home).insert(info.id, info.byte_size());
 }
@@ -80,7 +72,7 @@ MachineId ObjectDirectory::owner(ObjectId obj) const {
 }
 
 bool ObjectDirectory::present(ObjectId obj, MachineId m) const {
-  return (entry(obj).copies >> m) & 1ULL;
+  return entry(obj).copies.test(m);
 }
 
 std::size_t ObjectDirectory::object_bytes(ObjectId obj) const {
@@ -110,43 +102,58 @@ void ObjectDirectory::set_data_version(ObjectId obj, std::uint64_t v) {
   entry(obj).data_version = v;
 }
 
+std::uint64_t ObjectDirectory::last_seen_of(const Entry& e, MachineId m) {
+  auto it = std::lower_bound(
+      e.last_seen.begin(), e.last_seen.end(), m,
+      [](const auto& rec, MachineId key) { return rec.first < key; });
+  if (it == e.last_seen.end() || it->first != m) return kNeverSeen;
+  return it->second;
+}
+
 void ObjectDirectory::note_drop(Entry& e, MachineId m) {
-  e.last_seen[static_cast<std::size_t>(m)] = e.data_version;
+  auto it = std::lower_bound(
+      e.last_seen.begin(), e.last_seen.end(), m,
+      [](const auto& rec, MachineId key) { return rec.first < key; });
+  if (it != e.last_seen.end() && it->first == m)
+    it->second = e.data_version;
+  else
+    e.last_seen.insert(it, {m, e.data_version});
 }
 
 std::vector<MachineId> ObjectDirectory::invalidate_replicas(ObjectId obj) {
   Entry& e = entry(obj);
   std::vector<MachineId> dropped;
-  for (int h = 0; h < machine_count(); ++h) {
-    if (h == e.owner || !((e.copies >> h) & 1ULL)) continue;
+  e.copies.for_each([&](MachineId h) {
+    if (h != e.owner) dropped.push_back(h);
+  });
+  for (MachineId h : dropped) {
     note_drop(e, h);
-    e.copies &= ~(1ULL << h);
+    e.copies.clear(h);
     store(h).evict(obj, e.bytes);
     emit("store.invalidate", obj, h, static_cast<double>(e.bytes));
-    dropped.push_back(h);
   }
   return dropped;
 }
 
 bool ObjectDirectory::reusable(ObjectId obj, MachineId m) const {
   const Entry& e = entry(obj);
-  if (e.lost || ((e.copies >> m) & 1ULL)) return false;
-  return e.last_seen[static_cast<std::size_t>(m)] == e.data_version;
+  if (e.lost || e.copies.test(m)) return false;
+  return last_seen_of(e, m) == e.data_version;
 }
 
 void ObjectDirectory::revalidate_to(ObjectId obj, MachineId m) {
   Entry& e = entry(obj);
   JADE_ASSERT_MSG(reusable(obj, m), "revalidating a non-reusable replica");
-  e.copies |= 1ULL << m;
+  e.copies.set(m);
   store(m).insert(obj, e.bytes);
   emit("store.revalidate", obj, m, static_cast<double>(e.bytes));
 }
 
 void ObjectDirectory::replicate_to(ObjectId obj, MachineId m) {
   Entry& e = entry(obj);
-  JADE_ASSERT_MSG(!((e.copies >> m) & 1ULL),
+  JADE_ASSERT_MSG(!e.copies.test(m),
                   "replicating to a machine that already holds a copy");
-  e.copies |= 1ULL << m;
+  e.copies.set(m);
   store(m).insert(obj, e.bytes);
   emit("store.replicate", obj, m, static_cast<double>(e.bytes));
 }
@@ -154,17 +161,19 @@ void ObjectDirectory::replicate_to(ObjectId obj, MachineId m) {
 int ObjectDirectory::move_to(ObjectId obj, MachineId m) {
   Entry& e = entry(obj);
   int invalidated = 0;
-  for (int h = 0; h < machine_count(); ++h) {
-    if (h == m || !((e.copies >> h) & 1ULL)) continue;
+  const bool had_copy = e.copies.test(m);
+  e.copies.for_each([&](MachineId h) {
+    if (h == m) return;
     note_drop(e, h);
     store(h).evict(obj, e.bytes);
     if (h != e.owner) {
       ++invalidated;  // the owner's copy travels, not dies
       emit("store.invalidate", obj, h, static_cast<double>(e.bytes));
     }
-  }
-  if (!((e.copies >> m) & 1ULL)) store(m).insert(obj, e.bytes);
-  e.copies = 1ULL << m;
+  });
+  if (!had_copy) store(m).insert(obj, e.bytes);
+  e.copies.reset();
+  e.copies.set(m);
   e.owner = m;
   ++e.version;
   emit("store.move", obj, m, static_cast<double>(e.bytes));
@@ -172,15 +181,11 @@ int ObjectDirectory::move_to(ObjectId obj, MachineId m) {
 }
 
 std::vector<MachineId> ObjectDirectory::holders(ObjectId obj) const {
-  const Entry& e = entry(obj);
-  std::vector<MachineId> out;
-  for (int h = 0; h < machine_count(); ++h)
-    if ((e.copies >> h) & 1ULL) out.push_back(h);
-  return out;
+  return entry(obj).copies.members();
 }
 
 bool ObjectDirectory::sole_holder(ObjectId obj, MachineId m) const {
-  return entry(obj).copies == (1ULL << m);
+  return entry(obj).copies.sole(m);
 }
 
 std::size_t ObjectDirectory::bytes_present(std::span<const ObjectId> objs,
@@ -204,25 +209,24 @@ std::vector<ObjectId> ObjectDirectory::objects_on(MachineId m) const {
   JADE_ASSERT(m >= 0 && m < machine_count());
   std::vector<ObjectId> out;
   for (const Entry& e : entries_)
-    if ((e.copies >> m) & 1ULL) out.push_back(e.id);
+    if (e.copies.test(m)) out.push_back(e.id);
   return out;
 }
 
 void ObjectDirectory::drop_copy(ObjectId obj, MachineId m) {
   Entry& e = entry(obj);
-  JADE_ASSERT_MSG((e.copies >> m) & 1ULL, "dropping a copy that isn't there");
-  JADE_ASSERT_MSG(e.owner != m || e.copies == (1ULL << m),
+  JADE_ASSERT_MSG(e.copies.test(m), "dropping a copy that isn't there");
+  JADE_ASSERT_MSG(e.owner != m || e.copies.sole(m),
                   "cannot drop the owner's copy while replicas exist; "
                   "re-home it first");
   note_drop(e, m);
-  e.copies &= ~(1ULL << m);
+  e.copies.clear(m);
   store(m).evict(obj, e.bytes);
 }
 
 void ObjectDirectory::set_owner(ObjectId obj, MachineId m) {
   Entry& e = entry(obj);
-  JADE_ASSERT_MSG((e.copies >> m) & 1ULL,
-                  "new owner must already hold a replica");
+  JADE_ASSERT_MSG(e.copies.test(m), "new owner must already hold a replica");
   JADE_ASSERT(e.owner != m);
   e.owner = m;
   ++e.version;
@@ -231,9 +235,9 @@ void ObjectDirectory::set_owner(ObjectId obj, MachineId m) {
 
 void ObjectDirectory::restore_to(ObjectId obj, MachineId m) {
   Entry& e = entry(obj);
-  JADE_ASSERT_MSG(e.copies == 0, "restore requires every copy to have died");
+  JADE_ASSERT_MSG(e.copies.none(), "restore requires every copy to have died");
   JADE_ASSERT(!e.lost);
-  e.copies = 1ULL << m;
+  e.copies.set(m);
   e.owner = m;
   ++e.version;
   store(m).insert(obj, e.bytes);
@@ -242,7 +246,7 @@ void ObjectDirectory::restore_to(ObjectId obj, MachineId m) {
 
 void ObjectDirectory::mark_lost(ObjectId obj) {
   Entry& e = entry(obj);
-  JADE_ASSERT(e.copies == 0);
+  JADE_ASSERT(e.copies.none());
   e.lost = true;
   emit("store.lost", obj, -1, static_cast<double>(e.bytes));
 }

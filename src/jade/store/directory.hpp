@@ -29,6 +29,7 @@
 #include "jade/core/object.hpp"
 #include "jade/obs/tracer.hpp"
 #include "jade/store/local_store.hpp"
+#include "jade/store/replica_set.hpp"
 #include "jade/support/time.hpp"
 
 namespace jade {
@@ -155,15 +156,18 @@ class ObjectDirectory {
     ObjectId id = kInvalidObject;
     std::size_t bytes = 0;
     MachineId owner = -1;
-    std::uint64_t copies = 0;  ///< bitmask of machines holding a copy
+    ReplicaSet copies;  ///< machines holding a copy (uint64 fast path <64)
     std::uint64_t version = 0;
     std::uint64_t data_version = 0;  ///< bumped per write (mark_dirty)
     bool lost = false;  ///< every copy died with its machines
     std::vector<std::byte> buffer;
-    /// Data version each machine's copy had when it was dropped (kNeverSeen
-    /// when it never held one); matching the current data version makes the
+    /// Data version each machine's copy had when it was dropped, as a sorted
+    /// (machine, version) small-set — machines never recorded here have never
+    /// held a copy (the old dense per-machine vector would cost
+    /// kMaxMachines * 8 bytes per object at thousand-machine scale).
+    /// A recorded version matching the current data version makes the
     /// dropped replica reusable.
-    std::vector<std::uint64_t> last_seen;
+    std::vector<std::pair<MachineId, std::uint64_t>> last_seen;
   };
 
   Entry& entry(ObjectId obj);
@@ -171,6 +175,8 @@ class ObjectDirectory {
   void emit(const char* name, ObjectId obj, MachineId machine, double value);
   /// Records the data version `m`'s copy carried as it is dropped.
   void note_drop(Entry& e, MachineId m);
+  /// The data version `m` last saw, or kNeverSeen.
+  static std::uint64_t last_seen_of(const Entry& e, MachineId m);
 
   std::vector<LocalStore> stores_;
   std::vector<Entry> entries_;  ///< indexed by ObjectId - 1

@@ -1,0 +1,100 @@
+// ReplicaSet — which machines hold a copy of one object.
+//
+// The directory used to track holders in a bare uint64 bitmask, which
+// hard-capped clusters at 64 machines.  A ReplicaSet keeps that fast path —
+// machine ids below 64 live in one word, so clusters that fit the old limit
+// pay exactly what they used to — and grows past it with a sorted small-set
+// of the ids at 64 and above.  Replica sets are small in practice (an object
+// is held by its owner plus the machines currently reading it), so a sorted
+// vector beats any wide bitmap: memory stays proportional to the holders,
+// not to kMaxMachines, which is what lets directories scale to thousands of
+// machine ids.
+//
+// Iteration (for_each) visits members in ascending machine order — the
+// directory's invalidation fan-outs and recovery sweeps are deterministic
+// because of it.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "jade/support/time.hpp"
+
+namespace jade {
+
+class ReplicaSet {
+ public:
+  /// Machine ids below this live in the one-word fast path.
+  static constexpr int kWordBits = 64;
+
+  bool test(MachineId m) const {
+    if (m < kWordBits) return (mask_ >> m) & 1ULL;
+    return std::binary_search(high_.begin(), high_.end(), m);
+  }
+
+  void set(MachineId m) {
+    if (m < kWordBits) {
+      mask_ |= 1ULL << m;
+      return;
+    }
+    auto it = std::lower_bound(high_.begin(), high_.end(), m);
+    if (it == high_.end() || *it != m) high_.insert(it, m);
+  }
+
+  void clear(MachineId m) {
+    if (m < kWordBits) {
+      mask_ &= ~(1ULL << m);
+      return;
+    }
+    auto it = std::lower_bound(high_.begin(), high_.end(), m);
+    if (it != high_.end() && *it == m) high_.erase(it);
+  }
+
+  void reset() {
+    mask_ = 0;
+    high_.clear();
+  }
+
+  bool any() const { return mask_ != 0 || !high_.empty(); }
+  bool none() const { return !any(); }
+
+  std::size_t count() const {
+    return static_cast<std::size_t>(std::popcount(mask_)) + high_.size();
+  }
+
+  /// Exactly {m} and nothing else.
+  bool sole(MachineId m) const {
+    if (m < kWordBits) return high_.empty() && mask_ == (1ULL << m);
+    return mask_ == 0 && high_.size() == 1 && high_.front() == m;
+  }
+
+  /// Visits members in ascending machine order.
+  template <typename F>
+  void for_each(F&& f) const {
+    std::uint64_t w = mask_;
+    while (w != 0) {
+      const int m = std::countr_zero(w);
+      f(static_cast<MachineId>(m));
+      w &= w - 1;
+    }
+    for (MachineId m : high_) f(m);
+  }
+
+  /// Members as a vector, ascending.
+  std::vector<MachineId> members() const {
+    std::vector<MachineId> out;
+    out.reserve(count());
+    for_each([&](MachineId m) { out.push_back(m); });
+    return out;
+  }
+
+  bool operator==(const ReplicaSet&) const = default;
+
+ private:
+  std::uint64_t mask_ = 0;          ///< membership of ids 0..63
+  std::vector<MachineId> high_;     ///< sorted ids >= 64
+};
+
+}  // namespace jade

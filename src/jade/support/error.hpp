@@ -66,6 +66,16 @@ class UnrecoverableError : public JadeError {
   explicit UnrecoverableError(const std::string& what) : JadeError(what) {}
 };
 
+/// A malformed, truncated, or otherwise un-decodable message arrived on a
+/// cluster link (src/jade/cluster): bad frame magic/version, a payload that
+/// does not parse as its declared message type, or trailing garbage.  Raised
+/// instead of undefined behaviour so a corrupt peer can never crash the
+/// coordinator silently.
+class ProtocolError : public JadeError {
+ public:
+  explicit ProtocolError(const std::string& what) : JadeError(what) {}
+};
+
 /// Internal invariant failure; indicates a bug in the runtime itself.
 class InternalError : public JadeError {
  public:

@@ -11,10 +11,13 @@ using SimTime = double;
 /// Identifies a simulated machine within a cluster (dense index).
 using MachineId = int;
 
-/// Cluster size ceiling.  The object directory tracks copy holders and
-/// stale-replica versions in per-machine structures keyed by a 64-bit
-/// bitmask, so a cluster may not exceed 64 machines; ClusterConfig::validate
-/// and ObjectDirectory both reject larger configurations with a ConfigError.
-inline constexpr int kMaxMachines = 64;
+/// Cluster size ceiling.  The object directory tracks copy holders in a
+/// hybrid ReplicaSet (a uint64 fast path for machine ids below 64 plus a
+/// sorted small-set overflow — see store/replica_set.hpp) and stale-replica
+/// versions in a sparse per-entry map, so the bound is no longer a bitmask
+/// width; it is a sanity ceiling on configuration mistakes.
+/// ClusterConfig::validate and ObjectDirectory reject larger configurations
+/// with a ConfigError.
+inline constexpr int kMaxMachines = 4096;
 
 }  // namespace jade

@@ -104,6 +104,7 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, ErrorTest,
                              case EngineKind::kSerial: return "Serial";
                              case EngineKind::kThread: return "Thread";
                              case EngineKind::kSim: return "Sim";
+                             case EngineKind::kCluster: return "Cluster";
                            }
                            return "Unknown";
                          });

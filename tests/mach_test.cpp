@@ -13,8 +13,13 @@ TEST(ClusterConfig, ValidationCatchesEmpty) {
 }
 
 TEST(ClusterConfig, ValidationCatchesTooMany) {
+  // The hard 64-machine bitmask cap is gone (store/replica_set.hpp); only the
+  // kMaxMachines sanity ceiling remains.
   ClusterConfig c = presets::ideal(1);
   for (int i = 0; i < 70; ++i) c.machines.push_back(c.machines[0]);
+  EXPECT_NO_THROW(c.validate());
+  while (c.machine_count() <= kMaxMachines)
+    c.machines.push_back(c.machines[0]);
   EXPECT_THROW(c.validate(), ConfigError);
 }
 

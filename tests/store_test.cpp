@@ -119,12 +119,16 @@ TEST(LocalStore, EvictingAbsentObjectIsError) {
 
 TEST(Directory, MachineCountLimits) {
   // An out-of-range cluster size is a configuration problem, not a runtime
-  // invariant violation: the 64-bit copy masks cap clusters at kMaxMachines.
+  // invariant violation.  Since the ReplicaSet rework the ceiling is a
+  // sanity bound (kMaxMachines), not the old 64-bit-mask width; 65+ machines
+  // are legal (tests/directory_scale_test.cpp exercises 1024+).
   EXPECT_THROW(ObjectDirectory(0), ConfigError);
-  EXPECT_THROW(ObjectDirectory(65), ConfigError);
+  EXPECT_THROW(ObjectDirectory(kMaxMachines + 1), ConfigError);
   EXPECT_THROW(ObjectDirectory(-1), ConfigError);
+  ObjectDirectory ok65(65);
+  EXPECT_EQ(ok65.machine_count(), 65);
   ObjectDirectory ok(kMaxMachines);
-  EXPECT_EQ(ok.machine_count(), 64);
+  EXPECT_EQ(ok.machine_count(), kMaxMachines);
 }
 
 // --- replica reuse / data-version bookkeeping -------------------------------
