@@ -7,6 +7,7 @@
 // serialized disk binds, and the project/random shapes sit in between.
 #include <iostream>
 
+#include "bench_format.hpp"
 #include "jade/apps/jmake.hpp"
 #include "jade/mach/presets.hpp"
 #include "jade/support/stats.hpp"
@@ -34,7 +35,7 @@ double run_build(const jade::apps::Makefile& mf, int machines) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jade::apps;
   struct Shape {
     const char* name;
@@ -51,16 +52,27 @@ int main() {
                "(virtual time) ===\n";
   jade::TextTable table(
       {"makefile", "t(1) s", "S(2)", "S(4)", "S(8)", "S(16)"});
+  jade::bench::JsonReport report("bench_make");
   for (auto& shape : shapes) {
     const double t1 = run_build(shape.mf, 1);
     std::vector<std::string> row{shape.name, jade::format_double(t1, 3)};
-    for (int p : {2, 4, 8, 16})
-      row.push_back(jade::format_double(t1 / run_build(shape.mf, p), 2));
+    report.add_row().str("makefile", shape.name).count("machines", 1).num(
+        "seconds", t1);
+    for (int p : {2, 4, 8, 16}) {
+      const double tp = run_build(shape.mf, p);
+      row.push_back(jade::format_double(t1 / tp, 2));
+      report.add_row()
+          .str("makefile", shape.name)
+          .count("machines", p)
+          .num("seconds", tp)
+          .num("speedup", t1 / tp, 3);
+    }
     table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "(expected shape: chain ~1x at any machine count; wide "
                "scales then flattens on disk bandwidth; project bounded by "
                "the serial library/link stage)\n";
+  report.write(jade::bench::json_out_path(argc, argv, "BENCH_make.json"));
   return 0;
 }

@@ -8,6 +8,7 @@
 // the factor-only baseline on a simulated iPSC/860.
 #include <iostream>
 
+#include "bench_format.hpp"
 #include "jade/apps/backsubst.hpp"
 #include "jade/apps/cholesky.hpp"
 #include "jade/mach/presets.hpp"
@@ -51,11 +52,12 @@ Times measure(int n, double density, int machines) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Section 4.2: factor + forward substitution, 8-node "
                "iPSC/860 (virtual seconds) ===\n";
   jade::TextTable table({"n", "factor only", "solve unpipelined",
                          "solve pipelined", "solve overlap %"});
+  jade::bench::JsonReport report("bench_pipeline_backsubst");
   for (int n : {128, 256, 512}) {
     const Times t = measure(n, 6.0 / n, 8);
     // Fraction of the substitution's added time hidden inside the
@@ -67,10 +69,19 @@ int main() {
     table.add_row({static_cast<double>(n), t.factor_only, t.unpipelined,
                    t.pipelined, overlap},
                   3);
+    report.add_row()
+        .count("n", n)
+        .count("machines", 8)
+        .num("factor_only", t.factor_only)
+        .num("unpipelined", t.unpipelined)
+        .num("pipelined", t.pipelined)
+        .num("overlap_pct", overlap, 3);
   }
   table.print(std::cout);
   std::cout << "(expected shape: pipelined < unpipelined for every n — the "
                "with-cont conversion synchronizes per column instead of on "
                "the whole factorization)\n";
+  report.write(jade::bench::json_out_path(argc, argv,
+                                          "BENCH_pipeline_backsubst.json"));
   return 0;
 }

@@ -52,6 +52,11 @@ Makefile random_makefile(int files, double density, std::uint64_t seed);
 /// build is out of date — the incremental-rebuild scenario.
 void touch_sources(Makefile& mf, double fraction, std::uint64_t seed);
 
+/// Advances every derived file's mtime to a consistent fully-built state
+/// (each target newer than its newest dependency), as left behind by a
+/// successful build.  Combine with touch_sources for incremental rebuilds.
+void mark_built(Makefile& mf);
+
 /// Host-side serial make: returns final (mtime, hash) per file.
 struct BuildResult {
   std::vector<std::int64_t> mtime;
@@ -72,5 +77,14 @@ JadeMake upload_make(Runtime& rt, const Makefile& mf);
 /// the number of commands executed (decided dynamically from mtimes).
 void make_jade(TaskContext& ctx, const JadeMake& jm, int* commands_run);
 BuildResult download_make(Runtime& rt, const JadeMake& jm);
+
+/// Conservative variant: one task per rule regardless of staleness, each
+/// declaring rd_wr on its target, and the *body* stats the files and decides
+/// whether the command runs — the shape a make has before it knows what is
+/// out of date, and exactly the over-approximate write declarations
+/// speculation feeds on (up-to-date commands never exercise the write).
+/// Unlike make_jade it skips the shared disk token: a commuting acquisition
+/// cannot run under a snapshot.
+void make_jade_conservative(TaskContext& ctx, const JadeMake& jm);
 
 }  // namespace jade::apps

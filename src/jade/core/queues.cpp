@@ -282,6 +282,12 @@ bool Serializer::acquire(TaskNode* task, ObjectId obj, std::uint8_t mode) {
   }
 
   ObjectQueue& q = queue_for(obj);
+  // Book the exercise before the enabledness check: a blocked acquisition
+  // will touch the bytes as soon as it unblocks, so treating it as touched
+  // already is the conservative direction for the speculation commit check
+  // (spurious aborts, never missed conflicts).
+  rec->exercised |= mode;
+  if (mode & (access::kWrite | access::kCommute)) ++q.write_epoch;
   if (!rec->linked() || is_enabled(q, rec, mode)) return false;
 
   // Records ahead of us can only belong to our own earlier-created children
@@ -336,6 +342,71 @@ void Serializer::abort_attempt(TaskNode* task) {
   task->block_pending_ = 0;
   task->state_ = TaskState::kReady;
   ++unstarted_;
+}
+
+bool Serializer::spec_eligible(TaskNode* task,
+                               std::vector<ObjectId>* contested) const {
+  if (task->state_ != TaskState::kPending || task->speculating_) return false;
+  if (contested != nullptr) contested->clear();
+  for (DeclRecord* rec : task->ordered_records_) {
+    if (!rec->counted) continue;
+    // A waiting commute right needs the token machinery; never speculate it.
+    if (rec->wait_bits & access::kCommute) return false;
+    auto it = queues_.find(rec->obj);
+    JADE_ASSERT(it != queues_.end());
+    // Walking `records` is read-only; map values are stable.
+    auto& q = const_cast<ObjectQueue&>(it->second);
+    bool contested_here = false;
+    for (DeclRecord* p = q.records.front(); p != nullptr && p != rec;
+         p = q.records.next_of(p)) {
+      if (!access::conflicts(p->effective(), rec->wait_bits)) continue;
+      const std::uint8_t eff = p->effective();
+      // A commuting predecessor writes at an unpredictable point in its
+      // token-ordered turn; bytes can change under the snapshot silently.
+      if (eff & access::kCommute) return false;
+      if (eff & access::kWrite) {
+        // An exercised write already changed (or is changing) the bytes;
+        // the snapshot would start out stale.  Unexercised writes are the
+        // speculation target: bet they complete without writing, and let
+        // the write-epoch check catch the bet going wrong.
+        if (p->exercised & (access::kWrite | access::kCommute)) return false;
+        // A *speculating* writer ahead is a doomed bet: its shadow write is
+        // invisible now but bumps the epoch at commit.  Wait it out.
+        if (p->task->speculating()) return false;
+        contested_here = true;
+      }
+      // A pure-read predecessor only delays the task; it cannot change the
+      // bytes, so it never invalidates a snapshot.
+    }
+    if (contested_here && contested != nullptr)
+      contested->push_back(rec->obj);
+  }
+  return true;
+}
+
+void Serializer::spec_start(TaskNode* task) {
+  JADE_ASSERT_MSG(task->state_ == TaskState::kPending,
+                  "spec_start on a task that is not pending");
+  JADE_ASSERT(!task->speculating_);
+  task->speculating_ = true;
+}
+
+void Serializer::spec_abort(TaskNode* task) {
+  JADE_ASSERT_MSG(task->speculating_, "spec_abort on a non-speculation");
+  task->speculating_ = false;
+}
+
+void Serializer::spec_commit(TaskNode* task) {
+  JADE_ASSERT_MSG(task->speculating_, "spec_commit on a non-speculation");
+  JADE_ASSERT_MSG(task->state_ == TaskState::kReady,
+                  "spec_commit before the serializer enabled the task");
+  task->speculating_ = false;
+  task_started(task);
+}
+
+std::uint64_t Serializer::write_epoch(ObjectId obj) const {
+  auto it = queues_.find(obj);
+  return it == queues_.end() ? 0 : it->second.write_epoch;
 }
 
 bool Serializer::is_enabled(ObjectQueue& q, DeclRecord* rec,

@@ -65,6 +65,10 @@ struct DeclRecord : IntrusiveNode {
   /// Bits whose enablement the waiting task requires (start: immediate;
   /// acquire/with-cont: the requested mode).
   std::uint8_t wait_bits = 0;
+  /// Rights the task has actually exercised (accessor acquisitions so far).
+  /// A declared-but-unexercised write is what makes a successor speculable:
+  /// the bytes it would contest have not been touched yet.
+  std::uint8_t exercised = 0;
 };
 
 enum class TaskState : std::uint8_t {
@@ -92,6 +96,11 @@ class TaskNode {
   /// from the hierarchy coverage rule the way root children are: they start
   /// a fresh program whose declarations their (host) parent never made.
   bool program_root() const { return program_root_; }
+
+  /// True while an engine runs this task speculatively (SchedPolicy::spec):
+  /// its body executes against snapshot-isolated buffers, bypassing the
+  /// serializer, while its records keep their queue positions untouched.
+  bool speculating() const { return speculating_; }
 
   /// The record this task holds for `obj`, or nullptr.  Most tasks declare
   /// a handful of objects, so this is a linear scan of an inline array —
@@ -141,6 +150,7 @@ class TaskNode {
   std::uint32_t block_pending_ = 0;  ///< records a running task waits on
   TenantCtl* tenant_ = nullptr;
   bool program_root_ = false;
+  bool speculating_ = false;
   std::array<DeclRecord, kInlineRecords> inline_records_;
   std::uint32_t inline_used_ = 0;
   std::vector<DeclRecord*> ordered_records_;
@@ -215,6 +225,52 @@ class Serializer {
   /// slower first execution.
   void abort_attempt(TaskNode* task);
 
+  // --- speculative execution (SchedPolicy::spec) ---------------------------
+  //
+  // A pending task may run *speculatively* when every record it waits on is
+  // blocked only by predecessors that cannot have changed the contested
+  // bytes yet: pure readers (which never change bytes), or write
+  // declarations whose write right is still unexercised.  The engine
+  // snapshots the declared objects, runs the body against the snapshots,
+  // and decides at enable time — the serializer is the commit check:
+  // commit order is exactly the serial enable order, and per-queue write
+  // epochs (bumped on every exercised write acquisition) tell the engine
+  // whether a conflicting write materialized since the snapshot.
+  // Speculation never touches the queues: records stay linked and
+  // uncounted/counted exactly as a non-speculating pending task's would,
+  // so with spec off nothing here executes and behavior is byte-identical.
+
+  /// True when `task` (pending) qualifies for speculative dispatch: every
+  /// counted record waits on a non-commute right and every conflicting
+  /// predecessor is a pure reader or an unexercised non-commute writer.
+  /// Objects contested by an unexercised writer are appended to
+  /// `contested` (when non-null) — the conflict-history throttle's key.
+  bool spec_eligible(TaskNode* task, std::vector<ObjectId>* contested) const;
+
+  /// Marks a pending task as running speculatively (serializer state is
+  /// otherwise untouched; the flag only reroutes engine notifications).
+  void spec_start(TaskNode* task);
+
+  /// Abandons a speculation.  The task keeps whatever state it reached
+  /// (kPending or kReady) and is dispatched normally from there.
+  void spec_abort(TaskNode* task);
+
+  /// Commits a speculation whose task the serializer has enabled (kReady):
+  /// transitions it to running exactly as task_started would.  The caller
+  /// then applies the buffered writes and calls complete_task, so the
+  /// canonical bytes land before any successor is enabled.
+  void spec_commit(TaskNode* task);
+
+  /// Number of exercised write/commute acquisitions on `obj`'s queue so
+  /// far (0 if the object was never declared).  An engine captures epochs
+  /// at snapshot time and re-checks them at commit time.
+  std::uint64_t write_epoch(ObjectId obj) const;
+
+  /// Records an engine-applied write to `obj` outside acquire() — a
+  /// committed speculation's buffered write — so concurrent speculations
+  /// that snapshotted the old bytes fail their epoch check.
+  void bump_write_epoch(ObjectId obj) { ++queue_for(obj).write_epoch; }
+
   /// Tasks created and not yet completed (excluding the root).
   std::uint64_t outstanding() const { return outstanding_; }
 
@@ -260,6 +316,9 @@ class Serializer {
     std::size_t cnt_rw = 0;
     /// Records some task is currently waiting on (counted == true).
     std::size_t cnt_counted = 0;
+    /// Exercised write/commute acquisitions (plus committed speculative
+    /// writes) on this object — the speculation commit check's clock.
+    std::uint64_t write_epoch = 0;
   };
 
   ObjectQueue& queue_for(ObjectId obj);

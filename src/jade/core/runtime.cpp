@@ -15,8 +15,10 @@ std::unique_ptr<Engine> make_engine(const RuntimeConfig& config) {
     case EngineKind::kSerial:
       return std::make_unique<SerialEngine>(config.enforce_hierarchy);
     case EngineKind::kThread:
-      return std::make_unique<ThreadEngine>(
-          config.threads, config.sched.throttle, config.enforce_hierarchy);
+      return std::make_unique<ThreadEngine>(config.threads,
+                                            config.sched.throttle,
+                                            config.enforce_hierarchy,
+                                            config.sched.spec);
     case EngineKind::kSim:
       config.cluster.validate();
       return std::make_unique<SimEngine>(config.cluster, config.sched,

@@ -42,6 +42,16 @@ struct RuntimeStats {
   std::uint64_t conversions_cached = 0;  ///< cross-endian conversions skipped
   std::uint64_t bytes_avoided = 0;       ///< wire bytes the optimizations saved
 
+  // --- speculative execution (SchedPolicy::spec) ---------------------------
+  std::uint64_t spec_started = 0;    ///< speculative dispatches
+  std::uint64_t spec_committed = 0;  ///< speculations whose writes became
+                                     ///< canonical at serial enable time
+  std::uint64_t spec_aborted = 0;    ///< speculations discarded on conflict
+  std::uint64_t spec_denied = 0;     ///< candidates rejected by the
+                                     ///< conflict-history throttle
+  std::uint64_t spec_wasted_bytes = 0;  ///< shadow-buffer bytes discarded
+  double spec_wasted_work = 0;          ///< charge() units of aborted specs
+
   double total_charged_work = 0;     ///< sum of charge() units
   SimTime finish_time = 0;           ///< virtual completion time (SimEngine)
   std::vector<double> machine_busy_seconds;  ///< per machine (SimEngine)

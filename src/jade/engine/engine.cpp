@@ -33,6 +33,12 @@ void Engine::publish_runtime_stats() {
   m.counter("comm.invalidations_coalesced").set(s.invalidations_coalesced);
   m.counter("comm.conversions_cached").set(s.conversions_cached);
   m.counter("comm.bytes_avoided").set(s.bytes_avoided);
+  m.counter("spec.started").set(s.spec_started);
+  m.counter("spec.committed").set(s.spec_committed);
+  m.counter("spec.aborted").set(s.spec_aborted);
+  m.counter("spec.denied").set(s.spec_denied);
+  m.counter("spec.wasted_bytes").set(s.spec_wasted_bytes);
+  m.gauge("spec.wasted_work").set(s.spec_wasted_work);
   m.counter("store.object_moves").set(s.object_moves);
   m.counter("store.object_copies").set(s.object_copies);
   m.counter("store.invalidations").set(s.invalidations);

@@ -47,6 +47,13 @@ struct ObsConfig {
 // the engines (store/coherence, ft/recovery_coordinator) can report into it
 // without depending on this header.
 
+/// Thrown inside a speculatively executing body (SchedPolicy::spec) when it
+/// reaches an operation the snapshot-isolated path cannot perform — spawn,
+/// with-cont, a commuting acquisition, an undeclared access.  The engine
+/// catches it, aborts the speculation, and the task later runs normally,
+/// where a genuine error reproduces deterministically.
+struct SpeculationUnwind {};
+
 class Engine {
  public:
   virtual ~Engine() = default;

@@ -47,6 +47,10 @@ struct SimEngine::FtHooks final : RecoveryHooks {
   }
   void mark_machine_dark(MachineId m) override {
     e.machines_[static_cast<std::size_t>(m)].free_contexts = 0;
+    // Speculations die with the machine, before the restartable-victims
+    // scan: a speculating task is kPending, not a normal attempt, and its
+    // shadow buffers never outlive their host.
+    e.abort_speculations_on(m);
   }
   std::vector<TaskNode*> restartable_victims(MachineId m) override {
     // Creation order (deterministic): sim_tasks_ appends at spawn.
@@ -98,7 +102,8 @@ SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
       network_(cluster_.make_network()),
       directory_(cluster_.machine_count()),
       serializer_(this, enforce_hierarchy),
-      throttle_(sched_.throttle) {
+      throttle_(sched_.throttle),
+      spec_gov_(sched_.spec) {
   cluster_.validate();
   if (sched_.contexts_per_machine < 1)
     throw ConfigError("contexts_per_machine must be >= 1");

@@ -17,6 +17,7 @@ struct EngineAborting {};
 
 thread_local ThreadEngine* ThreadEngine::tls_engine_ = nullptr;
 thread_local ThreadEngine::ThreadSlot* ThreadEngine::tls_slot_ = nullptr;
+thread_local ThreadEngine::SpecAttempt* ThreadEngine::tls_spec_ = nullptr;
 
 ThreadEngine::TlsBinding::TlsBinding(ThreadEngine* engine, ThreadSlot* slot)
     : prev_engine_(tls_engine_), prev_slot_(tls_slot_) {
@@ -30,10 +31,11 @@ ThreadEngine::TlsBinding::~TlsBinding() {
 }
 
 ThreadEngine::ThreadEngine(int workers, ThrottleConfig throttle,
-                           bool enforce_hierarchy)
+                           bool enforce_hierarchy, SpecConfig spec)
     : workers_requested_(workers),
       throttle_(throttle),
-      serializer_(this, enforce_hierarchy) {
+      serializer_(this, enforce_hierarchy),
+      spec_gov_(spec) {
   JADE_ASSERT_MSG(workers >= 1, "ThreadEngine needs at least one worker");
   // Pre-sized so publishing a slot is a single release store of slot_count_
   // (stealers scan the prefix without locking).
@@ -183,7 +185,10 @@ void ThreadEngine::idle_park(ThreadSlot* slot,
   }
   sleeping_threads_.fetch_add(1, std::memory_order_seq_cst);
   bool wake_now = stop_.load(std::memory_order_seq_cst) ||
-                  ready_count_.load(std::memory_order_seq_cst) > 0;
+                  ready_count_.load(std::memory_order_seq_cst) > 0 ||
+                  (spec_gov_.enabled() &&
+                   spec_epoch_.load(std::memory_order_seq_cst) !=
+                       slot->spec_seen_epoch);
   if (!wake_now && extra_wake) {
     std::lock_guard<std::mutex> lock(mu_);
     wake_now = (this->*extra_wake)();
@@ -210,6 +215,12 @@ void ThreadEngine::on_task_ready(TaskNode* task) {
   ThreadSlot* slot = tls_slot_;
   JADE_ASSERT_MSG(tls_engine_ == this && slot != nullptr,
                   "serializer callback on an unbound thread");
+  if (task->speculating()) {
+    // The task already ran (or is running) speculatively; it needs a
+    // commit/abort decision, not a dispatch.
+    spec_decide_.push_back(task);
+    return;
+  }
   slot->deque.push(task);
   slot->max_queue_depth =
       std::max(slot->max_queue_depth, slot->deque.size_estimate());
@@ -274,6 +285,8 @@ void ThreadEngine::worker_loop(ThreadSlot* slot) {
       execute(task, slot);
       continue;
     }
+    // No ready work: run ahead speculatively rather than going idle.
+    if (try_speculate(slot)) continue;
     if (spin_for_work(slot)) continue;
     idle_park(slot, nullptr);
   }
@@ -331,6 +344,10 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
       unblocked_.clear();
       commute_ = CommuteTokenTable{};
       throttle_.reset_counters();
+      spec_gov_.reset_counters();
+      spec_candidates_.clear();
+      spec_decide_.clear();
+      spec_attempts_.clear();
       first_error_ = nullptr;
       stats_ = RuntimeStats{};
       const int nslots = slot_count_.load(std::memory_order_relaxed);
@@ -376,7 +393,10 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
       // The root never passes through execute(): return any commute tokens
       // its body took, or commuting tasks would wait on them forever.
       release_commute_tokens_locked(serializer_.root());
-      if (!root_failed) serializer_.complete_task(serializer_.root());
+      if (!root_failed) {
+        serializer_.complete_task(serializer_.root());
+        drain_spec_decides_locked(root_slot);
+      }
       if (cv_waiters_ > 0) state_cv_.notify_all();
     }
     for (;;) {
@@ -388,6 +408,7 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
         execute(task, root_slot);
         continue;
       }
+      if (try_speculate(root_slot)) continue;
       idle_park(root_slot, &ThreadEngine::drain_should_exit);
     }
   }
@@ -427,6 +448,12 @@ void ThreadEngine::run(std::function<void(TaskContext&)> root_body) {
   }
   stats_.throttle_suspensions = throttle_.suspensions();
   stats_.throttle_giveups = throttle_.giveups();
+  stats_.spec_started = spec_gov_.started();
+  stats_.spec_committed = spec_gov_.committed();
+  stats_.spec_aborted = spec_gov_.aborted();
+  stats_.spec_denied = spec_gov_.denied();
+  stats_.spec_wasted_bytes = spec_gov_.wasted_bytes();
+  stats_.spec_wasted_work = spec_gov_.wasted_work();
   publish_runtime_stats();
   if (first_error_) std::rethrow_exception(first_error_);
 }
@@ -489,6 +516,7 @@ void ThreadEngine::execute(TaskNode* task, ThreadSlot* slot) {
       slot->local_grants = 1;
       serializer_.complete_task(task);
       slot->local_grants = 0;
+      drain_spec_decides_locked(slot);
       drained = serializer_.outstanding() == 0;
     }
     // Blocked tasks (commute token, dependency waits) re-check their
@@ -510,6 +538,8 @@ void ThreadEngine::spawn(TaskNode* parent,
                          const std::vector<AccessRequest>& requests,
                          TaskContext::BodyFn body, std::string name,
                          MachineId /*placement*/, TenantCtl* tenant) {
+  // A speculative body cannot create real tasks; abort and re-run normally.
+  if (parent->speculating()) throw SpeculationUnwind{};
   // The creator's own tenant (not the child's): the dispatcher launching a
   // program root for tenant T is a host task and is never gated or unwound —
   // a blocked dispatcher would stall every other tenant.
@@ -520,6 +550,15 @@ void ThreadEngine::spawn(TaskNode* parent,
   TaskNode* task = serializer_.create_task(parent, requests, std::move(body),
                                            std::move(name), tenant);
   ++stats_.tasks_created;
+  if (spec_gov_.enabled() && task->state() == TaskState::kPending &&
+      task->tenant() == nullptr) {
+    spec_candidates_.push_back(task);
+    // Candidates bypass ready_count_, so run the same register-then-recheck
+    // wake protocol by hand: bump the epoch (parking threads re-check it),
+    // then unpark one already-parked thread to scan.
+    spec_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    wake_one();
+  }
   const bool global_needed =
       throttle_.should_throttle(serializer_.backlog());
   const bool tenant_needed =
@@ -591,6 +630,9 @@ void ThreadEngine::spawn(TaskNode* parent,
 
 void ThreadEngine::with_cont(TaskNode* task,
                              const std::vector<AccessRequest>& requests) {
+  // Changing a declaration mid-speculation would fork the serial order the
+  // snapshot was captured against; abort and re-run normally.
+  if (task->speculating()) throw SpeculationUnwind{};
   std::unique_lock<std::mutex> lock(mu_);
   const bool must_block = serializer_.update_spec(task, requests);
   // no_cm also returns the engine-level exclusivity token early, so other
@@ -599,6 +641,8 @@ void ThreadEngine::with_cont(TaskNode* task,
     if (!(req.remove & access::kCommute)) continue;
     commute_.release(req.obj, task);  // no-op when task is not the holder
   }
+  // Weakened rights may have enabled a speculating successor.
+  drain_spec_decides_locked(tls_slot_);
   if (must_block) wait_unblocked(task, lock);
   // A returned commute token (or retired rights) may unblock waiters.
   if (cv_waiters_ > 0) state_cv_.notify_all();
@@ -606,6 +650,7 @@ void ThreadEngine::with_cont(TaskNode* task,
 
 std::byte* ThreadEngine::acquire_bytes(TaskNode* task, ObjectId obj,
                                        std::uint8_t mode) {
+  if (task->speculating()) return spec_acquire_bytes(task, obj, mode);
   {
     std::unique_lock<std::mutex> lock(mu_);
     const bool must_block = serializer_.acquire(task, obj, mode);
@@ -661,6 +706,240 @@ void ThreadEngine::wait_unblocked(TaskNode* task,
   if (!unblocked_.contains(task)) throw EngineAborting{};
   unblocked_.erase(task);
   JADE_TRACE("unblk-exit " << task->name());
+}
+
+// --- speculation (SchedPolicy::spec) ----------------------------------------
+
+bool ThreadEngine::try_speculate(ThreadSlot* slot) {
+  if (!spec_gov_.enabled()) return false;
+  TaskNode* picked = nullptr;
+  SpecAttempt* att = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // This scan observes every candidate registered so far; only a later
+    // registration should keep this thread from parking.
+    slot->spec_seen_epoch = spec_epoch_.load(std::memory_order_seq_cst);
+    if (first_error_ != nullptr || !spec_gov_.can_start()) return false;
+    std::vector<ObjectId> contested;
+    std::size_t i = 0;
+    std::size_t examined = 0;
+    while (i < spec_candidates_.size() &&
+           examined < spec_gov_.config().window) {
+      TaskNode* task = spec_candidates_[i];
+      if (task->state() != TaskState::kPending || task->speculating()) {
+        spec_candidates_.erase(spec_candidates_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++examined;
+      if (!serializer_.spec_eligible(task, &contested)) {
+        ++i;  // may become eligible once a predecessor weakens
+        continue;
+      }
+      bool throttled = false;
+      for (ObjectId obj : contested) {
+        if (spec_gov_.object_throttled(obj)) {
+          throttled = true;
+          break;
+        }
+      }
+      if (throttled) {
+        // This object keeps conflicting; stop betting on it.  The task is
+        // dropped from the candidate list for good — it runs normally.
+        spec_gov_.note_denied();
+        spec_candidates_.erase(spec_candidates_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      spec_candidates_.erase(spec_candidates_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      picked = task;
+      break;
+    }
+    if (picked == nullptr) return false;
+    serializer_.spec_start(picked);
+    spec_gov_.note_start();
+    auto attempt = std::make_unique<SpecAttempt>();
+    attempt->task = picked;
+    attempt->charge_base = picked->charged_work;
+    attempt->contested = std::move(contested);
+    // Epoch+bytes capture is atomic w.r.t. conflicting writers while mu_ is
+    // held: a conflicting predecessor's first touch must pass through
+    // Serializer::acquire (under mu_, bumping the epoch), and successors are
+    // blocked behind this task's own linked records.  Pure-commute rights
+    // are excluded: exercising one aborts the attempt.
+    for (const DeclRecord* rec : picked->ordered_records()) {
+      if (rec->immediate == 0 || rec->immediate == access::kCommute) continue;
+      attempt->epochs.emplace_back(rec->obj,
+                                   serializer_.write_epoch(rec->obj));
+      attempt->shadows.emplace_back(rec->obj, buffers_.get(rec->obj));
+    }
+    att = attempt.get();
+    spec_attempts_[picked] = std::move(attempt);
+    if (tracer_.enabled())
+      tracer_.instant(obs::Subsystem::kEngine, "spec.dispatch", picked->id(),
+                      slot->machine,
+                      static_cast<double>(att->contested.size()));
+  }
+  run_speculation(picked, att, slot);
+  return true;
+}
+
+void ThreadEngine::run_speculation(TaskNode* task, SpecAttempt* att,
+                                   ThreadSlot* slot) {
+  task->assigned_machine = slot->machine;
+  JADE_TRACE("spec-start " << task->name());
+  TaskContext ctx(this, task);
+  SpecAttempt* prev_spec = tls_spec_;
+  tls_spec_ = att;
+  bool failed = false;
+  try {
+    task->body(ctx);
+  } catch (const SpeculationUnwind&) {
+    failed = true;
+  } catch (...) {
+    // A speculative body's failure may be an artifact of snapshot staleness;
+    // abort silently — a genuine error reproduces on the normal re-run.
+    failed = true;
+  }
+  tls_spec_ = prev_spec;
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    att->failed = failed;
+    att->body_done = true;
+    if (task->state() == TaskState::kReady) {
+      // The serializer enabled the task while the body ran; the queued
+      // decision was a no-op then, so decide here, at the body's end.
+      decide_speculation_locked(task, slot);
+      drain_spec_decides_locked(slot);
+      drained = serializer_.outstanding() == 0;
+      if (cv_waiters_ > 0) state_cv_.notify_all();
+    }
+  }
+  if (drained) unpark_all();  // the drain thread may be parked
+}
+
+void ThreadEngine::drain_spec_decides_locked(ThreadSlot* slot) {
+  while (!spec_decide_.empty()) {
+    TaskNode* task = spec_decide_.front();
+    spec_decide_.pop_front();
+    if (!task->speculating()) continue;  // already decided
+    decide_speculation_locked(task, slot);
+  }
+}
+
+void ThreadEngine::decide_speculation_locked(TaskNode* task,
+                                             ThreadSlot* slot) {
+  auto it = spec_attempts_.find(task);
+  JADE_ASSERT(it != spec_attempts_.end());
+  SpecAttempt& att = *it->second;
+  if (!att.body_done) return;  // run_speculation re-decides at the body end
+  JADE_ASSERT(task->state() == TaskState::kReady);
+  bool ok = !att.failed;
+  bool conflict = false;
+  if (ok) {
+    // The serializer is the commit check: the task is enabled in serial
+    // order, and unchanged write epochs prove no conflicting write
+    // materialized since the snapshot.
+    for (const auto& [obj, epoch] : att.epochs) {
+      if (serializer_.write_epoch(obj) != epoch) {
+        ok = false;
+        conflict = true;
+        break;
+      }
+    }
+  }
+  if (ok) {
+    commit_speculation_locked(task, att, slot);
+  } else {
+    abort_speculation_locked(task, att, /*charge_history=*/conflict);
+  }
+  spec_attempts_.erase(it);
+}
+
+void ThreadEngine::commit_speculation_locked(TaskNode* task, SpecAttempt& att,
+                                             ThreadSlot* slot) {
+  serializer_.spec_commit(task);  // kReady -> kRunning, in serial order
+  spec_gov_.note_commit();
+  // The buffered writes become the canonical bytes *before* complete_task
+  // can enable any successor — exactly where a normal run's writes would
+  // already be.
+  for (ObjectId obj : att.dirty) {
+    for (const auto& [sobj, bytes] : att.shadows) {
+      if (sobj != obj) continue;
+      buffers_.put(obj, bytes);
+      break;
+    }
+    serializer_.bump_write_epoch(obj);
+  }
+  JADE_TRACE("spec-commit " << task->name());
+  if (tracer_.enabled()) {
+    tracer_.instant(obs::Subsystem::kEngine, "spec.commit", task->id(),
+                    slot->machine, static_cast<double>(att.dirty.size()));
+    // The task's span materializes at its serial position (zero width: the
+    // work itself ran earlier, speculatively).
+    tracer_.span_begin(obs::Subsystem::kEngine, "task", task->id(),
+                       slot->machine, task->name());
+    tracer_.span_end(obs::Subsystem::kEngine, "task", task->id(),
+                     slot->machine, task->charged_work);
+  }
+  task->body = nullptr;
+  ++slot->executed;
+  serializer_.complete_task(task);
+  // Starting+completing the task shrank the backlog; suspended creators
+  // watch it.
+  if (throttle_waiters_ > 0 &&
+      throttle_.backlog_drained(serializer_.backlog()))
+    state_cv_.notify_all();
+}
+
+void ThreadEngine::abort_speculation_locked(TaskNode* task, SpecAttempt& att,
+                                            bool charge_history) {
+  std::uint64_t wasted_bytes = 0;
+  for (const auto& [obj, bytes] : att.shadows) wasted_bytes += bytes.size();
+  const double wasted_work = task->charged_work - att.charge_base;
+  spec_gov_.note_abort(
+      charge_history ? att.contested : std::vector<ObjectId>{}, wasted_bytes,
+      wasted_work);
+  // The attempt's charge never happened; the per-thread cell keeps it as
+  // wasted-work contribution to the global total (mirroring ft kills).
+  task->charged_work = att.charge_base;
+  serializer_.spec_abort(task);
+  JADE_TRACE("spec-abort " << task->name());
+  if (tracer_.enabled())
+    tracer_.instant(obs::Subsystem::kEngine, "spec.abort", task->id(),
+                    machine_of(task), wasted_work);
+  task->assigned_machine = -1;
+  // An already-enabled task re-enters the normal dispatch path.
+  if (task->state() == TaskState::kReady) on_task_ready(task);
+}
+
+std::byte* ThreadEngine::spec_acquire_bytes(TaskNode* task, ObjectId obj,
+                                            std::uint8_t mode) {
+  SpecAttempt* att = tls_spec_;
+  JADE_ASSERT_MSG(att != nullptr && att->task == task,
+                  "speculative access outside its executing thread");
+  DeclRecord* rec = task->find_record(obj);
+  // Undeclared or commuting access: abort the speculation; the normal
+  // re-run raises the real error (or takes the commute token) at the same
+  // deterministic point.
+  if (rec == nullptr ||
+      (mode & static_cast<std::uint8_t>(~rec->immediate)) ||
+      (mode & access::kCommute)) {
+    throw SpeculationUnwind{};
+  }
+  for (auto& [sobj, bytes] : att->shadows) {
+    if (sobj != obj) continue;
+    if (mode & access::kWrite) {
+      if (std::find(att->dirty.begin(), att->dirty.end(), obj) ==
+          att->dirty.end()) {
+        att->dirty.push_back(obj);
+      }
+    }
+    return bytes.data();
+  }
+  throw SpeculationUnwind{};  // no shadow (pure-commute record)
 }
 
 void ThreadEngine::charge(TaskNode* task, double units) {

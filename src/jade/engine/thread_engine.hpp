@@ -29,9 +29,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -46,7 +48,8 @@ namespace jade {
 
 class ThreadEngine : public Engine, private SerializerListener {
  public:
-  ThreadEngine(int workers, ThrottleConfig throttle, bool enforce_hierarchy);
+  ThreadEngine(int workers, ThrottleConfig throttle, bool enforce_hierarchy,
+               SpecConfig spec = {});
   ~ThreadEngine() override;
 
   ObjectId allocate(TypeDescriptor type, std::string name,
@@ -112,6 +115,12 @@ class ThreadEngine : public Engine, private SerializerListener {
     /// threads ping-pong it with a futex round-trip per task.
     std::uint32_t local_grants = 0;
 
+    /// spec_epoch_ value at this thread's last candidate scan.  idle_park
+    /// refuses to park while the global epoch is ahead of it, so a candidate
+    /// registered after the scan gets one more look before the thread
+    /// sleeps (same register-then-recheck protocol as ready_count_).
+    std::uint64_t spec_seen_epoch = 0;
+
     // Owner-thread-only cells (no sharing until the post-join fold).
     double charged = 0;
     std::uint64_t executed = 0;
@@ -131,6 +140,27 @@ class ThreadEngine : public Engine, private SerializerListener {
    private:
     ThreadEngine* prev_engine_;
     ThreadSlot* prev_slot_;
+  };
+
+  /// One speculative attempt's private state (SchedPolicy::spec).  Created
+  /// under mu_ when the speculation starts; the executing thread reads the
+  /// shadow buffers lock-free through tls_spec_ (nothing else touches them
+  /// until body_done, which is only set under mu_); destroyed under mu_ at
+  /// commit/abort.
+  struct SpecAttempt {
+    TaskNode* task = nullptr;
+    bool body_done = false;
+    bool failed = false;
+    double charge_base = 0;
+    /// Snapshot-isolated staging copies of the declared immediate objects.
+    std::vector<std::pair<ObjectId, std::vector<std::byte>>> shadows;
+    std::vector<ObjectId> dirty;  ///< shadows written by the body, in order
+    /// Serializer write epoch per snapshotted object at capture time;
+    /// unchanged epochs at decision time are the commit proof.
+    std::vector<std::pair<ObjectId, std::uint64_t>> epochs;
+    /// Objects contested by a not-yet-exercised predecessor writer (the
+    /// bet); they charge the governor's conflict history on a data abort.
+    std::vector<ObjectId> contested;
   };
 
   void on_task_ready(TaskNode* task) override;
@@ -187,6 +217,29 @@ class ThreadEngine : public Engine, private SerializerListener {
   /// execute() but may have taken tokens in its body.
   void release_commute_tokens_locked(TaskNode* task);
 
+  // --- speculation (run-ahead when a worker finds no ready task) -----------
+
+  /// Picks an eligible pending candidate and runs it speculatively on this
+  /// thread; false when speculation is off, over budget, or nothing
+  /// qualifies (the caller proceeds to spin/park).
+  bool try_speculate(ThreadSlot* slot);
+  /// Runs the speculative body (no lock held) and, if the serializer enabled
+  /// the task meanwhile, decides commit/abort at the body's end.
+  void run_speculation(TaskNode* task, SpecAttempt* att, ThreadSlot* slot);
+  /// Drains spec_decide_ (tasks that turned kReady while speculating); call
+  /// after every serializer-mutating section, with mu_ held.
+  void drain_spec_decides_locked(ThreadSlot* slot);
+  void decide_speculation_locked(TaskNode* task, ThreadSlot* slot);
+  void commit_speculation_locked(TaskNode* task, SpecAttempt& att,
+                                 ThreadSlot* slot);
+  void abort_speculation_locked(TaskNode* task, SpecAttempt& att,
+                                bool charge_history);
+  /// acquire_bytes for a speculatively executing body: translate into the
+  /// attempt's shadow buffers, lock-free (the attempt is pinned to this
+  /// thread via tls_spec_).
+  std::byte* spec_acquire_bytes(TaskNode* task, ObjectId obj,
+                                std::uint8_t mode);
+
   /// Registers the next ThreadSlot (single-threaded at run() start, under
   /// mu_ afterwards) and publishes it to stealing threads.
   ThreadSlot* add_slot(MachineId machine);
@@ -197,6 +250,9 @@ class ThreadEngine : public Engine, private SerializerListener {
   /// so a nested Runtime inside a task body cannot misroute callbacks.
   static thread_local ThreadEngine* tls_engine_;
   static thread_local ThreadSlot* tls_slot_;
+  /// The speculation the calling thread is currently executing, if any
+  /// (installed around the body in run_speculation).
+  static thread_local SpecAttempt* tls_spec_;
 
   const int workers_requested_;
   /// Water-mark predicates + suspension/give-up counters (shared
@@ -212,6 +268,21 @@ class ThreadEngine : public Engine, private SerializerListener {
   std::condition_variable state_cv_;  ///< blocked tasks / throttled creators
   Serializer serializer_;
   std::unordered_set<TaskNode*> unblocked_;
+  /// Speculation budget + per-object conflict-history throttle (shared
+  /// implementation with SimEngine, sched/governor.hpp).  Mutated under mu_.
+  SpeculationGovernor spec_gov_;
+  /// Pending tasks registered at spawn as possible speculation targets.
+  std::deque<TaskNode*> spec_candidates_;
+  /// Bumped (under mu_) when a candidate is registered.  Candidates do not
+  /// raise ready_count_, so without this a thread that found no work before
+  /// the registration would park and never learn about the bet — the
+  /// spawner may be deep inside a long task body and in the worst case
+  /// every other thread sleeps through the whole speculation window.
+  std::atomic<std::uint64_t> spec_epoch_{0};
+  /// Speculating tasks the serializer enabled (diverted by on_task_ready);
+  /// decided by drain_spec_decides_locked.
+  std::deque<TaskNode*> spec_decide_;
+  std::unordered_map<TaskNode*, std::unique_ptr<SpecAttempt>> spec_attempts_;
   /// Commuting-update exclusivity (Section 4.3 extension): commuters may
   /// execute in any order but their accesses are mutually exclusive.  A
   /// task takes an object's token at its first commute accessor and holds

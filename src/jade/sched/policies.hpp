@@ -56,6 +56,27 @@ struct CommConfig {
   bool prefetch_deferred = true;
 };
 
+/// Speculative task execution (Specx-style run-ahead with deterministic
+/// rollback).  When workers sit idle and a pending task's only unresolved
+/// predecessors hold *write* declarations that have not yet touched the
+/// contested objects, the engine may dispatch it speculatively against
+/// snapshot-isolated buffers.  At predecessor retirement the Serializer is
+/// the commit check: if no conflicting write materialized the speculation
+/// commits (its buffered writes become the canonical bytes, in serial
+/// order); otherwise it aborts — buffers discarded, charge rewound, task
+/// re-run normally when actually enabled.  All-off (`enabled = false`)
+/// preserves legacy behavior to the byte (no new trace events, no state).
+struct SpecConfig {
+  bool enabled = false;
+  /// Max simultaneously live speculations (the speculation budget).
+  int max_live = 8;
+  /// Per-object conflict-history throttle: after this many aborted
+  /// speculations contested on an object, stop speculating past it.
+  int conflict_limit = 2;
+  /// How far down the pending backlog the candidate scan looks.
+  std::size_t window = 32;
+};
+
 struct SchedPolicy {
   /// Resident task slots per machine; >1 lets object fetches for one task
   /// overlap execution of another (latency hiding).
@@ -66,6 +87,7 @@ struct SchedPolicy {
   bool record_timeline = false;
   ThrottleConfig throttle;
   CommConfig comm;
+  SpecConfig spec;
 };
 
 /// Why a placement decision went the way it did: every machine that had a

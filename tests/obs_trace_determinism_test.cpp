@@ -89,6 +89,91 @@ TEST(TraceDeterminism, ByteIdenticalUnderSeededFaultInjection) {
   EXPECT_NE(first.find("\"cat\":\"ft\""), std::string::npos);
 }
 
+// --- Speculation (SchedPolicy::spec) must preserve the contract ------------
+
+RuntimeConfig spec_config(int machines) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  auto cluster = presets::ideal(machines);
+  cluster.task_dispatch_overhead = 0;
+  cluster.task_create_overhead = 0;
+  cfg.cluster = std::move(cluster);
+  cfg.sched.spec.enabled = true;
+  // Round 0 aborts one bet per solver against ctrl; keep the conflict
+  // history below the throttle so later rounds still speculate and commit.
+  cfg.sched.spec.conflict_limit = 16;
+  cfg.obs.trace = true;
+  return cfg;
+}
+
+/// Pipeline with conservative rd_wr stages; round 0's write materializes
+/// from a non-speculative runner (the first task always dispatches
+/// normally), so the run exercises both spec.commit and spec.abort.
+std::string run_spec_pipeline(RuntimeConfig cfg,
+                              RuntimeStats* stats = nullptr) {
+  Runtime rt(std::move(cfg));
+  auto ctrl = rt.alloc<int>(1);
+  std::vector<SharedRef<int>> outs;
+  for (int i = 0; i < 4; ++i) outs.push_back(rt.alloc<int>(1));
+  rt.run([&](TaskContext& ctx) {
+    for (int r = 0; r < 3; ++r) {
+      ctx.withonly([&](AccessDecl& d) { d.rd_wr(ctrl); },
+                   [ctrl, r](TaskContext& t) {
+                     t.charge(1e7);
+                     if (r == 0) t.read_write(ctrl)[0] = 9;
+                   });
+      for (auto out : outs) {
+        ctx.withonly([&](AccessDecl& d) { d.rd(ctrl); d.wr(out); },
+                     [ctrl, out](TaskContext& t) {
+                       t.charge(1e6);
+                       t.write(out)[0] = t.read(ctrl)[0] + 1;
+                     });
+      }
+    }
+  });
+  if (stats != nullptr) *stats = rt.stats();
+  return export_trace(rt);
+}
+
+TEST(TraceDeterminism, ByteIdenticalWithSpeculationEnabled) {
+  RuntimeStats stats;
+  const std::string first = run_spec_pipeline(spec_config(6), &stats);
+  const std::string second = run_spec_pipeline(spec_config(6));
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The run genuinely speculated, and both outcomes are in the export.
+  EXPECT_GT(stats.spec_committed, 0u);
+  EXPECT_GT(stats.spec_aborted, 0u);
+  EXPECT_NE(first.find("spec.commit"), std::string::npos);
+  EXPECT_NE(first.find("spec.abort"), std::string::npos);
+  // With the policy off, the identical program leaves no spec events behind
+  // (the trace stays byte-compatible with pre-speculation builds).
+  RuntimeConfig off = spec_config(6);
+  off.sched.spec = SpecConfig{};
+  EXPECT_EQ(run_spec_pipeline(std::move(off)).find("spec."),
+            std::string::npos);
+}
+
+TEST(TraceDeterminism, ByteIdenticalWithFaultsDuringSpeculation) {
+  // A machine crashes mid-pipeline while speculations are in flight; the
+  // dark machine's bets are force-aborted, survivors re-run — and the whole
+  // story must still replay byte-identically from the same seed.
+  auto config = [] {
+    RuntimeConfig cfg = spec_config(6);
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 0xabad1dea;
+    cfg.fault.crashes = {{1, 1.5}};
+    return cfg;
+  };
+  RuntimeStats stats;
+  const std::string first = run_spec_pipeline(config(), &stats);
+  const std::string second = run_spec_pipeline(config());
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_GT(stats.spec_started, 0u);
+  EXPECT_NE(first.find("\"cat\":\"ft\""), std::string::npos);
+}
+
 TEST(TraceDeterminism, ByteIdenticalWithCommProtocolOptimizationsAndFaults) {
   // The reworked data-movement path (request combining, replica reuse,
   // coalesced invalidation, conversion caching, deferred prefetch — all on

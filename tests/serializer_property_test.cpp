@@ -346,6 +346,157 @@ TEST_P(SerializerPropertyTest, PartialRetirementAndCommuteInterleavings) {
   }
 }
 
+// Speculative execution (SchedPolicy::spec) rides on four serializer
+// primitives: spec_eligible / spec_start / spec_commit / spec_abort, plus
+// the per-object write-epoch ledger that acquire() maintains.  This variant
+// interleaves random speculations with normal starts, completions, and
+// acquisitions, and checks the invariants the engines rely on:
+//   * spec_start / spec_abort never perturb the task state machine (the
+//     reference model knows nothing about speculation and must stay in
+//     lockstep);
+//   * spec_commit behaves exactly like task_started at the task's serial
+//     position;
+//   * write epochs advance exactly on exercised write/commute acquisitions
+//     (the test keeps its own ledger and compares);
+//   * a speculation whose captured epochs are unchanged at enablement is
+//     committable — and whether it commits or (crash-)aborts, every other
+//     task's state is untouched.
+TEST_P(SerializerPropertyTest, SpeculativeCommitAbortInterleavings) {
+  Rng rng(GetParam() ^ 0x42c0ull);
+  NullListener listener;
+  Serializer ser(&listener);
+  RefModel ref;
+
+  const int kObjects = 4;
+  std::vector<TaskNode*> nodes;
+  std::vector<std::vector<std::tuple<int, std::uint8_t, std::uint8_t>>> specs;
+  std::vector<std::uint64_t> epoch_ledger(kObjects, 0);
+  // Live speculations: task index -> epochs captured at spec_start.
+  std::map<std::size_t, std::vector<std::pair<int, std::uint64_t>>> live;
+
+  auto obj_id = [](int obj) { return static_cast<ObjectId>(obj + 1); };
+
+  for (int step = 0; step < 500; ++step) {
+    const int op = static_cast<int>(rng.next_below(6));
+    if (op == 0 || nodes.empty()) {
+      // Create: immediate-only read/write records (a waiting commute right
+      // is never speculable; the commute interleavings have their own suite
+      // above).
+      std::vector<std::tuple<int, std::uint8_t, std::uint8_t>> recs;
+      const int n = 1 + static_cast<int>(rng.next_below(3));
+      std::vector<int> used;
+      for (int i = 0; i < n; ++i) {
+        const int obj = static_cast<int>(rng.next_below(kObjects));
+        if (std::find(used.begin(), used.end(), obj) != used.end()) continue;
+        used.push_back(obj);
+        const std::uint8_t imm =
+            rng.next_bool(0.5) ? static_cast<std::uint8_t>(kRead | kWrite)
+                               : (rng.next_bool(0.5) ? kRead : kWrite);
+        recs.push_back({obj, imm, 0});
+      }
+      TaskNode* node =
+          ser.create_task(ser.root(), make_requests(recs), nullptr);
+      const int id = ref.create(recs);
+      ASSERT_EQ(static_cast<int>(nodes.size()), id);
+      nodes.push_back(node);
+      specs.push_back(recs);
+    } else if (op == 1) {
+      // Start a random ready, non-speculating task the normal way.
+      std::vector<std::size_t> ready;
+      for (std::size_t t = 0; t < nodes.size(); ++t)
+        if (nodes[t]->state() == TaskState::kReady && !nodes[t]->speculating())
+          ready.push_back(t);
+      if (!ready.empty()) {
+        const std::size_t t =
+            ready[rng.next_below(static_cast<std::uint64_t>(ready.size()))];
+        ser.task_started(nodes[t]);
+        ref.start(static_cast<int>(t));
+      }
+    } else if (op == 2) {
+      // Complete a random running task.
+      std::vector<std::size_t> running;
+      for (std::size_t t = 0; t < nodes.size(); ++t)
+        if (nodes[t]->state() == TaskState::kRunning) running.push_back(t);
+      if (!running.empty()) {
+        const std::size_t t = running[rng.next_below(
+            static_cast<std::uint64_t>(running.size()))];
+        ser.complete_task(nodes[t]);
+        ref.complete(static_cast<int>(t));
+      }
+    } else if (op == 3) {
+      // A running task exercises one of its immediate rights (only when the
+      // reference says it will not block, keeping the models in lockstep).
+      // Exercised writes are what aborts speculations downstream.
+      std::vector<std::size_t> running;
+      for (std::size_t t = 0; t < nodes.size(); ++t)
+        if (nodes[t]->state() == TaskState::kRunning) running.push_back(t);
+      if (!running.empty()) {
+        const std::size_t t = running[rng.next_below(
+            static_cast<std::uint64_t>(running.size()))];
+        for (auto& [obj, imm, def] : specs[t]) {
+          if (imm == 0) continue;
+          const std::uint8_t bit =
+              (imm & kWrite) && rng.next_bool(0.6) ? kWrite : imm;
+          if (!ref.enabled(static_cast<int>(t), obj,
+                           static_cast<std::uint8_t>(bit)))
+            continue;
+          EXPECT_FALSE(ser.acquire(nodes[t], obj_id(obj), bit));
+          if (bit & (kWrite | kCommute))
+            ++epoch_ledger[static_cast<std::size_t>(obj)];
+          break;
+        }
+      }
+    } else if (op == 4) {
+      // Start a speculation on the first eligible pending task.
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        if (live.contains(t)) continue;
+        std::vector<ObjectId> contested;
+        if (!ser.spec_eligible(nodes[t], &contested)) continue;
+        ser.spec_start(nodes[t]);
+        EXPECT_TRUE(nodes[t]->speculating());
+        auto& captured = live[t];
+        for (auto& [obj, imm, def] : specs[t])
+          captured.push_back({obj, ser.write_epoch(obj_id(obj))});
+        break;
+      }
+    } else {
+      // Decide an enabled speculation.  The engines' commit check: commit
+      // iff every captured epoch is unchanged; aborting a clean one is also
+      // always legal (that is the crash path).
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        const std::size_t t = it->first;
+        if (nodes[t]->state() != TaskState::kReady) continue;
+        bool clean = true;
+        for (auto& [obj, e] : it->second)
+          if (ser.write_epoch(obj_id(obj)) != e) clean = false;
+        if (clean && rng.next_bool(0.7)) {
+          ser.spec_commit(nodes[t]);
+          ref.start(static_cast<int>(t));  // commit == start, serial position
+        } else {
+          ser.spec_abort(nodes[t]);
+          // The reference never knew: the task is simply ready again.
+        }
+        EXPECT_FALSE(nodes[t]->speculating());
+        live.erase(it);
+        break;
+      }
+    }
+
+    // Epoch-ledger lockstep: epochs advance exactly on exercised
+    // write/commute acquisitions.
+    for (int o = 0; o < kObjects; ++o)
+      ASSERT_EQ(ser.write_epoch(obj_id(o)),
+                epoch_ledger[static_cast<std::size_t>(o)])
+          << "epoch divergence at step " << step << " object " << o
+          << " (seed " << GetParam() << ")";
+    // State lockstep: speculation must be invisible to the state machine.
+    for (std::size_t t = 0; t < nodes.size(); ++t)
+      ASSERT_EQ(nodes[t]->state(), ref.state(static_cast<int>(t)))
+          << "divergence at step " << step << " task " << t << " (seed "
+          << GetParam() << ")";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializerPropertyTest,
                          ::testing::Values(1ull, 7ull, 13ull, 99ull, 1234ull,
                                            777ull, 31337ull, 0xc0ffeeull));

@@ -1,0 +1,272 @@
+// Speculative task execution (SchedPolicy::spec): pending tasks whose only
+// unresolved blockers are conservative, not-yet-exercised write declarations
+// run ahead against snapshot-isolated buffers; the Serializer is the commit
+// check when the blockers retire.  These tests pin down the semantics:
+// serial results always, commits when the conservative writes never
+// materialize, aborts (and the conflict-history throttle) when they do.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "jade/core/runtime.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade {
+namespace {
+
+RuntimeConfig sim_config(int machines, SchedPolicy sched) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  auto cluster = presets::ideal(machines);
+  cluster.task_dispatch_overhead = 0;
+  cluster.task_create_overhead = 0;
+  cfg.cluster = std::move(cluster);
+  cfg.sched = sched;
+  return cfg;
+}
+
+SchedPolicy spec_on(int max_live = 8, int conflict_limit = 2) {
+  SchedPolicy sched;
+  sched.spec.enabled = true;
+  sched.spec.max_live = max_live;
+  sched.spec.conflict_limit = conflict_limit;
+  return sched;
+}
+
+/// The canonical speculation-friendly shape: a conservative "refresh" stage
+/// declares rd_wr on a control object but (this round) never touches it,
+/// then `solvers` independent tasks each read the control object and write
+/// their own output.  Returns the run's duration; outputs land in `out`.
+double run_pipeline(Runtime& rt, SharedRef<int> ctrl,
+                    const std::vector<SharedRef<int>>& outs, int rounds) {
+  rt.run([&](TaskContext& ctx) {
+    for (int r = 0; r < rounds; ++r) {
+      ctx.withonly([&](AccessDecl& d) { d.rd_wr(ctrl); },
+                   [](TaskContext& t) {
+                     t.charge(1e7);  // 1 virtual second; no write happens
+                   });
+      for (auto out : outs) {
+        ctx.withonly([&](AccessDecl& d) { d.rd(ctrl); d.wr(out); },
+                     [ctrl, out, r](TaskContext& t) {
+                       t.charge(1e7);
+                       t.write(out)[0] = t.read(ctrl)[0] + r + 1;
+                     });
+      }
+    }
+  });
+  return rt.sim_duration();
+}
+
+TEST(SimSpeculation, ConservativeWritersPipelineAndCommit) {
+  auto elapsed = [&](SchedPolicy sched, RuntimeStats* stats) {
+    Runtime rt(sim_config(8, sched));
+    auto ctrl = rt.alloc<int>(1);
+    std::vector<SharedRef<int>> outs;
+    for (int i = 0; i < 4; ++i) outs.push_back(rt.alloc<int>(1));
+    const double d = run_pipeline(rt, ctrl, outs, /*rounds=*/2);
+    for (std::size_t i = 0; i < outs.size(); ++i)
+      EXPECT_EQ(rt.get(outs[i])[0], 2);  // last round: ctrl(0) + 2
+    if (stats != nullptr) *stats = rt.stats();
+    return d;
+  };
+  RuntimeStats off_stats, on_stats;
+  const double off = elapsed(SchedPolicy{}, &off_stats);
+  const double on = elapsed(spec_on(), &on_stats);
+  EXPECT_EQ(off_stats.spec_started, 0u);
+  // At least the first solver wave speculated; everything committed (the
+  // conservative writes never materialize), nothing aborted.
+  EXPECT_GE(on_stats.spec_started, 4u);
+  EXPECT_EQ(on_stats.spec_committed, on_stats.spec_started);
+  EXPECT_EQ(on_stats.spec_aborted, 0u);
+  // The solvers overlap the conservative stage they used to serialize
+  // behind: at least one full stage of the 4-stage serial chain vanishes.
+  EXPECT_LT(on, off - 0.9);
+}
+
+TEST(SimSpeculation, MaterializedWriteAbortsAndRerunsWithSerialResult) {
+  auto result = [&](SchedPolicy sched, RuntimeStats* stats) {
+    Runtime rt(sim_config(4, sched));
+    auto ctrl = rt.alloc<int>(1);
+    auto out = rt.alloc<int>(1);
+    rt.run([&](TaskContext& ctx) {
+      ctx.withonly([&](AccessDecl& d) { d.rd_wr(ctrl); },
+                   [ctrl](TaskContext& t) {
+                     t.charge(1e7);
+                     t.read_write(ctrl)[0] = 7;  // the write materializes
+                   });
+      ctx.withonly([&](AccessDecl& d) { d.rd(ctrl); d.wr(out); },
+                   [ctrl, out](TaskContext& t) {
+                     t.charge(1e6);
+                     t.write(out)[0] = 2 * t.read(ctrl)[0];
+                   });
+    });
+    if (stats != nullptr) *stats = rt.stats();
+    return rt.get(out)[0];
+  };
+  RuntimeStats stats;
+  EXPECT_EQ(result(SchedPolicy{}, nullptr), 14);
+  EXPECT_EQ(result(spec_on(), &stats), 14);  // stale snapshot never commits
+  EXPECT_GE(stats.spec_aborted, 1u);
+  EXPECT_EQ(stats.spec_started, stats.spec_committed + stats.spec_aborted);
+  EXPECT_GT(stats.spec_wasted_bytes, 0u);
+}
+
+TEST(SimSpeculation, ConflictHistoryThrottlesRepeatOffenders) {
+  SchedPolicy sched = spec_on(/*max_live=*/2, /*conflict_limit=*/1);
+  Runtime rt(sim_config(2, sched));
+  auto ctrl = rt.alloc<int>(1);
+  constexpr int kRounds = 6;
+  std::vector<SharedRef<int>> outs;
+  for (int i = 0; i < kRounds; ++i) outs.push_back(rt.alloc<int>(1));
+  rt.run([&](TaskContext& ctx) {
+    for (int r = 0; r < kRounds; ++r) {
+      ctx.withonly([&](AccessDecl& d) { d.rd_wr(ctrl); },
+                   [ctrl, r](TaskContext& t) {
+                     t.charge(1e7);
+                     t.read_write(ctrl)[0] = r + 1;  // always conflicts
+                   });
+      auto out = outs[static_cast<std::size_t>(r)];
+      ctx.withonly([&](AccessDecl& d) { d.rd(ctrl); d.wr(out); },
+                   [ctrl, out](TaskContext& t) {
+                     t.charge(1e6);
+                     t.write(out)[0] = t.read(ctrl)[0];
+                   });
+    }
+  });
+  for (int r = 0; r < kRounds; ++r)
+    EXPECT_EQ(rt.get(outs[static_cast<std::size_t>(r)])[0], r + 1);
+  const RuntimeStats& s = rt.stats();
+  // Once ctrl's conflict history reaches conflict_limit, no new bets start
+  // against it; only bets already in flight (at most max_live) can still
+  // abort.  Wasted speculation is therefore bounded per contested object by
+  // conflict_limit + max_live - 1, however many rounds keep conflicting.
+  EXPECT_LE(s.spec_aborted, 2u);  // conflict_limit + max_live - 1
+  EXPECT_GE(s.spec_denied, 1u);
+}
+
+TEST(SimSpeculation, UnsupportedOperationsAbortSilently) {
+  // A speculative body that spawns (or changes its declaration) cannot run
+  // ahead; it aborts, re-runs normally, and the child still executes.
+  Runtime rt(sim_config(4, spec_on()));
+  auto ctrl = rt.alloc<int>(1);
+  auto out = rt.alloc<int>(1);
+  rt.run([&](TaskContext& ctx) {
+    ctx.withonly([&](AccessDecl& d) { d.rd_wr(ctrl); },
+                 [](TaskContext& t) { t.charge(1e7); });
+    ctx.withonly([&](AccessDecl& d) { d.rd(ctrl); d.df_wr(out); },
+                 [ctrl, out](TaskContext& t) {
+                   t.charge(1e6);
+                   (void)t.read(ctrl)[0];
+                   // Deferred->immediate conversion is a with_cont edge the
+                   // snapshot path cannot take.
+                   t.with_cont([&](AccessDecl& d) { d.wr(out); });
+                   t.write(out)[0] = 41;
+                 });
+  });
+  EXPECT_EQ(rt.get(out)[0], 41);
+  const RuntimeStats& s = rt.stats();
+  EXPECT_EQ(s.spec_started, s.spec_committed + s.spec_aborted);
+}
+
+TEST(SimSpeculation, SameSeedRunsAreDeterministic) {
+  auto capture = [&] {
+    Runtime rt(sim_config(8, spec_on()));
+    auto ctrl = rt.alloc<int>(1);
+    std::vector<SharedRef<int>> outs;
+    for (int i = 0; i < 6; ++i) outs.push_back(rt.alloc<int>(1));
+    const double d = run_pipeline(rt, ctrl, outs, /*rounds=*/3);
+    return std::make_tuple(d, rt.stats().spec_started,
+                           rt.stats().spec_committed,
+                           rt.stats().spec_aborted);
+  };
+  EXPECT_EQ(capture(), capture());
+}
+
+TEST(SimSpeculation, CountersReachTheMetricsRegistry) {
+  Runtime rt(sim_config(4, spec_on()));
+  auto ctrl = rt.alloc<int>(1);
+  std::vector<SharedRef<int>> outs{rt.alloc<int>(1), rt.alloc<int>(1)};
+  run_pipeline(rt, ctrl, outs, 1);
+  const RuntimeStats& s = rt.stats();
+  EXPECT_GT(s.spec_started, 0u);
+  auto& m = rt.engine().metrics();
+  EXPECT_EQ(m.counter("spec.started").value(), s.spec_started);
+  EXPECT_EQ(m.counter("spec.committed").value(), s.spec_committed);
+  EXPECT_EQ(m.counter("spec.aborted").value(), s.spec_aborted);
+  EXPECT_EQ(m.counter("spec.denied").value(), s.spec_denied);
+  EXPECT_EQ(m.counter("spec.wasted_bytes").value(), s.spec_wasted_bytes);
+}
+
+// --- ThreadEngine: real parallelism, correctness under any interleaving ----
+
+RuntimeConfig thread_config(int threads, SchedPolicy sched) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kThread;
+  cfg.threads = threads;
+  cfg.sched = sched;
+  return cfg;
+}
+
+TEST(ThreadSpeculation, SerialSemanticsUnderCommitsAndAborts) {
+  for (int iter = 0; iter < 20; ++iter) {
+    Runtime rt(thread_config(4, spec_on()));
+    auto ctrl = rt.alloc<int>(1);
+    constexpr int kRounds = 4;
+    std::vector<SharedRef<int>> outs;
+    for (int i = 0; i < kRounds; ++i) outs.push_back(rt.alloc<int>(1));
+    rt.run([&](TaskContext& ctx) {
+      for (int r = 0; r < kRounds; ++r) {
+        const bool writes = (r % 2) == 1;
+        ctx.withonly([&](AccessDecl& d) { d.rd_wr(ctrl); },
+                     [ctrl, writes, r](TaskContext& t) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(1));
+                       if (writes) t.read_write(ctrl)[0] = r;
+                     });
+        auto out = outs[static_cast<std::size_t>(r)];
+        ctx.withonly([&](AccessDecl& d) { d.rd(ctrl); d.wr(out); },
+                     [ctrl, out](TaskContext& t) {
+                       t.write(out)[0] = t.read(ctrl)[0] + 100;
+                     });
+      }
+    });
+    // Serial semantics: round r's solver sees the last materialized write.
+    EXPECT_EQ(rt.get(outs[0])[0], 100);  // no write yet
+    EXPECT_EQ(rt.get(outs[1])[0], 101);
+    EXPECT_EQ(rt.get(outs[2])[0], 101);
+    EXPECT_EQ(rt.get(outs[3])[0], 103);
+    const RuntimeStats& s = rt.stats();
+    EXPECT_EQ(s.spec_started, s.spec_committed + s.spec_aborted);
+  }
+}
+
+TEST(ThreadSpeculation, IdleWorkersRunAheadAndCommit) {
+  Runtime rt(thread_config(4, spec_on()));
+  auto ctrl = rt.alloc<int>(1);
+  std::vector<SharedRef<int>> outs;
+  for (int i = 0; i < 8; ++i) outs.push_back(rt.alloc<int>(1));
+  rt.run([&](TaskContext& ctx) {
+    ctx.withonly([&](AccessDecl& d) { d.rd_wr(ctrl); },
+                 [](TaskContext& t) {
+                   (void)t;
+                   // A long conservative stage: idle workers should run the
+                   // solvers ahead instead of waiting it out.
+                   std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                 });
+    for (auto out : outs) {
+      ctx.withonly([&](AccessDecl& d) { d.rd(ctrl); d.wr(out); },
+                   [ctrl, out](TaskContext& t) {
+                     t.write(out)[0] = t.read(ctrl)[0] + 5;
+                   });
+    }
+  });
+  for (auto out : outs) EXPECT_EQ(rt.get(out)[0], 5);
+  const RuntimeStats& s = rt.stats();
+  EXPECT_GT(s.spec_started, 0u);
+  EXPECT_EQ(s.spec_committed, s.spec_started);
+  EXPECT_EQ(s.spec_aborted, 0u);
+}
+
+}  // namespace
+}  // namespace jade
