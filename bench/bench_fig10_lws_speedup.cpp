@@ -12,6 +12,8 @@
 #include "jade/support/stats.hpp"
 #include "lws_harness.hpp"
 
+#include "bench_format.hpp"
+
 int main(int argc, char** argv) {
   using namespace jade_bench;
   const TraceRequest trace = trace_request(argc, argv);
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
                "time), "
             << wc.molecules << " molecules ===\n";
   jade::TextTable table({"processors", "ipsc860", "mica", "dash"});
+  jade::bench::JsonReport report("fig10_lws_speedup");
   for (int p : lws_machine_counts()) {
     std::vector<double> row{static_cast<double>(p)};
     for (const auto& platform : platforms) {
@@ -39,9 +42,15 @@ int main(int argc, char** argv) {
                  : run_lws(wc, initial, expect, platform, p, {}, nullptr,
                            traced_run ? trace : TraceRequest{});
       row.push_back(t1[platform.name] / tp);
+      report.add_row()
+          .count("processors", p)
+          .str("platform", platform.name)
+          .num("speedup", t1[platform.name] / tp, 4);
     }
     table.add_row(row, 2);
   }
   table.print(std::cout);
+  report.write(jade::bench::json_out_path(argc, argv,
+                                          "BENCH_fig10_lws_speedup.json"));
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "jade/support/stats.hpp"
 #include "lws_harness.hpp"
 
+#include "bench_format.hpp"
+
 int main(int argc, char** argv) {
   using namespace jade_bench;
   const TraceRequest trace = trace_request(argc, argv);
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
             << wc.molecules << " molecules, " << wc.timesteps
             << " timesteps ===\n";
   jade::TextTable table({"processors", "ipsc860", "mica", "dash"});
+  jade::bench::JsonReport report("fig9_lws_times");
   const auto platforms = lws_platforms();
   double mica8 = 0;  // fault-free mica/8 duration, sizes the crash window
   for (int p : lws_machine_counts()) {
@@ -38,6 +41,11 @@ int main(int argc, char** argv) {
                                traced_run ? trace : TraceRequest{});
       if (platform.name == "mica" && p == 8) mica8 = t;
       row.push_back(t);
+      report.add_row()
+          .count("processors", p)
+          .str("platform", platform.name)
+          .num("virtual_seconds", t, 6)
+          .boolean("serial_verified", true);
     }
     table.add_row(row, 2);
   }
@@ -56,11 +64,18 @@ int main(int argc, char** argv) {
   fault.crash_window_end = 0.8 * mica8;
   fault.drop_probability = 0.01;
   jade::RuntimeStats stats;
-  const double faulty = run_lws(wc, initial, expect, {"mica", jade::presets::mica},
-                                8, fault, &stats);
+  const double faulty = run_lws(
+      wc, initial, expect, {"mica", jade::presets::mica}, 8, fault, &stats);
   std::cout << "\n=== mica/8 with 2 crashes + 1% message loss: "
             << jade::format_double(faulty, 2)
             << " virtual seconds (result still serial-identical) ===\n";
   jade::fault_recovery_counters(stats).print(std::cout);
+  report.add_row()
+      .count("processors", 8)
+      .str("platform", "mica+faults")
+      .num("virtual_seconds", faulty, 6)
+      .boolean("serial_verified", true);
+  report.write(
+      jade::bench::json_out_path(argc, argv, "BENCH_fig9_lws_times.json"));
   return 0;
 }

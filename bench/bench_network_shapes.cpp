@@ -11,6 +11,8 @@
 #include "jade/mach/presets.hpp"
 #include "jade/support/stats.hpp"
 
+#include "bench_format.hpp"
+
 namespace {
 
 jade::ClusterConfig with_net(jade::ClusterConfig base, jade::NetKind net) {
@@ -37,7 +39,7 @@ double run_lws(const jade::ClusterConfig& cluster,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jade;
   apps::WaterConfig wc;
   wc.molecules = 1000;
@@ -59,16 +61,25 @@ int main() {
   std::cout << "=== topology isolation: LWS (" << wc.molecules
             << " molecules) on identical nodes, different wires ===\n";
   TextTable table({"machines", "shared-bus", "mesh", "hypercube", "ideal"});
+  bench::JsonReport report("network_shapes");
   for (int p : {1, 4, 8, 16, 32}) {
     std::vector<double> row{static_cast<double>(p)};
-    for (const Shape& s : shapes)
-      row.push_back(run_lws(with_net(presets::ipsc860(p), s.net), wc,
-                            initial));
+    for (const Shape& s : shapes) {
+      const double t =
+          run_lws(with_net(presets::ipsc860(p), s.net), wc, initial);
+      row.push_back(t);
+      report.add_row()
+          .count("machines", p)
+          .str("net", s.name)
+          .num("virtual_seconds", t, 6);
+    }
     table.add_row(row, 3);
   }
   table.print(std::cout);
   std::cout << "(expected shape: bus saturates first; mesh trails the "
                "hypercube slightly at scale — its diameter grows as sqrt(n) "
                "vs log n; ideal bounds them all)\n";
+  report.write(
+      bench::json_out_path(argc, argv, "BENCH_network_shapes.json"));
   return 0;
 }

@@ -1,0 +1,71 @@
+// Constraint-relaxation solver: weighted-Jacobi sweeps over a 2-D grid,
+// strip-parallel, with the halo rows read through deferred (df_rd)
+// declarations that each sweep converts and retires mid-body.
+//
+//   $ relax_solver
+//
+// demonstrates:
+//   - SoA strip payloads whose row sweeps vectorize (kernels_soa.cpp)
+//   - per-iteration with-continuation traffic: convert a neighbor strip to
+//     rd, copy one halo row, retire it with no_rd — the next iteration's
+//     writer of that strip unblocks while this sweep is still computing
+//   - the pipelining payoff, measured in simulated virtual time: the same
+//     program with plain rd halos serializes iteration boundaries harder
+#include <cstdio>
+
+#include "jade/apps/relax.hpp"
+#include "jade/mach/presets.hpp"
+
+using namespace jade;
+using namespace jade::apps;
+
+namespace {
+
+double run_sim(const RelaxConfig& config, int machines, double* residual) {
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kSim;
+  cfg.cluster = presets::dash(machines);
+  Runtime rt(std::move(cfg));
+  auto w = upload_relax(rt, config, make_relax(config));
+  rt.run([&](TaskContext& ctx) { relax_run_jade(ctx, w); });
+  if (residual != nullptr) *residual = relax_residual(download_relax(rt, w));
+  return rt.sim_duration();
+}
+
+}  // namespace
+
+int main() {
+  RelaxConfig config;
+  config.rows = 128;
+  config.cols = 128;
+  config.strips = 8;
+  config.iterations = 32;
+
+  RelaxState serial = make_relax(config);
+  const double before = relax_residual(serial);
+  relax_run_serial(config, serial);
+  std::printf("grid %dx%d, %d strips, %d sweeps (omega=%.2f)\n", config.rows,
+              config.cols, config.strips, config.iterations, config.omega);
+  std::printf("defect max |x - avg(neighbors)|: %.5f -> %.5f\n\n", before,
+              relax_residual(serial));
+
+  std::printf("%-9s %-12s %-12s %s\n", "machines", "pipelined", "plain rd",
+              "overlap gain");
+  for (int machines : {1, 2, 4, 8}) {
+    RelaxConfig pipelined = config;
+    pipelined.pipelined = true;
+    RelaxConfig plain = config;
+    plain.pipelined = false;
+    double check = 0;
+    const double t_pipe = run_sim(pipelined, machines, &check);
+    const double t_plain = run_sim(plain, machines, nullptr);
+    if (check != relax_residual(serial)) {
+      std::printf("MISMATCH against the serial reference\n");
+      return 1;
+    }
+    std::printf("%-9d %-12.6f %-12.6f %.2fx\n", machines, t_pipe, t_plain,
+                t_plain / t_pipe);
+  }
+  std::printf("\nevery configuration reproduced the serial grid exactly\n");
+  return 0;
+}

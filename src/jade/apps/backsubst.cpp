@@ -1,5 +1,8 @@
 #include "jade/apps/backsubst.hpp"
 
+#include "jade/apps/kernels.hpp"
+#include "jade/support/error.hpp"
+
 namespace jade::apps {
 
 double solve_column_flops(const std::vector<int>& col_ptr, int j) {
@@ -75,6 +78,54 @@ void backward_solve_jade(TaskContext& ctx, const JadeSparse& m,
         }
       },
       "BackwardSolve");
+}
+
+void forward_solve_multi_serial(const SparseMatrix& l, int nrhs,
+                                std::vector<double>& x) {
+  JADE_ASSERT(x.size() ==
+              static_cast<std::size_t>(l.n) * static_cast<std::size_t>(nrhs));
+  for (int j = 0; j < l.n; ++j)
+    kernels::backsubst_apply_column_soa(
+        l.cols[static_cast<std::size_t>(j)].data(),
+        l.row_idx.data() + l.col_ptr[j], l.nnz_below(j), j, nrhs, x.data());
+}
+
+void forward_solve_multi_jade(TaskContext& ctx, const JadeSparse& m,
+                              SharedRef<double> x, int nrhs,
+                              bool pipelined) {
+  const auto cp = m.col_ptr_obj;
+  const auto ri = m.row_idx_obj;
+  const auto cols = m.cols;
+  const auto col_ptr = m.col_ptr;
+  ctx.withonly(
+      [&](AccessDecl& d) {
+        d.rd(cp);
+        d.rd(ri);
+        d.rd_wr(x);
+        for (const auto& c : m.cols) {
+          if (pipelined)
+            d.df_rd(c);
+          else
+            d.rd(c);
+        }
+      },
+      [cols, col_ptr, ri, x, pipelined, nrhs](TaskContext& t) {
+        auto rows = t.read(ri);
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          if (pipelined)
+            t.with_cont([&](AccessDecl& d) { d.rd(cols[j]); });
+          t.charge(nrhs * solve_column_flops(col_ptr, static_cast<int>(j)));
+          auto c = t.read(cols[j]);
+          auto xs = t.read_write(x);
+          const int ji = static_cast<int>(j);
+          kernels::backsubst_apply_column_soa(
+              c.data(), rows.data() + col_ptr[j],
+              col_ptr[j + 1] - col_ptr[j], ji, nrhs, xs.data());
+          if (pipelined)
+            t.with_cont([&](AccessDecl& d) { d.no_rd(cols[j]); });
+        }
+      },
+      pipelined ? "ForwardSolveMulti(pipelined)" : "ForwardSolveMulti");
 }
 
 }  // namespace jade::apps

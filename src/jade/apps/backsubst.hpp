@@ -34,4 +34,20 @@ void backward_solve_jade(TaskContext& ctx, const JadeSparse& m,
 /// Flop estimate per column application, mirrored by the tasks' charges.
 double solve_column_flops(const std::vector<int>& col_ptr, int j);
 
+/// Multi-RHS forward solve, SoA layout: `x` holds nrhs right-hand sides
+/// RHS-major (x[row * nrhs + v]), so applying a factored column touches
+/// nrhs contiguous lanes per row — the vectorizable layout
+/// (kernels::backsubst_apply_column_soa).  Bit-identical to solving each
+/// RHS separately with forward_solve (the per-lane operation sequence is
+/// unchanged).  Solves in place.
+void forward_solve_multi_serial(const SparseMatrix& l, int nrhs,
+                                std::vector<double>& x);
+
+/// Jade variant: one task, same pipelined df_rd/convert/retire structure as
+/// forward_solve_jade, but the nrhs solves are computed (not charged) via
+/// the SoA kernel.  `x` must hold n*nrhs doubles, RHS-major.
+void forward_solve_multi_jade(TaskContext& ctx, const JadeSparse& m,
+                              SharedRef<double> x, int nrhs,
+                              bool pipelined);
+
 }  // namespace jade::apps

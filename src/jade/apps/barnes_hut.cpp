@@ -1,9 +1,12 @@
 #include "jade/apps/barnes_hut.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "jade/apps/kernels.hpp"
 #include "jade/support/error.hpp"
 #include "jade/support/rng.hpp"
+#include "jade/support/simd.hpp"
 
 namespace jade::apps {
 
@@ -100,14 +103,15 @@ void insert_body(double* tree, int cap, int node, double x, double y,
   insert_body(tree, cap, child, x, y, m, depth + 1);
 }
 
-void build_tree(const double* pos, const double* mass, int n, double box,
-                double* tree) {
+/// Positions arrive as SoA x/y lanes (the shared-object payload layout).
+void build_tree(const double* xs, const double* ys, const double* mass,
+                int n, double box, double* tree) {
   tree[0] = 0;
   JADE_ASSERT(n >= 1);
   const int cap = static_cast<int>(max_nodes(n));
   const int root = alloc_node(tree, cap, box / 2, box / 2, box / 2);
   for (int i = 0; i < n; ++i)
-    insert_body(tree, cap, root, pos[2 * i], pos[2 * i + 1], mass[i], 0);
+    insert_body(tree, cap, root, xs[i], ys[i], mass[i], 0);
 }
 
 /// Accumulates the BH force on body (x, y); returns nodes visited.
@@ -133,28 +137,19 @@ int force_walk(const double* tree, int node, double x, double y,
   return visits;
 }
 
-/// Forces for `count` bodies whose positions start at `pos`.
-int forces_range(const double* tree, const double* pos, int count,
-                 double theta, double* force) {
+/// Forces for `count` bodies at lanes xs/ys; results land in lanes fx/fy.
+/// The walk itself is irregular (data-dependent recursion) and stays scalar;
+/// the SoA lanes serve the *integrate* kernel, which does vectorize.
+int forces_range(const double* tree, const double* xs, const double* ys,
+                 int count, double theta, double* fx, double* fy) {
   int visits = 0;
   for (int i = 0; i < count; ++i) {
-    double fx = 0, fy = 0;
-    visits +=
-        force_walk(tree, 0, pos[2 * i], pos[2 * i + 1], theta, &fx, &fy);
-    force[2 * i] = fx;
-    force[2 * i + 1] = fy;
+    double ax = 0, ay = 0;
+    visits += force_walk(tree, 0, xs[i], ys[i], theta, &ax, &ay);
+    fx[i] = ax;
+    fy[i] = ay;
   }
   return visits;
-}
-
-void integrate_range(const BhConfig& config, int count, const double* force,
-                     const double* mass, double* pos, double* vel) {
-  for (int i = 0; i < count; ++i) {
-    vel[2 * i] += force[2 * i] / mass[i] * config.dt;
-    vel[2 * i + 1] += force[2 * i + 1] / mass[i] * config.dt;
-    pos[2 * i] += vel[2 * i] * config.dt;
-    pos[2 * i + 1] += vel[2 * i + 1] * config.dt;
-  }
 }
 
 std::vector<int> make_group_starts(int n, int groups) {
@@ -163,6 +158,25 @@ std::vector<int> make_group_starts(int n, int groups) {
   for (int g = 0; g <= groups; ++g)
     start[g] = static_cast<int>((static_cast<long long>(n) * g) / groups);
   return start;
+}
+
+/// AoS xy pairs [lo, lo+count) -> SoA block [x(count), y(count)].
+std::vector<double> pack_soa2(const std::vector<double>& aos, int lo,
+                              int count) {
+  std::vector<double> soa(2 * static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    soa[static_cast<std::size_t>(i)] = aos[2 * (lo + i)];
+    soa[static_cast<std::size_t>(count + i)] = aos[2 * (lo + i) + 1];
+  }
+  return soa;
+}
+
+void unpack_soa2(std::span<const double> soa, int lo, int count,
+                 std::vector<double>& aos) {
+  for (int i = 0; i < count; ++i) {
+    aos[2 * (lo + i)] = soa[static_cast<std::size_t>(i)];
+    aos[2 * (lo + i) + 1] = soa[static_cast<std::size_t>(count + i)];
+  }
 }
 
 }  // namespace
@@ -180,15 +194,36 @@ BhState make_bodies(const BhConfig& config) {
 }
 
 void bh_run_serial(const BhConfig& config, BhState& state) {
-  std::vector<double> tree(tree_capacity(state.n));
-  std::vector<double> force(2 * static_cast<std::size_t>(state.n));
+  // Same SoA kernels and helpers as the Jade task bodies, over the full
+  // body range — engine results are bit-identical by construction (the
+  // AoS<->SoA conversions at the edges are exact copies).
+  const int n = state.n;
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<double> tree(tree_capacity(n));
+  simd::AlignedBuffer<double> lanes(6 * un);
+  double* xs = lanes.data();
+  double* ys = xs + un;
+  double* vx = ys + un;
+  double* vy = vx + un;
+  double* fx = vy + un;
+  double* fy = fx + un;
+  for (int i = 0; i < n; ++i) {
+    xs[i] = state.pos[2 * i];
+    ys[i] = state.pos[2 * i + 1];
+    vx[i] = state.vel[2 * i];
+    vy[i] = state.vel[2 * i + 1];
+  }
   for (int t = 0; t < config.timesteps; ++t) {
-    build_tree(state.pos.data(), state.mass.data(), state.n, config.box,
-               tree.data());
-    forces_range(tree.data(), state.pos.data(), state.n, config.theta,
-                 force.data());
-    integrate_range(config, state.n, force.data(), state.mass.data(),
-                    state.pos.data(), state.vel.data());
+    build_tree(xs, ys, state.mass.data(), n, config.box, tree.data());
+    forces_range(tree.data(), xs, ys, n, config.theta, fx, fy);
+    kernels::bh_integrate_soa(n, config.dt, fx, fy, state.mass.data(), xs,
+                              ys, vx, vy);
+  }
+  for (int i = 0; i < n; ++i) {
+    state.pos[2 * i] = xs[i];
+    state.pos[2 * i + 1] = ys[i];
+    state.vel[2 * i] = vx[i];
+    state.vel[2 * i + 1] = vy[i];
   }
 }
 
@@ -207,14 +242,12 @@ JadeBh upload_bh(Runtime& rt, const BhConfig& config, const BhState& state) {
     const int lo = w.group_start[g];
     const int hi = w.group_start[g + 1];
     w.pos_groups.push_back(rt.alloc_init<double>(
-        std::span<const double>(state.pos.data() + 2 * lo,
-                                2 * static_cast<std::size_t>(hi - lo)),
-        "bhpos" + std::to_string(g)));
+        pack_soa2(state.pos, lo, hi - lo), "bhpos" + std::to_string(g)));
     w.force_groups.push_back(rt.alloc<double>(
         2 * static_cast<std::size_t>(hi - lo), "bhforce" + std::to_string(g)));
   }
   w.mass = rt.alloc_init<double>(state.mass, "mass");
-  w.vel = rt.alloc_init<double>(state.vel, "bhvel");
+  w.vel = rt.alloc_init<double>(pack_soa2(state.vel, 0, state.n), "bhvel");
   w.tree = rt.alloc<double>(tree_capacity(config.bodies), "bhtree");
   return w;
 }
@@ -239,13 +272,19 @@ void bh_run_jade(TaskContext& ctx, const JadeBh& w) {
         },
         [pos_groups, group_start, mass, tree, config, n](TaskContext& t) {
           t.charge(40.0 * n);
-          std::vector<double> pos(2 * static_cast<std::size_t>(n));
+          // Gather the SoA group payloads into full x/y lanes.
+          const auto un = static_cast<std::size_t>(n);
+          simd::AlignedBuffer<double> lanes(2 * un);
+          double* xs = lanes.data();
+          double* ys = xs + un;
           for (std::size_t g = 0; g < pos_groups.size(); ++g) {
             auto span = t.read(pos_groups[g]);
-            std::copy(span.begin(), span.end(),
-                      pos.begin() + 2 * group_start[g]);
+            const auto uc =
+                static_cast<std::size_t>(group_start[g + 1] - group_start[g]);
+            std::copy_n(span.data(), uc, xs + group_start[g]);
+            std::copy_n(span.data() + uc, uc, ys + group_start[g]);
           }
-          build_tree(pos.data(), t.read(mass).data(), n, config.box,
+          build_tree(xs, ys, t.read(mass).data(), n, config.box,
                      t.read_write(tree).data());
         },
         "BuildTree(s" + std::to_string(step) + ")");
@@ -264,9 +303,11 @@ void bh_run_jade(TaskContext& ctx, const JadeBh& w) {
           },
           [tree, pg, fg, lo, hi, config](TaskContext& t) {
             auto pos = t.read(pg);
-            const int visits =
-                forces_range(t.read(tree).data(), pos.data(), hi - lo,
-                             config.theta, t.write(fg).data());
+            auto force = t.write(fg);
+            const auto count = static_cast<std::size_t>(hi - lo);
+            const int visits = forces_range(
+                t.read(tree).data(), pos.data(), pos.data() + count, hi - lo,
+                config.theta, force.data(), force.data() + count);
             t.charge(config.flops_per_visit * visits);
           },
           "BhForces(g" + std::to_string(g) + ",s" + std::to_string(step) +
@@ -286,13 +327,17 @@ void bh_run_jade(TaskContext& ctx, const JadeBh& w) {
           t.charge(12.0 * n);
           auto vels = t.read_write(vel);
           auto masses = t.read(mass);
+          const auto un = static_cast<std::size_t>(n);
           for (std::size_t g = 0; g < pos_groups.size(); ++g) {
             const int lo = group_start[g];
-            const int count = group_start[g + 1] - lo;
-            integrate_range(config, count, t.read(force_groups[g]).data(),
-                            masses.data() + lo,
-                            t.read_write(pos_groups[g]).data(),
-                            vels.data() + 2 * lo);
+            const auto count =
+                static_cast<std::size_t>(group_start[g + 1] - lo);
+            auto force = t.read(force_groups[g]);
+            auto pos = t.read_write(pos_groups[g]);
+            kernels::bh_integrate_soa(
+                static_cast<int>(count), config.dt, force.data(),
+                force.data() + count, masses.data() + lo, pos.data(),
+                pos.data() + count, vels.data() + lo, vels.data() + un + lo);
           }
         },
         "BhIntegrate(s" + std::to_string(step) + ")");
@@ -304,10 +349,12 @@ BhState download_bh(Runtime& rt, const JadeBh& w) {
   s.n = w.config.bodies;
   s.pos.resize(2 * static_cast<std::size_t>(s.n));
   for (std::size_t g = 0; g < w.pos_groups.size(); ++g) {
-    const auto pos = rt.get(w.pos_groups[g]);
-    std::copy(pos.begin(), pos.end(), s.pos.begin() + 2 * w.group_start[g]);
+    const int lo = w.group_start[g];
+    unpack_soa2(rt.get(w.pos_groups[g]), lo, w.group_start[g + 1] - lo,
+                s.pos);
   }
-  s.vel = rt.get(w.vel);
+  s.vel.resize(2 * static_cast<std::size_t>(s.n));
+  unpack_soa2(rt.get(w.vel), 0, s.n, s.vel);
   s.mass = rt.get(w.mass);
   return s;
 }

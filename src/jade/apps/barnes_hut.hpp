@@ -7,6 +7,12 @@
 // compute per-group forces by walking the tree (rd tree, wr force group),
 // and a serial task integrates.  The same grouped-object structure as LWS,
 // but with a shared read-mostly tree exercising wide replication.
+//
+// Data layout: position/force group payloads are SoA [x(count), y(count)]
+// and the velocity object [vx(n), vy(n)], so the integrate kernel
+// vectorizes (src/jade/apps/kernels_soa.cpp).  The tree walk is irregular
+// and stays scalar.  Byte sizes and the task graph are unchanged by the
+// layout; host-side BhState stays AoS xy pairs.
 #pragma once
 
 #include <cstdint>
@@ -40,10 +46,10 @@ double bh_checksum(const BhState& state);
 
 struct JadeBh {
   BhConfig config;
-  std::vector<SharedRef<double>> pos_groups;   ///< 2*(group size)
-  std::vector<SharedRef<double>> force_groups;
+  std::vector<SharedRef<double>> pos_groups;   ///< SoA [x(c), y(c)]
+  std::vector<SharedRef<double>> force_groups;  ///< SoA [fx(c), fy(c)]
   SharedRef<double> mass;
-  SharedRef<double> vel;
+  SharedRef<double> vel;  ///< SoA [vx(n), vy(n)]
   SharedRef<double> tree;  ///< flattened quadtree nodes
   std::vector<int> group_start;
 };

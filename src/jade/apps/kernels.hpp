@@ -1,0 +1,101 @@
+// Inner kernel bodies of the compute apps, in two builds each:
+//
+//   *_scalar   the pre-SoA idiom (AoS layouts, per-element branches, the
+//              original arithmetic) compiled with vectorization disabled —
+//              the baseline bench_kernels measures against, and the scalar
+//              fallback reference the SoA kernels are verified to match.
+//   *_soa      structure-of-arrays layouts with JADE_VEC_LOOP inner loops,
+//              compiled in kernels_soa.cpp with -fno-math-errno so GCC/Clang
+//              auto-vectorize them (tools/check_vectorization.py proves it).
+//
+// The SoA kernels are the canonical ones: serial references and Jade task
+// bodies both call them, so engine-vs-serial comparisons stay bit-identical
+// by construction.  Where the SoA kernel keeps the exact per-element
+// operation sequence of the scalar one (cholesky_scale_column, integrations,
+// relax rows, multi-RHS solves) the two agree to the bit; the water pair
+// force is algebraically rearranged (one division instead of two) and agrees
+// to relative 1e-12 (asserted in bench_kernels).
+#pragma once
+
+#include <cstddef>
+
+namespace jade::apps::kernels {
+
+// --- water: O(n^2) pairwise forces -----------------------------------------
+
+/// Original scalar kernel: AoS xyz triples, `j == i` skip branch, the
+/// two-division force expression.  Forces for molecules [lo, hi) of `n`
+/// land at force[3*(i-lo)].
+void water_forces_scalar(const double* pos, int n, int lo, int hi,
+                         double* force);
+
+/// SoA kernel: positions as x/y/z lanes of length n; forces for [lo, hi)
+/// land in fx/fy/fz[0..hi-lo).  Per-molecule accumulation order over j is
+/// ascending and independent of [lo, hi), so any grouping produces
+/// bit-identical forces.  The self term contributes an exact ±0.0, so the
+/// lane loop carries no branch.
+void water_forces_soa(const double* xs, const double* ys, const double* zs,
+                      int n, int lo, int hi, double* fx, double* fy,
+                      double* fz);
+
+/// SoA leapfrog update for `count` molecules: v += f*dt; p += v*dt, one
+/// lane per coordinate.  Exactly the per-element operations of the scalar
+/// integrate, so results match the AoS version bit-for-bit.
+void water_integrate_soa(int count, double dt, const double* fx,
+                         const double* fy, const double* fz, double* px,
+                         double* py, double* pz, double* vx, double* vy,
+                         double* vz);
+
+/// Scalar baseline of the integrate (AoS 3n triples).
+void water_integrate_scalar(int count, double dt, const double* force,
+                            double* pos, double* vel);
+
+// --- barnes-hut: integration (the tree walk stays scalar) -------------------
+
+/// SoA 2-D leapfrog with per-body mass: v += f/m*dt; p += v*dt.
+void bh_integrate_soa(int count, double dt, const double* fx,
+                      const double* fy, const double* mass, double* px,
+                      double* py, double* vx, double* vy);
+
+/// Scalar baseline (AoS 2n pairs, the original loop).
+void bh_integrate_scalar(int count, double dt, const double* force,
+                         const double* mass, double* pos, double* vel);
+
+// --- cholesky: column scaling ------------------------------------------------
+
+/// Divides vals[1..len) by d in place (the InternalUpdate tail).  Element-
+/// wise, so the vectorized form is bit-identical to the scalar one.
+void cholesky_scale_column_soa(double* vals, std::size_t len, double d);
+void cholesky_scale_column_scalar(double* vals, std::size_t len, double d);
+
+// --- backsubst: multi-RHS forward solve --------------------------------------
+
+/// Applies factored column j to an RHS-major solution block x
+/// (x[row*nrhs + v]): x[j][*] /= diag, then x[rows[k]][*] -= c_k * x[j][*].
+/// The RHS lanes are independent, contiguous, and vectorize; per lane the
+/// operation sequence equals the single-RHS scalar solve, so the block
+/// solve is bit-identical to nrhs separate scalar solves.
+void backsubst_apply_column_soa(const double* col_vals, const int* rows,
+                                int count, int j, int nrhs, double* x);
+
+/// Scalar baseline: one RHS at a time over per-RHS contiguous vectors
+/// (x_of_v[row] = x[v*n + row], the pre-SoA layout).
+void backsubst_apply_column_scalar(const double* col_vals, const int* rows,
+                                   int count, int j, int n, int nrhs,
+                                   double* x);
+
+// --- relax: weighted-Jacobi stencil row --------------------------------------
+
+/// One interior row of the weighted-Jacobi sweep:
+///   out[j] = (1-omega)*mid[j] + omega*0.25*((up[j]+down[j]) +
+///            (mid[j-1]+mid[j+1]))
+/// with the two boundary columns copied through.  `out` must not alias any
+/// input (double-buffered sweeps guarantee it).
+void relax_row_soa(const double* up, const double* mid, const double* down,
+                   int cols, double omega, double* out);
+
+/// Scalar baseline: per-cell loop with the boundary branch inside.
+void relax_row_scalar(const double* up, const double* mid, const double* down,
+                      int cols, double omega, double* out);
+
+}  // namespace jade::apps::kernels

@@ -1,0 +1,92 @@
+// Scalar kernel baselines — the pre-SoA idiom, preserved verbatim so
+// bench_kernels can put a number on the layout rework and so the SoA kernels
+// have a reference to be verified against.
+//
+// This translation unit is compiled with auto-vectorization disabled (see
+// src/CMakeLists.txt): these loops measure what the app bodies used to do —
+// AoS layouts, per-pair branches, the original two-division force — not what
+// the compiler could salvage from them.
+#include <cmath>
+
+#include "jade/apps/kernels.hpp"
+
+namespace jade::apps::kernels {
+
+namespace {
+
+/// The original pair force: smoothed inverse-square, two divisions.
+inline void pair_force(const double* pa, const double* pb, double* f_out) {
+  const double dx = pb[0] - pa[0];
+  const double dy = pb[1] - pa[1];
+  const double dz = pb[2] - pa[2];
+  const double r2 = dx * dx + dy * dy + dz * dz + 0.25;
+  const double inv = 1.0 / (r2 * std::sqrt(r2));
+  const double s = inv * (1.0 - 2.0 / r2);
+  f_out[0] += s * dx;
+  f_out[1] += s * dy;
+  f_out[2] += s * dz;
+}
+
+}  // namespace
+
+void water_forces_scalar(const double* pos, int n, int lo, int hi,
+                         double* force) {
+  for (int i = lo; i < hi; ++i) {
+    double f[3] = {0, 0, 0};
+    const double* pi = pos + 3 * i;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      pair_force(pi, pos + 3 * j, f);
+    }
+    force[3 * (i - lo) + 0] = f[0];
+    force[3 * (i - lo) + 1] = f[1];
+    force[3 * (i - lo) + 2] = f[2];
+  }
+}
+
+void water_integrate_scalar(int count, double dt, const double* force,
+                            double* pos, double* vel) {
+  for (int i = 0; i < 3 * count; ++i) {
+    vel[i] += force[i] * dt;
+    pos[i] += vel[i] * dt;
+  }
+}
+
+void bh_integrate_scalar(int count, double dt, const double* force,
+                         const double* mass, double* pos, double* vel) {
+  for (int i = 0; i < count; ++i) {
+    vel[2 * i] += force[2 * i] / mass[i] * dt;
+    vel[2 * i + 1] += force[2 * i + 1] / mass[i] * dt;
+    pos[2 * i] += vel[2 * i] * dt;
+    pos[2 * i + 1] += vel[2 * i + 1] * dt;
+  }
+}
+
+void cholesky_scale_column_scalar(double* vals, std::size_t len, double d) {
+  for (std::size_t k = 1; k < len; ++k) vals[k] /= d;
+}
+
+void backsubst_apply_column_scalar(const double* col_vals, const int* rows,
+                                   int count, int j, int n, int nrhs,
+                                   double* x) {
+  for (int v = 0; v < nrhs; ++v) {
+    double* xv = x + static_cast<std::size_t>(v) * n;
+    xv[j] /= col_vals[0];
+    for (int k = 0; k < count; ++k)
+      xv[rows[k]] -= col_vals[1 + k] * xv[j];
+  }
+}
+
+void relax_row_scalar(const double* up, const double* mid, const double* down,
+                      int cols, double omega, double* out) {
+  for (int j = 0; j < cols; ++j) {
+    if (j == 0 || j == cols - 1) {
+      out[j] = mid[j];
+      continue;
+    }
+    out[j] = (1.0 - omega) * mid[j] +
+             omega * 0.25 * ((up[j] + down[j]) + (mid[j - 1] + mid[j + 1]));
+  }
+}
+
+}  // namespace jade::apps::kernels

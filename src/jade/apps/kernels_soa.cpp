@@ -1,0 +1,132 @@
+// SoA kernel bodies — the vectorized halves of kernels.hpp.
+//
+// This translation unit is compiled with `-O3 -fno-math-errno` (see
+// src/CMakeLists.txt): errno-free sqrt is what lets GCC vectorize the water
+// inner loop without -ffast-math, and nothing here inspects errno.  Every
+// loop below that must vectorize carries a `// VEC:<tag>` marker on the
+// line before its JADE_VEC_LOOP annotation; tools/check_vectorization.py
+// recompiles this file with -fopt-info-vec and fails if any tagged loop is
+// missing from the vectorizer report.  No intrinsics: the scalar fallback
+// on a compiler without the pragmas is this same code.
+#include <cmath>
+
+#include "jade/apps/kernels.hpp"
+#include "jade/support/simd.hpp"
+
+namespace jade::apps::kernels {
+
+void water_forces_soa(const double* JADE_RESTRICT xs,
+                      const double* JADE_RESTRICT ys,
+                      const double* JADE_RESTRICT zs, int n, int lo, int hi,
+                      double* JADE_RESTRICT fx, double* JADE_RESTRICT fy,
+                      double* JADE_RESTRICT fz) {
+  const int count = hi - lo;
+  for (int i = 0; i < count; ++i) {
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+  }
+  const double* JADE_RESTRICT xg = xs + lo;
+  const double* JADE_RESTRICT yg = ys + lo;
+  const double* JADE_RESTRICT zg = zs + lo;
+  // Loop interchange vs the scalar kernel: j outer, group lanes inner.  Per
+  // accumulator the j contributions still arrive in ascending order, so the
+  // result is independent of the grouping; the lanes are independent, so no
+  // reduction reordering is needed for the compiler to vectorize.  The
+  // self-interaction (lo + i == j) has dx = dy = dz = +0.0 exactly, hence
+  // contributes s * 0.0 = ±0.0 — an exact no-op — and the skip branch of
+  // the scalar kernel disappears from the lane loop.
+  for (int j = 0; j < n; ++j) {
+    const double xj = xs[j];
+    const double yj = ys[j];
+    const double zj = zs[j];
+    // VEC:water_forces
+    JADE_VEC_LOOP
+    for (int i = 0; i < count; ++i) {
+      const double dx = xj - xg[i];
+      const double dy = yj - yg[i];
+      const double dz = zj - zg[i];
+      const double r2 = dx * dx + dy * dy + dz * dz + 0.25;
+      // One division instead of the scalar kernel's two:
+      //   inv*(1 - 2/r2) == (r2 - 2) / (r2^2 * sqrt(r2)).
+      const double s = (r2 - 2.0) / (r2 * r2 * std::sqrt(r2));
+      fx[i] += s * dx;
+      fy[i] += s * dy;
+      fz[i] += s * dz;
+    }
+  }
+}
+
+void water_integrate_soa(int count, double dt, const double* JADE_RESTRICT fx,
+                         const double* JADE_RESTRICT fy,
+                         const double* JADE_RESTRICT fz,
+                         double* JADE_RESTRICT px, double* JADE_RESTRICT py,
+                         double* JADE_RESTRICT pz, double* JADE_RESTRICT vx,
+                         double* JADE_RESTRICT vy, double* JADE_RESTRICT vz) {
+  // VEC:water_integrate
+  JADE_VEC_LOOP
+  for (int i = 0; i < count; ++i) {
+    vx[i] += fx[i] * dt;
+    px[i] += vx[i] * dt;
+    vy[i] += fy[i] * dt;
+    py[i] += vy[i] * dt;
+    vz[i] += fz[i] * dt;
+    pz[i] += vz[i] * dt;
+  }
+}
+
+void bh_integrate_soa(int count, double dt, const double* JADE_RESTRICT fx,
+                      const double* JADE_RESTRICT fy,
+                      const double* JADE_RESTRICT mass,
+                      double* JADE_RESTRICT px, double* JADE_RESTRICT py,
+                      double* JADE_RESTRICT vx, double* JADE_RESTRICT vy) {
+  // VEC:bh_integrate
+  JADE_VEC_LOOP
+  for (int i = 0; i < count; ++i) {
+    vx[i] += fx[i] / mass[i] * dt;
+    vy[i] += fy[i] / mass[i] * dt;
+    px[i] += vx[i] * dt;
+    py[i] += vy[i] * dt;
+  }
+}
+
+void cholesky_scale_column_soa(double* JADE_RESTRICT vals, std::size_t len,
+                               double d) {
+  // VEC:cholesky_scale
+  JADE_VEC_LOOP
+  for (std::size_t k = 1; k < len; ++k) vals[k] /= d;
+}
+
+void backsubst_apply_column_soa(const double* JADE_RESTRICT col_vals,
+                                const int* JADE_RESTRICT rows, int count,
+                                int j, int nrhs, double* JADE_RESTRICT x) {
+  double* JADE_RESTRICT xj = x + static_cast<std::size_t>(j) * nrhs;
+  const double diag = col_vals[0];
+  // VEC:backsubst_diag
+  JADE_VEC_LOOP
+  for (int v = 0; v < nrhs; ++v) xj[v] /= diag;
+  for (int k = 0; k < count; ++k) {
+    double* JADE_RESTRICT xr = x + static_cast<std::size_t>(rows[k]) * nrhs;
+    const double c = col_vals[1 + k];
+    // VEC:backsubst_axpy
+    JADE_VEC_LOOP
+    for (int v = 0; v < nrhs; ++v) xr[v] -= c * xj[v];
+  }
+}
+
+void relax_row_soa(const double* JADE_RESTRICT up,
+                   const double* JADE_RESTRICT mid,
+                   const double* JADE_RESTRICT down, int cols, double omega,
+                   double* JADE_RESTRICT out) {
+  out[0] = mid[0];
+  out[cols - 1] = mid[cols - 1];
+  const double keep = 1.0 - omega;
+  const double w = omega * 0.25;
+  // VEC:relax_row
+  JADE_VEC_LOOP
+  for (int j = 1; j < cols - 1; ++j)
+    out[j] =
+        keep * mid[j] + w * ((up[j] + down[j]) + (mid[j - 1] + mid[j + 1]));
+}
+
+}  // namespace jade::apps::kernels

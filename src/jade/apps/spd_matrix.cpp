@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "jade/support/error.hpp"
 #include "jade/support/rng.hpp"
@@ -11,22 +10,36 @@ namespace jade::apps {
 
 namespace {
 
+/// Column structures as sorted unique row vectors.  (This used to be
+/// std::set<int>: one node allocation plus an O(log nnz) rebalance per
+/// inserted row made symbolic fill the dominant cost of matrix generation
+/// at bench sizes.  Sorted vectors + linear merges produce the same sorted
+/// unique structures with no per-element allocation.)
+using Pattern = std::vector<std::vector<int>>;
+
 /// Closes a lower-triangular pattern under elimination: when column i is
 /// eliminated, its remaining structure merges into its elimination-tree
 /// parent (the smallest row in struct(i)).
-std::vector<std::set<int>> symbolic_fill(std::vector<std::set<int>> pattern) {
+Pattern symbolic_fill(Pattern pattern) {
   const int n = static_cast<int>(pattern.size());
+  std::vector<int> merged;
   for (int i = 0; i < n; ++i) {
     if (pattern[i].empty()) continue;
-    const int parent = *pattern[i].begin();
-    for (int row : pattern[i])
-      if (row != parent) pattern[parent].insert(row);
+    const int parent = pattern[i].front();
+    // Union struct(i) \ {parent} into struct(parent): one linear merge of
+    // two sorted lists instead of per-row tree inserts (parent is the
+    // minimum of struct(i), so it is exactly the skipped front element).
+    merged.clear();
+    merged.reserve(pattern[parent].size() + pattern[i].size() - 1);
+    std::set_union(pattern[parent].begin(), pattern[parent].end(),
+                   pattern[i].begin() + 1, pattern[i].end(),
+                   std::back_inserter(merged));
+    pattern[parent].swap(merged);
   }
   return pattern;
 }
 
-SparseMatrix from_pattern(const std::vector<std::set<int>>& pattern,
-                          std::uint64_t seed) {
+SparseMatrix from_pattern(const Pattern& pattern, std::uint64_t seed) {
   const int n = static_cast<int>(pattern.size());
   SparseMatrix m;
   m.n = n;
@@ -41,12 +54,17 @@ SparseMatrix from_pattern(const std::vector<std::set<int>>& pattern,
   m.cols.resize(n);
   std::vector<double> row_abs_sum(n, 0.0);
   for (int i = 0; i < n; ++i) {
-    m.cols[i].resize(1 + pattern[i].size());
-    for (std::size_t k = 0; k < pattern[i].size(); ++k) {
+    const std::size_t nnz = pattern[i].size();
+    m.cols[i].resize(1 + nnz);
+    // Column i's rows are the contiguous row_idx run starting at col_ptr[i]
+    // (hoisted: the indexing arithmetic used to be redone per element).
+    const int* rows = m.row_idx.data() + m.col_ptr[i];
+    for (std::size_t k = 0; k < nnz; ++k) {
       const double v = rng.next_double(-1.0, 1.0);
       m.cols[i][1 + k] = v;
-      const int row = m.row_idx[m.col_ptr[i] + static_cast<int>(k)];
-      row_abs_sum[row] += std::abs(v);
+      // Both accumulations stay per-element (same FP rounding order as
+      // always, so generated matrices are unchanged to the bit).
+      row_abs_sum[rows[k]] += std::abs(v);
       row_abs_sum[i] += std::abs(v);
     }
   }
@@ -60,10 +78,10 @@ SparseMatrix from_pattern(const std::vector<std::set<int>>& pattern,
 SparseMatrix make_spd(int n, double density, std::uint64_t seed) {
   JADE_ASSERT(n > 0);
   Rng rng(seed);
-  std::vector<std::set<int>> pattern(n);
+  Pattern pattern(n);
   for (int col = 0; col < n; ++col)
     for (int row = col + 1; row < n; ++row)
-      if (rng.next_bool(density)) pattern[col].insert(row);
+      if (rng.next_bool(density)) pattern[col].push_back(row);
   // Note: no artificial connectivity edges — a forced col->col+1 link would
   // turn the elimination tree into a chain and destroy the task-level
   // parallelism the example exists to demonstrate.  Columns with an empty
@@ -74,7 +92,7 @@ SparseMatrix make_spd(int n, double density, std::uint64_t seed) {
 SparseMatrix paper_example_matrix() {
   // Figure 4's task graph: column 0 updates columns 3 and 4; column 1
   // updates column 2; column 2 updates 3; column 3 updates 4.
-  std::vector<std::set<int>> pattern(5);
+  Pattern pattern(5);
   pattern[0] = {3, 4};
   pattern[1] = {2};
   pattern[2] = {3};

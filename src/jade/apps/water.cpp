@@ -1,28 +1,15 @@
 #include "jade/apps/water.hpp"
 
-#include <cmath>
+#include <algorithm>
 
+#include "jade/apps/kernels.hpp"
 #include "jade/support/error.hpp"
 #include "jade/support/rng.hpp"
+#include "jade/support/simd.hpp"
 
 namespace jade::apps {
 
 namespace {
-
-/// Smoothed inverse-square pair interaction: the force on molecule a from
-/// molecule b.  Same shape as MDG's pairwise phase; deterministic FP.
-inline void pair_force(const double* pa, const double* pb, double* f_out) {
-  const double dx = pb[0] - pa[0];
-  const double dy = pb[1] - pa[1];
-  const double dz = pb[2] - pa[2];
-  const double r2 = dx * dx + dy * dy + dz * dz + 0.25;
-  const double inv = 1.0 / (r2 * std::sqrt(r2));
-  // Short-range repulsion minus long-range attraction.
-  const double s = inv * (1.0 - 2.0 / r2);
-  f_out[0] += s * dx;
-  f_out[1] += s * dy;
-  f_out[2] += s * dz;
-}
 
 std::vector<int> make_group_starts(int n, int groups) {
   JADE_ASSERT(groups >= 1 && groups <= n);
@@ -32,29 +19,25 @@ std::vector<int> make_group_starts(int n, int groups) {
   return start;
 }
 
-/// Forces for molecules [lo, hi): each molecule interacts with all n
-/// molecules (both versions use this exact loop, so results are
-/// bit-identical across engines and groupings).
-void compute_forces_range(const double* pos, int n, int lo, int hi,
-                          double* force) {
-  for (int i = lo; i < hi; ++i) {
-    double f[3] = {0, 0, 0};
-    const double* pi = pos + 3 * i;
-    for (int j = 0; j < n; ++j) {
-      if (j == i) continue;
-      pair_force(pi, pos + 3 * j, f);
-    }
-    force[3 * (i - lo) + 0] = f[0];
-    force[3 * (i - lo) + 1] = f[1];
-    force[3 * (i - lo) + 2] = f[2];
+/// Packs `count` AoS xyz triples starting at molecule `lo` into an SoA
+/// block [x(count), y(count), z(count)] — the shared-object payload layout.
+std::vector<double> pack_soa(const std::vector<double>& aos, int lo,
+                             int count) {
+  std::vector<double> soa(3 * static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    soa[static_cast<std::size_t>(i)] = aos[3 * (lo + i)];
+    soa[static_cast<std::size_t>(count + i)] = aos[3 * (lo + i) + 1];
+    soa[static_cast<std::size_t>(2 * count + i)] = aos[3 * (lo + i) + 2];
   }
+  return soa;
 }
 
-void integrate(const WaterConfig& config, int n, const double* force,
-               double* pos, double* vel) {
-  for (int i = 0; i < 3 * n; ++i) {
-    vel[i] += force[i] * config.dt;
-    pos[i] += vel[i] * config.dt;
+void unpack_soa(std::span<const double> soa, int lo, int count,
+                std::vector<double>& aos) {
+  for (int i = 0; i < count; ++i) {
+    aos[3 * (lo + i)] = soa[static_cast<std::size_t>(i)];
+    aos[3 * (lo + i) + 1] = soa[static_cast<std::size_t>(count + i)];
+    aos[3 * (lo + i) + 2] = soa[static_cast<std::size_t>(2 * count + i)];
   }
 }
 
@@ -72,10 +55,42 @@ WaterState make_water(const WaterConfig& config) {
 }
 
 void water_step_serial(const WaterConfig& config, WaterState& state) {
-  compute_forces_range(state.pos.data(), state.n, 0, state.n,
-                       state.force.data());
-  integrate(config, state.n, state.force.data(), state.pos.data(),
-            state.vel.data());
+  // The serial reference runs the same SoA kernels as the Jade task bodies
+  // (over the full molecule range), so engine results are bit-identical to
+  // it by construction.  The AoS<->SoA conversions are exact copies.
+  const int n = state.n;
+  const std::size_t un = static_cast<std::size_t>(n);
+  simd::AlignedBuffer<double> soa(9 * un);
+  double* x = soa.data();
+  double* y = x + un;
+  double* z = y + un;
+  double* vx = z + un;
+  double* vy = vx + un;
+  double* vz = vy + un;
+  double* fx = vz + un;
+  double* fy = fx + un;
+  double* fz = fy + un;
+  for (int i = 0; i < n; ++i) {
+    x[i] = state.pos[3 * i];
+    y[i] = state.pos[3 * i + 1];
+    z[i] = state.pos[3 * i + 2];
+    vx[i] = state.vel[3 * i];
+    vy[i] = state.vel[3 * i + 1];
+    vz[i] = state.vel[3 * i + 2];
+  }
+  kernels::water_forces_soa(x, y, z, n, 0, n, fx, fy, fz);
+  kernels::water_integrate_soa(n, config.dt, fx, fy, fz, x, y, z, vx, vy, vz);
+  for (int i = 0; i < n; ++i) {
+    state.pos[3 * i] = x[i];
+    state.pos[3 * i + 1] = y[i];
+    state.pos[3 * i + 2] = z[i];
+    state.vel[3 * i] = vx[i];
+    state.vel[3 * i + 1] = vy[i];
+    state.vel[3 * i + 2] = vz[i];
+    state.force[3 * i] = fx[i];
+    state.force[3 * i + 1] = fy[i];
+    state.force[3 * i + 2] = fz[i];
+  }
 }
 
 void water_run_serial(const WaterConfig& config, WaterState& state) {
@@ -105,13 +120,11 @@ JadeWater upload_water(Runtime& rt, const WaterConfig& config,
     const int lo = w.group_start[g];
     const int hi = w.group_start[g + 1];
     w.pos_groups.push_back(rt.alloc_init<double>(
-        std::span<const double>(state.pos.data() + 3 * lo,
-                                3 * static_cast<std::size_t>(hi - lo)),
-        "pos" + std::to_string(g)));
+        pack_soa(state.pos, lo, hi - lo), "pos" + std::to_string(g)));
     w.force_groups.push_back(rt.alloc<double>(
         3 * static_cast<std::size_t>(hi - lo), "force" + std::to_string(g)));
   }
-  w.vel = rt.alloc_init<double>(state.vel, "vel");
+  w.vel = rt.alloc_init<double>(pack_soa(state.vel, 0, state.n), "vel");
   return w;
 }
 
@@ -137,16 +150,26 @@ void water_run_jade(TaskContext& ctx, const JadeWater& w) {
           [pos_groups, fg, group_start, n, lo, hi,
            flops = config.flops_per_interaction](TaskContext& t) {
             t.charge(static_cast<double>(hi - lo) * n * flops);
-            // Assemble a contiguous position view (the per-group objects
-            // are read through checked accessors once each).
-            std::vector<double> pos(3 * static_cast<std::size_t>(n));
+            // Gather the SoA group payloads into full x/y/z lanes (each
+            // per-group object is read through its checked accessor once).
+            const std::size_t un = static_cast<std::size_t>(n);
+            simd::AlignedBuffer<double> lanes(3 * un);
+            double* xs = lanes.data();
+            double* ys = xs + un;
+            double* zs = ys + un;
             for (std::size_t g2 = 0; g2 < pos_groups.size(); ++g2) {
               auto span = t.read(pos_groups[g2]);
-              std::copy(span.begin(), span.end(),
-                        pos.begin() + 3 * group_start[g2]);
+              const int c = group_start[g2 + 1] - group_start[g2];
+              const auto uc = static_cast<std::size_t>(c);
+              std::copy_n(span.data(), uc, xs + group_start[g2]);
+              std::copy_n(span.data() + uc, uc, ys + group_start[g2]);
+              std::copy_n(span.data() + 2 * uc, uc, zs + group_start[g2]);
             }
             auto force = t.write(fg);
-            compute_forces_range(pos.data(), n, lo, hi, force.data());
+            const auto count = static_cast<std::size_t>(hi - lo);
+            kernels::water_forces_soa(xs, ys, zs, n, lo, hi, force.data(),
+                                      force.data() + count,
+                                      force.data() + 2 * count);
           },
           "Forces(g" + std::to_string(g) + ",s" + std::to_string(step) + ")");
     }
@@ -163,13 +186,18 @@ void water_run_jade(TaskContext& ctx, const JadeWater& w) {
          n](TaskContext& t) {
           t.charge(10.0 * n);
           auto vels = t.read_write(vel);
+          const std::size_t un = static_cast<std::size_t>(n);
           for (std::size_t g2 = 0; g2 < pos_groups.size(); ++g2) {
             const int lo = group_start[g2];
-            const int count = group_start[g2 + 1] - lo;
+            const auto count =
+                static_cast<std::size_t>(group_start[g2 + 1] - lo);
             auto force = t.read(force_groups[g2]);
             auto pos = t.read_write(pos_groups[g2]);
-            integrate(config, count, force.data(), pos.data(),
-                      vels.data() + 3 * lo);
+            kernels::water_integrate_soa(
+                static_cast<int>(count), config.dt, force.data(),
+                force.data() + count, force.data() + 2 * count, pos.data(),
+                pos.data() + count, pos.data() + 2 * count, vels.data() + lo,
+                vels.data() + un + lo, vels.data() + 2 * un + lo);
           }
         },
         "Integrate(s" + std::to_string(step) + ")");
@@ -182,14 +210,13 @@ WaterState download_water(Runtime& rt, const JadeWater& w) {
   s.pos.resize(3 * static_cast<std::size_t>(s.n));
   s.force.resize(3 * static_cast<std::size_t>(s.n));
   for (std::size_t g = 0; g < w.pos_groups.size(); ++g) {
-    const auto pos = rt.get(w.pos_groups[g]);
-    std::copy(pos.begin(), pos.end(),
-              s.pos.begin() + 3 * w.group_start[g]);
-    const auto force = rt.get(w.force_groups[g]);
-    std::copy(force.begin(), force.end(),
-              s.force.begin() + 3 * w.group_start[g]);
+    const int lo = w.group_start[g];
+    const int count = w.group_start[g + 1] - lo;
+    unpack_soa(rt.get(w.pos_groups[g]), lo, count, s.pos);
+    unpack_soa(rt.get(w.force_groups[g]), lo, count, s.force);
   }
-  s.vel = rt.get(w.vel);
+  s.vel.resize(3 * static_cast<std::size_t>(s.n));
+  unpack_soa(rt.get(w.vel), 0, s.n, s.vel);
   return s;
 }
 

@@ -15,6 +15,14 @@
 // The interaction kernel is a smoothed inverse-square pair force — the same
 // computational shape as MDG's water-water interaction, with its cost
 // charged at kFlopsPerInteraction per pair.
+//
+// Data layout: shared-object payloads are structure-of-arrays — each group
+// object holds [x(count), y(count), z(count)] lanes (and the velocity object
+// [vx(n), vy(n), vz(n)]), so the pairwise kernel's inner loops vectorize
+// (src/jade/apps/kernels_soa.cpp, docs/PERFORMANCE.md "Kernel data layout").
+// The flat double array serializes through TypeDescriptor/WireWriter exactly
+// as before: byte size, object count, declarations, and task graph are
+// unchanged by the layout.  Host-side WaterState stays AoS xyz triples.
 #pragma once
 
 #include <cstdint>
@@ -58,13 +66,14 @@ double water_checksum(const WaterState& state);
 double water_step_work(const WaterConfig& config);
 
 /// Runs the whole simulation as a Jade program (call inside rt.run()).
-/// Shared objects: one position object and one force object per group.
+/// Shared objects: one position object and one force object per group, each
+/// an SoA block [x(count), y(count), z(count)].
 /// Returns nothing; read back with download_water.
 struct JadeWater {
   WaterConfig config;
-  std::vector<SharedRef<double>> pos_groups;
-  std::vector<SharedRef<double>> force_groups;
-  SharedRef<double> vel;  ///< only the serial phase touches velocities
+  std::vector<SharedRef<double>> pos_groups;    ///< SoA x/y/z lanes
+  std::vector<SharedRef<double>> force_groups;  ///< SoA fx/fy/fz lanes
+  SharedRef<double> vel;  ///< SoA [vx(n), vy(n), vz(n)]; serial phase only
   std::vector<int> group_start;  ///< molecule index range per group
 };
 

@@ -74,6 +74,50 @@ TEST(SpdMatrix, DenseCaseFactorsCorrectly) {
   for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
 }
 
+TEST(SpdMatrix, SeededReproducibilityAtBenchSize) {
+  // The generator's symbolic fill was reworked from per-row set inserts to
+  // sorted-vector merges; same seed must still yield the same matrix,
+  // including at the larger sizes the benches use.
+  const auto a = make_spd(150, 0.08, 0xfeedULL);
+  const auto b = make_spd(150, 0.08, 0xfeedULL);
+  EXPECT_EQ(a.col_ptr, b.col_ptr);
+  EXPECT_EQ(a.row_idx, b.row_idx);
+  EXPECT_EQ(a.cols, b.cols);
+}
+
+TEST(SpdMatrix, StructuresAreSortedUnique) {
+  const auto m = make_spd(80, 0.2, 42);
+  for (int i = 0; i < m.n; ++i) {
+    for (int k = m.col_ptr[i]; k < m.col_ptr[i + 1]; ++k) {
+      EXPECT_GT(m.row_idx[k], i);  // strictly below the diagonal
+      if (k > m.col_ptr[i]) EXPECT_LT(m.row_idx[k - 1], m.row_idx[k]);
+    }
+  }
+}
+
+TEST(Backsubst, MultiRhsSerialMatchesPerRhsSolves) {
+  auto l = make_spd(36, 0.2, 91);
+  factor_serial(l);
+  constexpr int kRhs = 5;
+  Rng rng(23);
+  // RHS-major block and the equivalent per-RHS vectors.
+  std::vector<double> block(36 * kRhs);
+  std::vector<std::vector<double>> singles(kRhs, std::vector<double>(36));
+  for (int row = 0; row < 36; ++row)
+    for (int v = 0; v < kRhs; ++v) {
+      const double val = rng.next_double(-3, 3);
+      block[static_cast<std::size_t>(row) * kRhs + v] = val;
+      singles[v][row] = val;
+    }
+  forward_solve_multi_serial(l, kRhs, block);
+  for (int v = 0; v < kRhs; ++v) {
+    const auto x = forward_solve(l, singles[v]);
+    for (int row = 0; row < 36; ++row)
+      EXPECT_EQ(block[static_cast<std::size_t>(row) * kRhs + v], x[row])
+          << "rhs=" << v << " row=" << row;
+  }
+}
+
 class JadeCholeskyTest : public ::testing::TestWithParam<EngineKind> {};
 
 TEST_P(JadeCholeskyTest, MatchesSerialFactorBitExactly) {
@@ -157,6 +201,30 @@ TEST_P(JadeCholeskyTest, PipelinedAndUnpipelinedSolvesAgree) {
     return rt.get(x);
   };
   EXPECT_EQ(run_variant(true), run_variant(false));
+}
+
+TEST_P(JadeCholeskyTest, MultiRhsSolveMatchesSerial) {
+  const auto a = make_spd(28, 0.25, 19);
+  constexpr int kRhs = 4;
+  std::vector<double> b(28 * kRhs);
+  Rng rng(3);
+  for (double& v : b) v = rng.next_double(-1, 1);
+
+  auto l = a;
+  factor_serial(l);
+  auto expect = b;
+  forward_solve_multi_serial(l, kRhs, expect);
+
+  for (const bool pipelined : {true, false}) {
+    Runtime rt(config_for(GetParam()));
+    auto jm = upload_matrix(rt, a);
+    auto x = rt.alloc_init<double>(b, "x");
+    rt.run([&](TaskContext& ctx) {
+      factor_jade(ctx, jm);
+      forward_solve_multi_jade(ctx, jm, x, kRhs, pipelined);
+    });
+    EXPECT_EQ(rt.get(x), expect) << "pipelined=" << pipelined;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, JadeCholeskyTest,

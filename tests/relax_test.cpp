@@ -1,0 +1,205 @@
+// Tests of the constraint-relaxation solver (weighted-Jacobi stencil) —
+// the workload whose per-iteration halo reads exercise df_rd dispatch
+// prefetch and partial retirement via with-continuations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "jade/apps/relax.hpp"
+#include "jade/mach/presets.hpp"
+
+namespace jade::apps {
+namespace {
+
+RelaxConfig small_config() {
+  RelaxConfig c;
+  c.rows = 24;
+  c.cols = 20;
+  c.strips = 4;
+  c.iterations = 6;
+  return c;
+}
+
+RuntimeConfig config_for(EngineKind kind, int machines = 4) {
+  RuntimeConfig cfg;
+  cfg.engine = kind;
+  cfg.threads = machines;
+  if (kind == EngineKind::kSim) cfg.cluster = presets::ideal(machines);
+  return cfg;
+}
+
+TEST(RelaxSerial, DeterministicInSeed) {
+  const auto c = small_config();
+  auto a = make_relax(c);
+  auto b = make_relax(c);
+  relax_run_serial(c, a);
+  relax_run_serial(c, b);
+  EXPECT_EQ(a.grid, b.grid);
+}
+
+TEST(RelaxSerial, ConvergesTowardHarmonic) {
+  RelaxConfig c = small_config();
+  c.iterations = 80;
+  c.omega = 0.9;
+  auto s = make_relax(c);
+  const double before = relax_residual(s);
+  relax_run_serial(c, s);
+  const double after = relax_residual(s);
+  EXPECT_GT(before, 0.0);
+  // Weighted Jacobi is a contraction toward the discrete harmonic
+  // interpolant of the boundary; 80 sweeps must cut the defect hard.
+  EXPECT_LT(after, 0.2 * before);
+}
+
+TEST(RelaxSerial, DiscreteHarmonicIsFixedPoint) {
+  // h(x, y) = x^2 - y^2 satisfies the 5-point Laplacian exactly, and with
+  // integer cell values and omega = 0.5 every sweep operation is exact in
+  // doubles — so the grid must not change at all.
+  RelaxConfig c;
+  c.rows = 12;
+  c.cols = 15;
+  c.strips = 3;
+  c.iterations = 9;
+  c.omega = 0.5;
+  RelaxState s;
+  s.rows = c.rows;
+  s.cols = c.cols;
+  s.grid.resize(static_cast<std::size_t>(c.rows) * c.cols);
+  for (int r = 0; r < c.rows; ++r)
+    for (int col = 0; col < c.cols; ++col)
+      s.at(r, col) = static_cast<double>(col * col - r * r);
+  EXPECT_EQ(relax_residual(s), 0.0);
+  auto expect = s.grid;
+  relax_run_serial(c, s);
+  EXPECT_EQ(s.grid, expect);
+}
+
+class JadeRelaxTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(JadeRelaxTest, MatchesSerialBitExactly) {
+  for (const bool pipelined : {true, false}) {
+    RelaxConfig c = small_config();
+    c.pipelined = pipelined;
+    auto expect = make_relax(c);
+    relax_run_serial(c, expect);
+
+    Runtime rt(config_for(GetParam()));
+    auto w = upload_relax(rt, c, make_relax(c));
+    rt.run([&](TaskContext& ctx) { relax_run_jade(ctx, w); });
+    const auto got = download_relax(rt, w);
+    EXPECT_EQ(got.grid, expect.grid) << "pipelined=" << pipelined;
+    EXPECT_DOUBLE_EQ(relax_checksum(got), relax_checksum(expect));
+  }
+}
+
+TEST_P(JadeRelaxTest, StripCountDoesNotChangeResult) {
+  auto run_strips = [&](int strips) {
+    RelaxConfig c = small_config();
+    c.strips = strips;
+    Runtime rt(config_for(GetParam()));
+    auto w = upload_relax(rt, c, make_relax(c));
+    rt.run([&](TaskContext& ctx) { relax_run_jade(ctx, w); });
+    return download_relax(rt, w).grid;
+  };
+  const auto base = run_strips(1);
+  EXPECT_EQ(run_strips(3), base);
+  EXPECT_EQ(run_strips(8), base);
+}
+
+TEST_P(JadeRelaxTest, TaskCountMatchesStructure) {
+  const auto c = small_config();
+  Runtime rt(config_for(GetParam()));
+  auto w = upload_relax(rt, c, make_relax(c));
+  rt.run([&](TaskContext& ctx) { relax_run_jade(ctx, w); });
+  // One sweep task per strip per iteration; no serial phase.
+  EXPECT_EQ(rt.stats().tasks_created,
+            static_cast<std::uint64_t>(c.iterations) * c.strips);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, JadeRelaxTest,
+                         ::testing::Values(EngineKind::kSerial,
+                                           EngineKind::kThread,
+                                           EngineKind::kSim),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::kSerial: return "Serial";
+                             case EngineKind::kThread: return "Thread";
+                             case EngineKind::kSim: return "Sim";
+                             default: return "Unknown";
+                           }
+                         });
+
+TEST(JadeRelaxSim, MoreMachinesFinishSooner) {
+  auto duration = [](int machines) {
+    RelaxConfig c;
+    c.rows = 64;
+    c.cols = 64;
+    c.strips = 8;
+    c.iterations = 4;
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = presets::dash(machines);
+    Runtime rt(std::move(cfg));
+    auto w = upload_relax(rt, c, make_relax(c));
+    rt.run([&](TaskContext& ctx) { relax_run_jade(ctx, w); });
+    return rt.sim_duration();
+  };
+  EXPECT_LT(duration(4), 0.6 * duration(1));
+}
+
+TEST(JadeRelaxSim, TraceDeterministicWithSpeculationOn) {
+  auto spec_config = [] {
+    RuntimeConfig cfg;
+    cfg.engine = EngineKind::kSim;
+    cfg.cluster = presets::ideal(4);
+    cfg.sched.spec.enabled = true;
+    cfg.obs.trace = true;
+    return cfg;
+  };
+  auto run_once = [&](std::string* trace) {
+    RelaxConfig c = small_config();
+    c.pipelined = true;
+    Runtime rt(spec_config());
+    auto w = upload_relax(rt, c, make_relax(c));
+    rt.run([&](TaskContext& ctx) { relax_run_jade(ctx, w); });
+    std::ostringstream os;
+    rt.write_chrome_trace(os);
+    *trace = os.str();
+    return download_relax(rt, w).grid;
+  };
+  std::string t1, t2;
+  const auto g1 = run_once(&t1);
+  const auto g2 = run_once(&t2);
+  EXPECT_EQ(g1, g2);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+
+  RelaxConfig c = small_config();
+  auto expect = make_relax(c);
+  relax_run_serial(c, expect);
+  EXPECT_EQ(g1, expect.grid);
+}
+
+TEST(JadeRelaxCluster, SmokeMatchesSerial) {
+  // The sweep body is registered (relax.sweep_strip), so the same program
+  // runs across real worker processes.
+  RelaxConfig c;
+  c.rows = 16;
+  c.cols = 12;
+  c.strips = 3;
+  c.iterations = 4;
+  auto expect = make_relax(c);
+  relax_run_serial(c, expect);
+
+  RuntimeConfig cfg;
+  cfg.engine = EngineKind::kCluster;
+  cfg.cluster_proc.workers = 2;
+  Runtime rt(std::move(cfg));
+  auto w = upload_relax(rt, c, make_relax(c));
+  rt.run([&](TaskContext& ctx) { relax_run_jade(ctx, w); });
+  const auto got = download_relax(rt, w);
+  EXPECT_EQ(got.grid, expect.grid);
+}
+
+}  // namespace
+}  // namespace jade::apps
