@@ -6,8 +6,12 @@
 // dispatch latency, the shipped-version payload protocol (the fanout source
 // ships to each worker once, then every later task reuses the cached copy),
 // and writeback bandwidth on the Cholesky dependence chains.  Rows land in
-// a JSON artifact (--json-out, default BENCH_cluster.json) so CI tracks the
-// real-process engine over time.
+// a JSON artifact (--json-out, default BENCH_cluster.json; uniform
+// bench_format shape, one row per workload x worker-count cell) so CI
+// tracks the real-process engine over time.  The workloads are
+// dispatch-bound (near-empty task bodies), so rows measure coordinator RPC
+// + payload-shipping overhead, not compute scaling; on a single-core CI
+// host throughput declines as workers are added.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -17,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_format.hpp"
 #include "jade/cluster/cluster_engine.hpp"
 #include "jade/cluster/registry.hpp"
 #include "jade/core/runtime.hpp"
@@ -182,20 +187,14 @@ bool same_output(const std::vector<double>& a, const std::vector<double>& b) {
   return true;
 }
 
-struct Row {
-  int workers;
-  RunResult r;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_out = "BENCH_cluster.json";
+  const std::string json_out =
+      jade::bench::json_out_path(argc, argv, "BENCH_cluster.json");
   int reps = 3;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
-      json_out = argv[++i];
-    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
       reps = std::atoi(argv[++i]);
   }
 
@@ -209,11 +208,10 @@ int main(int argc, char** argv) {
       {"cholesky_per_column", [](int w) { return run_cholesky(w, 32); }},
   };
 
-  std::string rows_json;
+  jade::bench::JsonReport report("bench_cluster");
   bool ok = true;
   for (const Workload& wl : workloads) {
     const RunResult serial = wl.run(0);
-    std::string wl_rows;
     for (int workers : sweep) {
       RunResult best;
       best.seconds = 1e30;
@@ -226,53 +224,25 @@ int main(int argc, char** argv) {
         }
         if (r.seconds < best.seconds) best = std::move(r);
       }
-      char buf[256];
-      std::snprintf(buf, sizeof(buf),
-                    "        {\"workers\": %d, \"seconds\": %.6f, "
-                    "\"tasks_per_sec\": %.1f, \"payload_bytes\": %llu, "
-                    "\"messages\": %llu}",
-                    workers, best.seconds,
-                    static_cast<double>(best.tasks) / best.seconds,
-                    static_cast<unsigned long long>(best.payload_bytes),
-                    static_cast<unsigned long long>(best.messages));
-      wl_rows += std::string(wl_rows.empty() ? "" : ",\n") + buf;
+      report.add_row()
+          .str("workload", wl.name)
+          .count("workers", workers)
+          .count("reps", reps)
+          .count("tasks", best.tasks)
+          .num("seconds", best.seconds, 6)
+          .num("tasks_per_sec", static_cast<double>(best.tasks) / best.seconds,
+               1)
+          .count("payload_bytes", best.payload_bytes)
+          .count("messages", best.messages)
+          .boolean("verified", true);
       std::printf("%-22s workers=%d  %.4fs  %8.0f tasks/s  %llu payload B\n",
                   wl.name.c_str(), workers, best.seconds,
                   static_cast<double>(best.tasks) / best.seconds,
                   static_cast<unsigned long long>(best.payload_bytes));
     }
-    char head[160];
-    const RunResult probe = wl.run(0);
-    std::snprintf(head, sizeof(head),
-                  "    {\"name\": \"%s\", \"tasks\": %llu, \"rows\": [\n",
-                  wl.name.c_str(),
-                  static_cast<unsigned long long>(probe.tasks));
-    rows_json += std::string(rows_json.empty() ? "" : ",\n") + head +
-                 wl_rows + "\n    ]}";
   }
 
   if (!ok) return 1;
-
-  FILE* f = std::fopen(json_out.c_str(), "w");
-  if (f == nullptr) {
-    std::cerr << "cannot write " << json_out << "\n";
-    return 1;
-  }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"bench_cluster\",\n"
-               "  \"note\": \"ClusterEngine: forked worker processes over "
-               "Unix sockets; every row verified against the serial "
-               "reference before timing; best of %d reps. Workloads are "
-               "dispatch-bound (near-empty task bodies), so rows measure "
-               "coordinator RPC + payload-shipping overhead, not compute "
-               "scaling; on a single-core CI host throughput declines as "
-               "workers are added.\",\n"
-               "  \"config\": {\"build_type\": \"Release\", \"reps\": %d},\n"
-               "  \"workloads\": [\n%s\n  ]\n"
-               "}\n",
-               reps, reps, rows_json.c_str());
-  std::fclose(f);
-  std::cout << "wrote " << json_out << "\n";
+  report.write(json_out);
   return 0;
 }

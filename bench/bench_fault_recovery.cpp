@@ -12,10 +12,13 @@
 //               object re-homing/restore).
 //
 // Every run's result is verified against the serial execution — recovery
-// that corrupted the answer would abort the bench.
+// that corrupted the answer would abort the bench.  Rows land in a JSON
+// artifact (--json-out, default BENCH_fault_recovery.json) in the uniform
+// bench_format shape.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "jade/apps/cholesky.hpp"
 #include "jade/apps/water.hpp"
@@ -23,6 +26,7 @@
 #include "jade/mach/presets.hpp"
 #include "jade/support/stats.hpp"
 
+#include "bench_format.hpp"
 #include "bench_trace.hpp"
 
 namespace {
@@ -93,6 +97,24 @@ Run run_cholesky(const jade::apps::SparseMatrix& a,
 
 double pct_over(double base, double x) { return 100.0 * (x - base) / base; }
 
+/// One uniform JSON row per (app, fault configuration) cell.
+void add_row(jade::bench::JsonReport& report, const std::string& app,
+             const std::string& config, double base_seconds, const Run& r) {
+  report.add_row()
+      .str("app", app)
+      .str("config", config)
+      .count("machines", kMachines)
+      .num("seconds", r.duration, 6)
+      .num("overhead_pct", pct_over(base_seconds, r.duration), 2)
+      .count("machine_crashes", r.stats.machine_crashes)
+      .count("tasks_killed", r.stats.tasks_killed)
+      .count("tasks_requeued", r.stats.tasks_requeued)
+      .count("messages_dropped", r.stats.messages_dropped)
+      .count("objects_rehomed", r.stats.objects_rehomed)
+      .count("objects_restored", r.stats.objects_restored)
+      .boolean("verified", true);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,5 +174,15 @@ int main(int argc, char** argv) {
                "snapshots, no fault fired;\n 2-crashes = two machines "
                "fail-stop mid-run with 2% message loss, recovered by task "
                "re-execution)\n";
+
+  jade::bench::JsonReport report("bench_fault_recovery");
+  add_row(report, "lws", "ft-off", lws_off.duration, lws_off);
+  add_row(report, "lws", "quiet", lws_off.duration, lws_quiet);
+  add_row(report, "lws", "crashes", lws_off.duration, lws_crash);
+  add_row(report, "cholesky", "ft-off", chol_off.duration, chol_off);
+  add_row(report, "cholesky", "quiet", chol_off.duration, chol_quiet);
+  add_row(report, "cholesky", "crashes", chol_off.duration, chol_crash);
+  report.write(
+      jade::bench::json_out_path(argc, argv, "BENCH_fault_recovery.json"));
   return 0;
 }

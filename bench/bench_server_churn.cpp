@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_format.hpp"
 #include "jade/server/server.hpp"
 #include "jade/support/stats.hpp"
 
@@ -268,69 +269,56 @@ TeardownResult run_teardown(int sessions) {
   return r;
 }
 
+/// Uniform bench_format rows, one per phase (keyed by "phase"); the
+/// hardware core count rides on every row so artifacts stay comparable
+/// across hosts.
 void write_json(const std::string& path, const HoldResult& h,
                 const ChurnResult& c, const TeardownResult& t) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::cerr << "cannot write " << path << "\n";
-    std::exit(1);
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_server_churn\",\n");
-  std::fprintf(
-      f,
-      "  \"note\": \"JadeServer multi-tenant front end over one resident "
-      "ThreadEngine. concurrency_hold parks every session's graph on a host "
-      "gate to prove >=%d concurrently live sessions; churn streams %d "
-      "8-task programs through a %zu-slot admission window (quota pool "
-      "fair-shared across active tenants); teardown_under_load cancels a "
-      "quarter of a running wave and re-serves a follow-up wave on the same "
-      "engine. All phases verified (states, counters) before recording.\",\n",
-      h.sessions, c.sessions, c.max_active);
-  std::fprintf(f,
-               "  \"config\": {\"engine\": \"thread\", \"workers\": 4, "
-               "\"hardware_cores\": %u},\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"phases\": {\n");
-  std::fprintf(
-      f,
-      "    \"concurrency_hold\": {\"sessions\": %d, \"peak_active\": %zu, "
-      "\"peak_live\": %zu, \"admit_submit_seconds\": %.4f, "
-      "\"admissions_per_sec\": %.1f, \"drain_seconds\": %.4f, "
-      "\"latency_p50_s\": %.4f, \"latency_p99_s\": %.4f},\n",
-      h.sessions, h.peak_active, h.peak_live, h.admit_submit_seconds,
-      h.sessions / h.admit_submit_seconds, h.drain_seconds, h.p50, h.p99);
-  std::fprintf(
-      f,
-      "    \"churn\": {\"sessions\": %d, \"tasks_per_session\": %d, "
-      "\"max_active\": %zu, \"wall_seconds\": %.4f, "
-      "\"submissions_per_sec\": %.1f, \"tasks_per_sec\": %.1f, "
-      "\"latency_p50_s\": %.5f, \"latency_p99_s\": %.5f},\n",
-      c.sessions, c.tasks_per_session, c.max_active, c.wall_seconds,
-      c.submissions_per_sec, c.tasks_per_sec, c.p50, c.p99);
-  std::fprintf(
-      f,
-      "    \"teardown_under_load\": {\"sessions\": %d, \"cancelled\": %d, "
-      "\"completed\": %d, \"followup_sessions\": %d, "
-      "\"followup_wall_seconds\": %.4f}\n",
-      t.sessions, t.cancelled, t.completed, t.followup_sessions,
-      t.followup_wall_seconds);
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::cerr << "wrote " << path << "\n";
+  const auto cores =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+  jade::bench::JsonReport report("bench_server_churn");
+  report.add_row()
+      .str("phase", "concurrency_hold")
+      .count("hardware_cores", cores)
+      .count("sessions", h.sessions)
+      .count("peak_active", static_cast<std::uint64_t>(h.peak_active))
+      .count("peak_live", static_cast<std::uint64_t>(h.peak_live))
+      .num("admit_submit_seconds", h.admit_submit_seconds, 4)
+      .num("admissions_per_sec", h.sessions / h.admit_submit_seconds, 1)
+      .num("drain_seconds", h.drain_seconds, 4)
+      .num("latency_p50_s", h.p50, 4)
+      .num("latency_p99_s", h.p99, 4);
+  report.add_row()
+      .str("phase", "churn")
+      .count("hardware_cores", cores)
+      .count("sessions", c.sessions)
+      .count("tasks_per_session", c.tasks_per_session)
+      .count("max_active", static_cast<std::uint64_t>(c.max_active))
+      .num("wall_seconds", c.wall_seconds, 4)
+      .num("submissions_per_sec", c.submissions_per_sec, 1)
+      .num("tasks_per_sec", c.tasks_per_sec, 1)
+      .num("latency_p50_s", c.p50, 5)
+      .num("latency_p99_s", c.p99, 5);
+  report.add_row()
+      .str("phase", "teardown_under_load")
+      .count("hardware_cores", cores)
+      .count("sessions", t.sessions)
+      .count("cancelled", t.cancelled)
+      .count("completed", t.completed)
+      .count("followup_sessions", t.followup_sessions)
+      .num("followup_wall_seconds", t.followup_wall_seconds, 4);
+  report.write(path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path = "BENCH_server_churn.json";
+  const std::string json_path =
+      jade::bench::json_out_path(argc, argv, "BENCH_server_churn.json");
   int hold = 1000;
   int sessions = 3000;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
-      json_path = argv[++i];
-    else if (std::strncmp(argv[i], "--json-out=", 11) == 0)
-      json_path = argv[i] + 11;
-    else if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc)
+    if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc)
       hold = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc)
       sessions = std::atoi(argv[++i]);

@@ -34,9 +34,12 @@ std::exception_ptr capture_error(ErrorCode code, const std::string& what) {
 }  // namespace
 
 ClusterEngine::ClusterEngine(Options options, SchedPolicy sched,
-                             bool enforce_hierarchy)
+                             bool enforce_hierarchy,
+                             std::shared_ptr<const model::Planner> planner)
     : options_(options),
       sched_(sched),
+      planner_(planner != nullptr ? std::move(planner)
+                                  : model::default_planner()),
       serializer_(this, enforce_hierarchy),
       directory_(options.workers),
       transport_([this] { return wall_now(); }, &tracer_),
@@ -858,9 +861,27 @@ void ClusterEngine::pump_locked() {
         index_of.push_back(i);
       }
       if (lists.empty()) continue;
-      std::size_t pick =
-          pick_task_for_machine(directory_, lists, slot.machine,
-                                sched_.locality);
+      std::size_t pick;
+      if (tracer_.enabled()) {
+        // Tracing: capture the scored window too, so the selection can be
+        // audited from the trace (the SimEngine "sched.place" counterpart).
+        PlacementExplain explain;
+        pick = planner_->select_task(
+            directory_, {lists, slot.machine, sched_.locality}, &explain);
+        if (pick != SIZE_MAX) {
+          std::vector<std::uint64_t> ids;
+          ids.reserve(index_of.size());
+          for (std::size_t idx : index_of) ids.push_back(ready_[idx]->id());
+          tracer_.instant_at(
+              wall_now(), obs::Subsystem::kSched, "sched.place",
+              ids[explain.chosen_index], slot.machine,
+              static_cast<double>(explain.task_candidates.size()),
+              model::format_task_select_explain(explain, slot.machine, ids));
+        }
+      } else {
+        pick = planner_->select_task(directory_,
+                                     {lists, slot.machine, sched_.locality});
+      }
       if (pick == SIZE_MAX) pick = 0;
       TaskNode* task = ready_[static_cast<std::ptrdiff_t>(index_of[pick])];
       ready_.erase(ready_.begin() +

@@ -11,22 +11,28 @@ namespace jade {
 
 namespace {
 std::unique_ptr<Engine> make_engine(const RuntimeConfig& config) {
+  // The policy seam (docs/MODEL.md): the planner first resolves the
+  // effective SchedPolicy for this (platform, base-knobs) pair — the default
+  // HeuristicPlanner is the identity — then the engine consults the same
+  // planner for every placement decision during the run.
+  std::shared_ptr<const model::Planner> planner =
+      config.planner != nullptr ? config.planner : model::default_planner();
+  const SchedPolicy sched = planner->plan_policy(config.cluster, config.sched);
   switch (config.engine) {
     case EngineKind::kSerial:
       return std::make_unique<SerialEngine>(config.enforce_hierarchy);
     case EngineKind::kThread:
-      return std::make_unique<ThreadEngine>(config.threads,
-                                            config.sched.throttle,
+      return std::make_unique<ThreadEngine>(config.threads, sched.throttle,
                                             config.enforce_hierarchy,
-                                            config.sched.spec);
+                                            sched.spec, planner);
     case EngineKind::kSim:
       config.cluster.validate();
-      return std::make_unique<SimEngine>(config.cluster, config.sched,
+      return std::make_unique<SimEngine>(config.cluster, sched,
                                          config.enforce_hierarchy,
-                                         config.fault);
+                                         config.fault, planner);
     case EngineKind::kCluster:
       return std::make_unique<cluster::ClusterEngine>(
-          config.cluster_proc, config.sched, config.enforce_hierarchy);
+          config.cluster_proc, sched, config.enforce_hierarchy, planner);
   }
   throw ConfigError("unknown EngineKind");
 }

@@ -33,6 +33,7 @@
 #include "jade/engine/engine.hpp"
 #include "jade/ft/fault_plan.hpp"
 #include "jade/mach/machine.hpp"
+#include "jade/model/planner.hpp"
 #include "jade/sched/policies.hpp"
 
 namespace jade {
@@ -60,6 +61,14 @@ struct RuntimeConfig {
 
   /// Scheduling policy (SimEngine; ThreadEngine uses throttle only).
   SchedPolicy sched;
+
+  /// Policy/placement decision seam (docs/MODEL.md).  Before the engine is
+  /// built, `planner->plan_policy(cluster, sched)` resolves the effective
+  /// SchedPolicy (the default HeuristicPlanner passes `sched` through
+  /// untouched); during the run the engine consults the planner for every
+  /// placement decision.  Null selects the shared HeuristicPlanner —
+  /// byte-identical to the legacy hard-wired heuristics.
+  std::shared_ptr<const model::Planner> planner;
 
   /// Reject child tasks whose accesses the parent did not declare
   /// (Section 4.4).  Disable only in benchmarks measuring check overhead.

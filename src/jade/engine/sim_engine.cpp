@@ -139,23 +139,19 @@ void SimEngine::try_dispatch() {
         // Tracing: also capture why — every candidate machine with its
         // locality score, so a placement can be audited from the trace.
         PlacementExplain explain;
-        m = pick_machine_for_task(directory_, st(task).objects, free,
-                                  locality, st(task).creator_machine,
-                                  &explain);
+        m = planner_->place_task(
+            directory_,
+            {st(task).objects, free, locality, st(task).creator_machine},
+            &explain);
         if (m >= 0) {
-          std::string detail = "chosen=" + std::to_string(explain.chosen);
-          for (const PlacementExplain::Candidate& c : explain.candidates) {
-            detail += " m" + std::to_string(c.machine) + ":bytes=" +
-                      std::to_string(c.resident_bytes) +
-                      ",free=" + std::to_string(c.free_contexts);
-          }
           tracer_.instant(obs::Subsystem::kSched, "sched.place", task->id(),
                           m, static_cast<double>(explain.candidates.size()),
-                          std::move(detail));
+                          model::format_placement_explain(explain));
         }
       } else {
-        m = pick_machine_for_task(directory_, st(task).objects, free,
-                                  locality, st(task).creator_machine);
+        m = planner_->place_task(
+            directory_,
+            {st(task).objects, free, locality, st(task).creator_machine});
       }
       if (m < 0) continue;
       ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -814,9 +810,9 @@ void SimEngine::try_spec_dispatch() {
           continue;
         }
       }
-      const MachineId m =
-          pick_machine_for_task(directory_, st(task).objects, free, locality,
-                                st(task).creator_machine);
+      const MachineId m = planner_->place_task(
+          directory_,
+          {st(task).objects, free, locality, st(task).creator_machine});
       if (m < 0) {
         ++i;
         continue;

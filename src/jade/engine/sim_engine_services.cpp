@@ -96,9 +96,12 @@ struct SimEngine::FtHooks final : RecoveryHooks {
 // --- construction -----------------------------------------------------------
 
 SimEngine::SimEngine(ClusterConfig cluster, SchedPolicy sched,
-                     bool enforce_hierarchy, FaultConfig fault)
+                     bool enforce_hierarchy, FaultConfig fault,
+                     std::shared_ptr<const model::Planner> planner)
     : cluster_(std::move(cluster)),
       sched_(sched),
+      planner_(planner != nullptr ? std::move(planner)
+                                  : model::default_planner()),
       network_(cluster_.make_network()),
       directory_(cluster_.machine_count()),
       serializer_(this, enforce_hierarchy),

@@ -1,0 +1,52 @@
+// WorkloadFeatures — the per-pattern feature vector the model layer works on.
+//
+// Extracted by the TraceReader (trace_reader.hpp) from a *profile run*: a
+// cheap deterministic SimEngine execution of the workload on a canonical
+// contention-free platform.  The features are properties of the task graph
+// and its data demand, deliberately independent of the *target* platform and
+// policy — the CostModel (cost_model.hpp) combines them with a
+// (ClusterConfig, SchedPolicy) pair to predict completion time, so one
+// profile serves every candidate configuration the tuner explores.
+#pragma once
+
+#include <cstdint>
+
+namespace jade::model {
+
+struct WorkloadFeatures {
+  bool valid = false;  ///< extracted from a real profile (all-zero otherwise)
+
+  // --- task-graph shape ----------------------------------------------------
+  double tasks = 0;           ///< tasks created (root excluded)
+  double total_work = 0;      ///< sum of charge() units over all tasks
+  double mean_grain = 0;      ///< total_work / tasks
+  double max_grain = 0;       ///< largest single-task charge
+  /// Mean children spawned per task that spawned any (fan-out; 0 when the
+  /// graph is a root-only flood, in which case `root_fanout` carries it).
+  double fanout = 0;
+  double root_fanout = 0;     ///< tasks created directly by the root
+  /// Charge() units along the longest dependence chain, inferred from the
+  /// wide-profile run: virtual completion time on a contention-free platform
+  /// with more contexts than tasks approaches the critical path.
+  double critical_path_work = 0;
+  /// total_work / critical_path_work — average exploitable parallelism.
+  double avg_parallelism = 0;
+
+  // --- data demand (message-passing profile platform, locality on) ---------
+  double payload_bytes = 0;    ///< object-data bytes moved on the profile
+  double messages = 0;         ///< network messages on the profile
+  double declared_bytes = 0;   ///< bytes under declared objects, summed/task
+  /// Same demand with locality scoring disabled — the tuner's estimate of
+  /// what turning `SchedPolicy::locality` off costs in data motion.
+  double payload_bytes_nolocal = 0;
+  double messages_nolocal = 0;
+
+  // --- dynamic behaviour ---------------------------------------------------
+  double max_queue_depth = 0;  ///< peak created-but-undispatched backlog
+  /// Completion-time ratio of the profile run with speculation off vs on
+  /// (>1: run-ahead shortens the conservative-write chains; 1 when
+  /// speculation never fires, 0 when no speculation profile was taken).
+  double spec_speedup = 0;
+};
+
+}  // namespace jade::model

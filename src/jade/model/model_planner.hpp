@@ -1,0 +1,62 @@
+// ModelPlanner — policy auto-tuning through the fitted CostModel.
+//
+// A Planner whose plan_policy enumerates a deterministic candidate grid
+// (task contexts, locality scoring, speculation) around the caller's base
+// SchedPolicy, predicts each candidate's completion time on the target
+// platform with the fitted model, and returns the winner — but only when
+// the predicted gain clears a safety margin; within the margin the hand-set
+// base policy passes through untouched, so the tuner never loses to the
+// defaults by trusting a borderline prediction.
+//
+// Per-decision placement (place_task / select_task) inherits the heuristic
+// implementations: the model operates at whole-run granularity, where its
+// features live; the per-task locality heuristics are already near-optimal
+// and byte-stable.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "jade/model/cost_model.hpp"
+#include "jade/model/planner.hpp"
+
+namespace jade::model {
+
+class ModelPlanner : public HeuristicPlanner {
+ public:
+  /// `model` must already be fitted and `features` valid — plan_policy
+  /// degrades to the identity (base passes through) otherwise.  `margin` is
+  /// the fractional predicted improvement a candidate must clear to replace
+  /// the base policy.
+  ModelPlanner(CostModel model, WorkloadFeatures features,
+               double margin = 0.10)
+      : model_(std::move(model)),
+        features_(features),
+        margin_(margin) {}
+
+  const char* name() const override { return "model"; }
+
+  SchedPolicy plan_policy(const ClusterConfig& cluster,
+                          const SchedPolicy& base) const override;
+
+  /// The candidate grid plan_policy scores, in its deterministic search
+  /// order (the base policy is always candidate 0).
+  static std::vector<SchedPolicy> candidate_policies(const SchedPolicy& base);
+
+  /// Model prediction for one concrete (platform, policy) pair — the bench
+  /// harness uses this to report what the tuner believed.
+  double predict(const ClusterConfig& cluster, const SchedPolicy& policy)
+      const {
+    return model_.predict(features_, cluster, policy);
+  }
+
+  const CostModel& model() const { return model_; }
+  const WorkloadFeatures& features() const { return features_; }
+
+ private:
+  CostModel model_;
+  WorkloadFeatures features_;
+  double margin_;
+};
+
+}  // namespace jade::model

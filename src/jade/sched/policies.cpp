@@ -57,18 +57,27 @@ MachineId pick_machine_for_task(const ObjectDirectory& dir,
 std::size_t pick_task_for_machine(
     const ObjectDirectory& dir,
     std::span<const std::vector<ObjectId>> object_lists, MachineId machine,
-    bool locality) {
+    bool locality, PlacementExplain* explain) {
+  if (explain != nullptr) {
+    explain->task_candidates.clear();
+    explain->chosen_index = std::numeric_limits<std::size_t>::max();
+  }
   if (object_lists.empty()) return std::numeric_limits<std::size_t>::max();
-  if (!locality) return 0;
   std::size_t best = 0;
-  std::size_t best_bytes = dir.bytes_scoreable(object_lists[0], machine);
+  std::size_t best_bytes =
+      locality ? dir.bytes_scoreable(object_lists[0], machine) : 0;
+  if (explain != nullptr)
+    explain->task_candidates.push_back({0, best_bytes});
   for (std::size_t i = 1; i < object_lists.size(); ++i) {
-    const std::size_t bytes = dir.bytes_scoreable(object_lists[i], machine);
-    if (bytes > best_bytes) {  // strict: FIFO wins ties
+    const std::size_t bytes =
+        locality ? dir.bytes_scoreable(object_lists[i], machine) : 0;
+    if (explain != nullptr) explain->task_candidates.push_back({i, bytes});
+    if (locality && bytes > best_bytes) {  // strict: FIFO wins ties
       best = i;
       best_bytes = bytes;
     }
   }
+  if (explain != nullptr) explain->chosen_index = best;
   return best;
 }
 

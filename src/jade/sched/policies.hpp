@@ -101,6 +101,17 @@ struct PlacementExplain {
   };
   std::vector<Candidate> candidates;  ///< machine-index order
   MachineId chosen = -1;
+
+  /// The inverse decision (pick_task_for_machine, ClusterEngine dispatch):
+  /// which of several ready tasks an idle machine took.  Candidates are
+  /// window indices into the caller's task list, with the locality score
+  /// each was compared on; `candidates`/`chosen` above stay untouched.
+  struct TaskCandidate {
+    std::size_t index = 0;           ///< caller's candidate-window index
+    std::size_t resident_bytes = 0;  ///< declared bytes resident on machine
+  };
+  std::vector<TaskCandidate> task_candidates;  ///< window order
+  std::size_t chosen_index = static_cast<std::size_t>(-1);
 };
 
 /// Picks the machine to run a ready task on, among machines with free
@@ -123,10 +134,13 @@ MachineId pick_machine_for_task(const ObjectDirectory& dir,
 /// (and locality off) fall to the oldest task (FIFO, serial-order friendly).
 /// `object_lists[i]` are the declared objects of ready task i.  Returns the
 /// winning index, or SIZE_MAX if `object_lists` is empty.
+///
+/// `explain`, when non-null, receives the scored window
+/// (PlacementExplain::task_candidates) and the winning index.
 std::size_t pick_task_for_machine(
     const ObjectDirectory& dir,
     std::span<const std::vector<ObjectId>> object_lists, MachineId machine,
-    bool locality);
+    bool locality, PlacementExplain* explain = nullptr);
 
 /// Home re-election after a crash: the lowest-indexed surviving machine that
 /// already holds a copy of `obj` (its replica becomes the authoritative
